@@ -1,0 +1,49 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures.  By default
+the sweeps use reduced capacity ranges so the whole harness completes in a
+few minutes; set ``REPRO_FULL_SWEEP=1`` to run the paper's complete parameter
+ranges (this takes considerably longer, dominated by the capacity-100
+two-level factory).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def full_sweep_enabled() -> bool:
+    """Whether the full paper parameter ranges were requested."""
+    return os.environ.get("REPRO_FULL_SWEEP", "0") not in ("", "0", "false", "False")
+
+
+@pytest.fixture(scope="session")
+def full_sweep() -> bool:
+    """Fixture form of :func:`full_sweep_enabled`."""
+    return full_sweep_enabled()
+
+
+def two_level_capacities() -> tuple:
+    """Two-level factory capacities to sweep (paper range under full sweep)."""
+    if full_sweep_enabled():
+        return (4, 16, 36, 64, 100)
+    return (4, 16)
+
+
+def single_level_capacities() -> tuple:
+    """Single-level factory capacities to sweep."""
+    if full_sweep_enabled():
+        return (2, 4, 6, 8, 12, 16, 20, 24)
+    return (2, 4, 8, 16, 24)
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    The experiments are deterministic and take seconds to minutes, so the
+    default calibration loop of pytest-benchmark (many rounds) is replaced by
+    a single measured round.
+    """
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,95 @@
+"""Ablation benches for the design choices called out in DESIGN.md.
+
+* Barrier insertion between rounds (Section V-A): compare the simulated
+  latency of the linear mapping with and without the end-of-round barrier.
+* Dipole-moment rotation force (Section VI-B.1): run the force-directed
+  annealer with and without the dipole force and compare the edge-crossing
+  count of the resulting mappings.
+* Routing flexibility: stall-on-conflict (the paper's semantics) versus a
+  detour-capable router.
+"""
+
+from conftest import run_once
+
+from repro.circuits import critical_path_length
+from repro.distillation import build_single_level_factory, build_two_level_factory
+from repro.graphs import count_edge_crossings, interaction_graph
+from repro.mapping import (
+    ForceDirectedConfig,
+    force_directed_refine,
+    linear_factory_placement,
+    random_circuit_placement,
+)
+from repro.routing import SimulatorConfig, simulate
+from repro.scheduling import strip_barriers
+
+
+def test_bench_ablation_barriers(benchmark):
+    """Barriers isolate rounds at a bounded latency cost."""
+
+    def run():
+        factory = build_two_level_factory(4, barriers_between_rounds=True)
+        placement = linear_factory_placement(factory)
+        with_barrier = simulate(factory.circuit, placement).latency
+        without = simulate(strip_barriers(factory.circuit), placement).latency
+        return with_barrier, without
+
+    with_barrier, without = run_once(benchmark, run)
+    print(f"\nlatency with barrier: {with_barrier}, without: {without}")
+    assert with_barrier >= without
+    # The barrier may serialise the two rounds but never more than that.
+    assert with_barrier <= 2.5 * without
+
+
+def test_bench_ablation_dipole_force(benchmark):
+    """The dipole rotation force reduces edge crossings beyond attraction alone."""
+
+    def run():
+        factory = build_single_level_factory(8)
+        graph = interaction_graph(factory.circuit)
+        initial = random_circuit_placement(factory.circuit, seed=5, slack=1.5)
+        with_dipole = force_directed_refine(
+            graph, initial, ForceDirectedConfig(sweeps=25, seed=1, use_dipole=True)
+        )
+        without_dipole = force_directed_refine(
+            graph, initial, ForceDirectedConfig(sweeps=25, seed=1, use_dipole=False)
+        )
+        positions = initial.as_float_positions()
+        return (
+            count_edge_crossings(graph, positions),
+            count_edge_crossings(graph, with_dipole.as_float_positions()),
+            count_edge_crossings(graph, without_dipole.as_float_positions()),
+        )
+
+    initial_crossings, with_dipole, without_dipole = run_once(benchmark, run)
+    print(
+        f"\nedge crossings — initial: {initial_crossings}, "
+        f"FD with dipole: {with_dipole}, FD without dipole: {without_dipole}"
+    )
+    # Both variants improve on the random start; the dipole variant should not
+    # be meaningfully worse than the ablated one.
+    assert with_dipole < initial_crossings
+    assert without_dipole < initial_crossings
+    assert with_dipole <= without_dipole * 1.25
+
+
+def test_bench_ablation_routing_flexibility(benchmark):
+    """Stall-only routing (paper semantics) versus detour-capable routing."""
+
+    def run():
+        factory = build_single_level_factory(8)
+        placement = random_circuit_placement(factory.circuit, seed=2)
+        stall_only = simulate(
+            factory.circuit, placement, SimulatorConfig(max_candidates=1)
+        ).latency
+        flexible = simulate(
+            factory.circuit,
+            placement,
+            SimulatorConfig(max_candidates=8, allow_detour=True),
+        ).latency
+        return stall_only, flexible, critical_path_length(factory.circuit)
+
+    stall_only, flexible, bound = run_once(benchmark, run)
+    print(f"\nlatency stall-only: {stall_only}, detour-capable: {flexible}, bound: {bound}")
+    assert flexible <= stall_only
+    assert flexible >= bound

@@ -1,0 +1,52 @@
+"""EXP-F10: regenerate Fig. 10 (latency / area / volume for every mapper)."""
+
+from conftest import run_once, single_level_capacities, two_level_capacities
+
+from repro.experiments import fig10_resources
+
+
+def test_bench_fig10_single_level(benchmark):
+    """Fig. 10a/10b/10e: single-level resources — linear baseline near optimal."""
+    result = run_once(
+        benchmark,
+        fig10_resources.run_single_level,
+        capacities=single_level_capacities(),
+    )
+    print()
+    print(fig10_resources.format_result(result))
+
+    volumes = result.series("volume")
+    latencies = result.series("latency")
+    areas = result.series("area")
+    capacities = sorted(volumes["linear"])
+    for method in volumes:
+        # Latency, area and volume all grow monotonically-ish with capacity.
+        assert volumes[method][capacities[-1]] > volumes[method][capacities[0]]
+        assert areas[method][capacities[-1]] > areas[method][capacities[0]]
+    # The linear hand layout is the best or near-best single-level mapping.
+    for capacity in capacities:
+        best = min(volumes[m][capacity] for m in volumes)
+        assert volumes["linear"][capacity] <= 1.3 * best
+
+
+def test_bench_fig10_two_level(benchmark):
+    """Fig. 10c/10d/10f: two-level resources — hierarchical stitching wins."""
+    result = run_once(
+        benchmark, fig10_resources.run_two_level, capacities=two_level_capacities()
+    )
+    print()
+    print(fig10_resources.format_result(result))
+
+    volumes = result.series("volume")
+    capacities = sorted(volumes["linear"])
+    largest = capacities[-1]
+    # Headline shape: HS achieves the lowest volume of every procedure at the
+    # largest capacity swept, with a clear reduction over the linear baseline.
+    stitching = volumes["hierarchical_stitching"][largest]
+    for method, series in volumes.items():
+        if method != "hierarchical_stitching":
+            assert stitching <= series[largest]
+    reduction = result.volume_reduction(largest)
+    print(f"\nvolume reduction (linear / stitching) at K={largest}: {reduction:.2f}x "
+          f"(paper: {fig10_resources.PAPER_HEADLINE_REDUCTION}x at K=100)")
+    assert reduction > 1.2

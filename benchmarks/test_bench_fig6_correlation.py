@@ -1,0 +1,21 @@
+"""EXP-F6: regenerate Fig. 6 (metric-vs-latency correlation, r-values)."""
+
+from conftest import full_sweep_enabled, run_once
+
+from repro.experiments import fig6_correlation
+
+
+def test_bench_fig6_correlation(benchmark):
+    """Fig. 6: crossings/length correlate positively with latency, spacing negatively."""
+    num_mappings = 60 if full_sweep_enabled() else 30
+    result = run_once(
+        benchmark, fig6_correlation.run, capacity=8, num_mappings=num_mappings, seed=0
+    )
+    print()
+    print(fig6_correlation.format_result(result))
+
+    measured = result.measured()
+    # Shape checks against the paper's qualitative claims.
+    assert measured["edge_crossings_r"] > 0.0
+    assert measured["edge_length_r"] > 0.0
+    assert measured["edge_crossings_r"] >= measured["edge_length_r"]

@@ -1,0 +1,25 @@
+"""EXP-F9cd: regenerate Fig. 9c/9d (permutation-step latency by hop policy)."""
+
+from conftest import run_once, two_level_capacities
+
+from repro.experiments import fig9_permutation
+
+
+def test_bench_fig9cd_permutation_hops(benchmark):
+    """Fig. 9c/9d: annealed intermediate hops do not hurt, and help at scale."""
+    result = run_once(
+        benchmark, fig9_permutation.run, capacities=two_level_capacities(), seed=0
+    )
+    print()
+    print(fig9_permutation.format_result(result))
+
+    table = result.by_mode()
+    for capacity in table["none"]:
+        baseline = table["none"][capacity]
+        annealed = table["annealed_midpoint"][capacity]
+        # The paper reports ~1.3x reduction from annealed hops; at reduced
+        # scale we only require that annealing never degrades the step badly.
+        assert annealed <= baseline * 1.15
+        # Purely random Valiant hops lengthen braids and should not be the
+        # best policy.
+        assert table["random"][capacity] >= min(annealed, baseline) * 0.95

@@ -1,0 +1,22 @@
+"""EXP-F9ab: regenerate Fig. 9a/9b (qubit reuse vs renaming volume differentials)."""
+
+from conftest import run_once, two_level_capacities
+
+from repro.experiments import fig9_reuse
+
+
+def test_bench_fig9ab_reuse_differentials(benchmark):
+    """Fig. 9a/9b: reuse shrinks the linear/GP mappings' volume (area savings)."""
+    result = run_once(benchmark, fig9_reuse.run, capacities=two_level_capacities())
+    print()
+    print(fig9_reuse.format_result(result))
+
+    by_method = result.by_method()
+    for capacity, comparison in by_method["linear"].items():
+        # Reuse always saves area for the linear mapping; the volume with
+        # reuse therefore should not exceed the no-reuse volume by much.
+        assert comparison.volume_reuse <= comparison.volume_no_reuse * 1.15
+    # Every differential stays in the plausible band of Fig. 9b.
+    for comparisons in by_method.values():
+        for comparison in comparisons.values():
+            assert -0.6 <= comparison.differential <= 0.6

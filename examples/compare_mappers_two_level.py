@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Compare every mapping procedure on a two-level block-code factory.
+
+This reproduces the heart of the paper's evaluation (Fig. 10c/10d/10f) on a
+single factory configuration: a two-level factory of capacity 16 is built,
+mapped with the linear baseline, force-directed annealing, recursive graph
+partitioning and hierarchical stitching, and each mapping is executed on the
+braid simulator.  The printout shows how the permutation step between rounds
+separates the procedures: the structure-aware hierarchical stitching achieves
+the lowest space-time volume.
+
+Run with::
+
+    python examples/compare_mappers_two_level.py [capacity]
+"""
+
+import sys
+
+from repro.analysis import evaluate_factory_mapping
+from repro.scheduling import lower_bound_summary
+from repro.distillation import FactorySpec
+
+
+def main() -> None:
+    capacity = int(sys.argv[1]) if len(sys.argv) > 1 else 16
+    spec = FactorySpec.from_capacity(capacity, levels=2)
+    bounds = lower_bound_summary(spec)
+    print(f"Two-level factory, capacity {capacity} (k={spec.k} per module)")
+    print(f"  modules: round 1 = {spec.modules_in_round(1)}, "
+          f"round 2 = {spec.modules_in_round(2)}")
+    print(f"  theoretical lower bounds: latency {bounds['latency']} cycles, "
+          f"area {bounds['area']} qubits, volume {bounds['volume']}")
+    print()
+    header = f"{'procedure':26s}{'latency':>10s}{'area':>10s}{'volume':>12s}{'vs bound':>10s}"
+    print(header)
+    print("-" * len(header))
+
+    methods = ("linear", "force_directed", "graph_partition", "hierarchical_stitching")
+    results = {}
+    for method in methods:
+        evaluation = evaluate_factory_mapping(method, capacity, levels=2)
+        results[method] = evaluation
+        print(
+            f"{method:26s}{evaluation.latency:>10d}{evaluation.area:>10d}"
+            f"{evaluation.volume:>12d}{evaluation.volume_over_critical:>10.2f}"
+        )
+
+    baseline = results["linear"].volume
+    best = results["hierarchical_stitching"].volume
+    print()
+    print(f"Hierarchical stitching reduces space-time volume by "
+          f"{baseline / best:.2f}x over the linear baseline "
+          f"(the paper reports up to 5.64x at capacity 100).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""Study how mapping geometry predicts braid congestion (Fig. 6).
+
+The paper's force-directed heuristics are motivated by the observation that
+three geometric properties of a qubit mapping — edge crossings, average edge
+length and average edge spacing — correlate with the latency the braid
+simulator realises.  This example draws a population of random mappings of a
+single-level factory, simulates each of them, prints a small scatter table
+and the resulting Pearson correlation coefficients.
+
+Run with::
+
+    python examples/mapping_metrics_study.py [num_mappings]
+"""
+
+import sys
+
+from repro.experiments import fig6_correlation
+
+
+def main() -> None:
+    num_mappings = int(sys.argv[1]) if len(sys.argv) > 1 else 30
+    result = fig6_correlation.run(capacity=8, num_mappings=num_mappings, seed=7)
+
+    print("sample  crossings  avg-length  avg-spacing  latency")
+    for sample in result.study.samples[:15]:
+        print(
+            f"{sample.seed:6d}  {sample.edge_crossings:9.0f}  "
+            f"{sample.average_edge_length:10.2f}  "
+            f"{sample.average_edge_spacing:11.2f}  {sample.latency:7d}"
+        )
+    if len(result.study.samples) > 15:
+        print(f"... ({len(result.study.samples) - 15} more samples)")
+    print()
+    print(fig6_correlation.format_result(result))
+    print()
+    print("Interpretation: crossings and edge length push latency up, edge")
+    print("spacing pushes it down — the same signs the paper reports, which")
+    print("is why the force-directed mapper minimises crossings/length and")
+    print("maximises spacing.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+"""repro — reproduction of "Magic-State Functional Units" (MICRO 2018).
+
+A toolchain for building, scheduling, mapping and simulating multi-level
+Bravyi-Haah magic-state distillation factories on surface-code architectures,
+reproducing the optimisation techniques and evaluation of Ding et al.,
+"Magic-State Functional Units: Mapping and Scheduling Multi-Level Distillation
+Circuits for Fault-Tolerant Quantum Architectures", MICRO 2018.
+
+The most common entry points:
+
+* :func:`repro.distillation.build_single_level_factory` /
+  :func:`repro.distillation.build_two_level_factory` — generate factory
+  circuits;
+* :mod:`repro.mapping` — the mapping algorithms (linear baseline,
+  force-directed annealing, graph partitioning, hierarchical stitching);
+* :func:`repro.routing.simulate` — the cycle-accurate braid simulator;
+* :func:`repro.analysis.evaluate_factory_mapping` — one-call
+  build/map/simulate evaluation;
+* :mod:`repro.experiments` — one module per paper figure/table.
+"""
+
+from . import analysis, circuits, distillation, graphs, mapping, routing, scheduling
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "circuits",
+    "distillation",
+    "graphs",
+    "mapping",
+    "routing",
+    "scheduling",
+    "__version__",
+]

@@ -1,0 +1,36 @@
+"""Evaluation machinery: volume accounting, correlation study, capacity sweeps."""
+
+from .correlation import CorrelationStudy, MappingSample, collect_samples, correlation_study
+from .sweeps import (
+    MAPPING_METHODS,
+    METHOD_LABELS,
+    FactoryEvaluation,
+    best_volume_by_method,
+    capacity_sweep,
+    evaluate_factory_mapping,
+    format_sweep_table,
+)
+from .volume import (
+    EvaluationResult,
+    evaluate_mapping,
+    mapping_area,
+    occupied_bounding_box,
+)
+
+__all__ = [
+    "CorrelationStudy",
+    "MappingSample",
+    "collect_samples",
+    "correlation_study",
+    "MAPPING_METHODS",
+    "METHOD_LABELS",
+    "FactoryEvaluation",
+    "best_volume_by_method",
+    "capacity_sweep",
+    "evaluate_factory_mapping",
+    "format_sweep_table",
+    "EvaluationResult",
+    "evaluate_mapping",
+    "mapping_area",
+    "occupied_bounding_box",
+]

@@ -1,0 +1,55 @@
+"""Quantum-circuit intermediate representation used by the toolchain."""
+
+from .circuit import Circuit, QubitRegister, concatenate
+from .dag import (
+    DependencyDag,
+    asap_levels,
+    asap_start_times,
+    build_dependency_dag,
+    critical_path_length,
+    dependency_depth,
+    level_partition,
+)
+from .gates import (
+    DEFAULT_DURATIONS,
+    Gate,
+    GateKind,
+    barrier,
+    cnot,
+    cxx,
+    h,
+    inject_t,
+    inject_tdag,
+    meas_x,
+    meas_z,
+    prep,
+)
+from .scaffold import emit_scaffold, parse_flat_assembly, roundtrip
+
+__all__ = [
+    "Circuit",
+    "QubitRegister",
+    "concatenate",
+    "DependencyDag",
+    "asap_levels",
+    "asap_start_times",
+    "build_dependency_dag",
+    "critical_path_length",
+    "dependency_depth",
+    "level_partition",
+    "DEFAULT_DURATIONS",
+    "Gate",
+    "GateKind",
+    "barrier",
+    "cnot",
+    "cxx",
+    "h",
+    "inject_t",
+    "inject_tdag",
+    "meas_x",
+    "meas_z",
+    "prep",
+    "emit_scaffold",
+    "parse_flat_assembly",
+    "roundtrip",
+]

@@ -1,0 +1,247 @@
+"""Circuit container and register-aware builder.
+
+A :class:`Circuit` is an ordered list of :class:`~repro.circuits.gates.Gate`
+objects over a flat logical-qubit index space, together with named registers
+so higher layers (the distillation generators, the mappers and the Scaffold
+emitter) can talk about qubits symbolically ("raw_states[3]", "anc[0]",
+"out[7]") the way the paper's Fig. 5 listing does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .gates import DEFAULT_DURATIONS, Gate, GateKind
+
+
+@dataclass(frozen=True)
+class QubitRegister:
+    """A named, contiguous block of logical qubits.
+
+    Attributes
+    ----------
+    name:
+        Register name, e.g. ``"raw_states"``.
+    start:
+        Index of the first qubit of the register in the circuit's flat space.
+    size:
+        Number of qubits in the register.
+    """
+
+    name: str
+    start: int
+    size: int
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __getitem__(self, index: int) -> int:
+        if isinstance(index, slice):
+            return list(range(self.start, self.start + self.size))[index]
+        if index < 0:
+            index += self.size
+        if not 0 <= index < self.size:
+            raise IndexError(
+                f"register {self.name!r} has {self.size} qubits, index {index} is out of range"
+            )
+        return self.start + index
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self.start, self.start + self.size))
+
+    @property
+    def qubits(self) -> Tuple[int, ...]:
+        """All qubit indices in this register."""
+        return tuple(range(self.start, self.start + self.size))
+
+
+class Circuit:
+    """An ordered gate list over named qubit registers.
+
+    The class behaves as a sequence of gates and offers helpers used across
+    the toolchain: register allocation, gate appending, qubit renaming and a
+    handful of summary statistics (gate counts, T counts, braided-gate
+    counts).
+    """
+
+    def __init__(self, name: str = "circuit") -> None:
+        self.name = name
+        self._gates: List[Gate] = []
+        self._registers: Dict[str, QubitRegister] = {}
+        self._num_qubits = 0
+
+    # ------------------------------------------------------------------
+    # Register management
+    # ------------------------------------------------------------------
+    def add_register(self, name: str, size: int) -> QubitRegister:
+        """Allocate ``size`` fresh qubits under ``name`` and return the register."""
+        if size <= 0:
+            raise ValueError(f"register size must be positive, got {size}")
+        if name in self._registers:
+            raise ValueError(f"register {name!r} already exists")
+        register = QubitRegister(name, self._num_qubits, size)
+        self._registers[name] = register
+        self._num_qubits += size
+        return register
+
+    def register(self, name: str) -> QubitRegister:
+        """Look up a register by name."""
+        return self._registers[name]
+
+    @property
+    def registers(self) -> Dict[str, QubitRegister]:
+        """Mapping of register name to :class:`QubitRegister`."""
+        return dict(self._registers)
+
+    @property
+    def num_qubits(self) -> int:
+        """Total number of logical qubits allocated in the circuit."""
+        return self._num_qubits
+
+    def qubit_name(self, qubit: int) -> str:
+        """Return a symbolic ``register[offset]`` name for a flat qubit index."""
+        for register in self._registers.values():
+            if register.start <= qubit < register.start + register.size:
+                return f"{register.name}[{qubit - register.start}]"
+        return f"q[{qubit}]"
+
+    # ------------------------------------------------------------------
+    # Gate management
+    # ------------------------------------------------------------------
+    def append(self, gate: Gate) -> Gate:
+        """Append a gate, validating that its qubits exist."""
+        for qubit in gate.qubits:
+            if not 0 <= qubit < self._num_qubits:
+                raise ValueError(
+                    f"gate {gate} references qubit {qubit}, but circuit has "
+                    f"{self._num_qubits} qubits"
+                )
+        self._gates.append(gate)
+        return gate
+
+    def extend(self, gates: Iterable[Gate]) -> None:
+        """Append every gate in ``gates`` in order."""
+        for gate in gates:
+            self.append(gate)
+
+    @property
+    def gates(self) -> Tuple[Gate, ...]:
+        """The gate sequence as an immutable tuple."""
+        return tuple(self._gates)
+
+    def __len__(self) -> int:
+        return len(self._gates)
+
+    def __iter__(self) -> Iterator[Gate]:
+        return iter(self._gates)
+
+    def __getitem__(self, index):
+        return self._gates[index]
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def gate_counts(self) -> Dict[GateKind, int]:
+        """Count gates by kind."""
+        counts: Dict[GateKind, int] = {}
+        for gate in self._gates:
+            counts[gate.kind] = counts.get(gate.kind, 0) + 1
+        return counts
+
+    def count(self, kind: GateKind) -> int:
+        """Number of gates of a given kind."""
+        return sum(1 for gate in self._gates if gate.kind is kind)
+
+    @property
+    def t_count(self) -> int:
+        """Number of T-type operations (T gates plus injections)."""
+        return sum(
+            1
+            for gate in self._gates
+            if gate.kind in (GateKind.T, GateKind.INJECT_T, GateKind.INJECT_TDAG)
+        )
+
+    @property
+    def braided_gate_count(self) -> int:
+        """Number of gates that occupy routing channels on the mesh."""
+        return sum(1 for gate in self._gates if gate.is_braided)
+
+    def total_duration(self, durations: Optional[dict] = None) -> int:
+        """Sum of all gate durations (a serial-execution upper bound)."""
+        table = durations if durations is not None else DEFAULT_DURATIONS
+        return sum(gate.duration(table) for gate in self._gates)
+
+    def used_qubits(self) -> Tuple[int, ...]:
+        """Sorted tuple of qubits touched by at least one gate."""
+        used = set()
+        for gate in self._gates:
+            used.update(gate.qubits)
+        return tuple(sorted(used))
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def remap_qubits(self, mapping: Dict[int, int], name: Optional[str] = None) -> "Circuit":
+        """Return a new circuit with qubit indices renamed through ``mapping``.
+
+        The new circuit has a single anonymous register spanning the largest
+        qubit index referenced after renaming.  This is the primitive used by
+        the qubit-renaming (no-reuse) scheduling policy of Section V-B.
+        """
+        new_circuit = Circuit(name or f"{self.name}_remapped")
+        max_index = -1
+        for gate in self._gates:
+            for qubit in gate.qubits:
+                max_index = max(max_index, mapping.get(qubit, qubit))
+        if max_index >= 0:
+            new_circuit.add_register("q", max_index + 1)
+        for gate in self._gates:
+            new_circuit.append(gate.remap(mapping))
+        return new_circuit
+
+    def subcircuit(self, indices: Sequence[int], name: Optional[str] = None) -> "Circuit":
+        """Return a circuit containing the gates at ``indices`` (same qubit space)."""
+        new_circuit = Circuit(name or f"{self.name}_slice")
+        if self._num_qubits:
+            new_circuit.add_register("q", self._num_qubits)
+        for index in indices:
+            new_circuit.append(self._gates[index])
+        return new_circuit
+
+    def with_gates(self, gates: Sequence[Gate], name: Optional[str] = None) -> "Circuit":
+        """Return a circuit over the same registers but a different gate list."""
+        new_circuit = Circuit(name or self.name)
+        new_circuit._registers = dict(self._registers)
+        new_circuit._num_qubits = self._num_qubits
+        for gate in gates:
+            new_circuit.append(gate)
+        return new_circuit
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Circuit(name={self.name!r}, qubits={self._num_qubits}, "
+            f"gates={len(self._gates)})"
+        )
+
+
+def concatenate(circuits: Sequence[Circuit], name: str = "concatenated") -> Circuit:
+    """Concatenate circuits over disjoint qubit spaces into one circuit.
+
+    Each input circuit's qubits are offset so the result uses a single flat
+    index space.  Register names are prefixed with the circuit index to stay
+    unique.  Returns the combined circuit together with the per-circuit qubit
+    offsets via the ``offsets`` attribute on the result.
+    """
+    combined = Circuit(name)
+    offsets: List[int] = []
+    for index, circuit in enumerate(circuits):
+        offset = combined.num_qubits
+        offsets.append(offset)
+        for register in circuit.registers.values():
+            combined.add_register(f"c{index}_{register.name}", register.size)
+        mapping = {q: q + offset for q in range(circuit.num_qubits)}
+        for gate in circuit:
+            combined.append(gate.remap(mapping))
+    combined.offsets = offsets  # type: ignore[attr-defined]
+    return combined

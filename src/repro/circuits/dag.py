@@ -1,0 +1,168 @@
+"""Dependency analysis for gate sequences.
+
+The simulator described in Section VIII-A of the paper treats *any* data
+hazard — the presence of the same qubit in two instructions — as a true
+dependency.  This module builds that dependency DAG, computes ASAP levels and
+the critical path, and provides the theoretical lower bound on circuit
+latency used for the "Critical" rows of Table I and the lower-bound curves of
+Fig. 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .circuit import Circuit
+from .gates import DEFAULT_DURATIONS, Gate
+
+
+@dataclass
+class DependencyDag:
+    """The gate dependency DAG of a circuit.
+
+    Nodes are gate indices into the originating gate sequence.  An edge
+    ``(i, j)`` means gate ``j`` must wait for gate ``i`` because they share a
+    qubit (or because a barrier separates them).
+    """
+
+    gates: Tuple[Gate, ...]
+    predecessors: Tuple[Tuple[int, ...], ...]
+    successors: Tuple[Tuple[int, ...], ...]
+
+    def __len__(self) -> int:
+        return len(self.gates)
+
+    def roots(self) -> List[int]:
+        """Gate indices with no predecessors."""
+        return [i for i, preds in enumerate(self.predecessors) if not preds]
+
+    def leaves(self) -> List[int]:
+        """Gate indices with no successors."""
+        return [i for i, succs in enumerate(self.successors) if not succs]
+
+    def topological_order(self) -> List[int]:
+        """Return gate indices in a topological order (original order works)."""
+        return list(range(len(self.gates)))
+
+
+def build_dependency_dag(gates: Sequence[Gate]) -> DependencyDag:
+    """Build the dependency DAG under the "shared qubit = dependency" rule.
+
+    Barriers depend on every gate issued so far and every later gate depends
+    on the most recent barrier, regardless of which qubits the barrier names
+    (the simulator implements barriers as machine-wide multi-target CNOTs).
+    """
+    n = len(gates)
+    predecessors: List[Set[int]] = [set() for _ in range(n)]
+    successors: List[Set[int]] = [set() for _ in range(n)]
+
+    last_writer: Dict[int, int] = {}
+    last_barrier: Optional[int] = None
+    since_barrier: List[int] = []
+
+    for index, gate in enumerate(gates):
+        if gate.is_barrier:
+            # Barrier waits for everything issued since the previous barrier.
+            for previous in since_barrier:
+                predecessors[index].add(previous)
+                successors[previous].add(index)
+            if last_barrier is not None:
+                predecessors[index].add(last_barrier)
+                successors[last_barrier].add(index)
+            last_barrier = index
+            since_barrier = []
+            last_writer = {}
+            continue
+
+        if last_barrier is not None:
+            predecessors[index].add(last_barrier)
+            successors[last_barrier].add(index)
+        for qubit in gate.qubits:
+            previous = last_writer.get(qubit)
+            if previous is not None and previous != index:
+                predecessors[index].add(previous)
+                successors[previous].add(index)
+        for qubit in gate.qubits:
+            last_writer[qubit] = index
+        since_barrier.append(index)
+
+    return DependencyDag(
+        gates=tuple(gates),
+        predecessors=tuple(tuple(sorted(p)) for p in predecessors),
+        successors=tuple(tuple(sorted(s)) for s in successors),
+    )
+
+
+def asap_levels(dag: DependencyDag) -> List[int]:
+    """ASAP level (0-based) of each gate, ignoring gate durations."""
+    levels = [0] * len(dag)
+    for index in dag.topological_order():
+        preds = dag.predecessors[index]
+        if preds:
+            levels[index] = 1 + max(levels[p] for p in preds)
+    return levels
+
+
+def asap_start_times(
+    dag: DependencyDag, durations: Optional[dict] = None
+) -> List[int]:
+    """ASAP start time (in cycles) of each gate, honouring gate durations."""
+    table = durations if durations is not None else DEFAULT_DURATIONS
+    starts = [0] * len(dag)
+    for index in dag.topological_order():
+        preds = dag.predecessors[index]
+        if preds:
+            starts[index] = max(
+                starts[p] + dag.gates[p].duration(table) for p in preds
+            )
+    return starts
+
+
+def critical_path_length(
+    circuit_or_gates, durations: Optional[dict] = None
+) -> int:
+    """Critical-path latency (cycles) of a circuit, ignoring congestion.
+
+    This is the theoretical lower bound on execution latency used for the
+    "Theoretical Lower Bound" curves of Fig. 7 and the "Critical" row of
+    Table I: no mapping can execute the circuit faster because the bound only
+    reflects true data dependencies.
+    """
+    gates = (
+        circuit_or_gates.gates
+        if isinstance(circuit_or_gates, Circuit)
+        else tuple(circuit_or_gates)
+    )
+    if not gates:
+        return 0
+    table = durations if durations is not None else DEFAULT_DURATIONS
+    dag = build_dependency_dag(gates)
+    starts = asap_start_times(dag, table)
+    return max(
+        start + gate.duration(table) for start, gate in zip(starts, dag.gates)
+    )
+
+
+def dependency_depth(circuit_or_gates) -> int:
+    """Number of dependency levels (unit-duration critical path)."""
+    gates = (
+        circuit_or_gates.gates
+        if isinstance(circuit_or_gates, Circuit)
+        else tuple(circuit_or_gates)
+    )
+    if not gates:
+        return 0
+    dag = build_dependency_dag(gates)
+    return 1 + max(asap_levels(dag))
+
+
+def level_partition(dag: DependencyDag) -> List[List[int]]:
+    """Group gate indices by ASAP level (used for per-timestep analyses)."""
+    levels = asap_levels(dag)
+    if not levels:
+        return []
+    buckets: List[List[int]] = [[] for _ in range(max(levels) + 1)]
+    for index, level in enumerate(levels):
+        buckets[level].append(index)
+    return buckets

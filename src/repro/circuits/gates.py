@@ -1,0 +1,248 @@
+"""Gate-level intermediate representation for surface-code circuits.
+
+The paper's workloads (Bravyi-Haah distillation modules and multi-level block
+code factories, Fig. 5 of the paper) are expressed with a small gate set:
+
+* single-qubit Clifford preparation and measurement gates (``H``, ``PREP``,
+  ``MEAS_X``, ``MEAS_Z``),
+* two-qubit ``CNOT`` gates realised as surface-code braids,
+* a single-control multi-target ``CXX`` gate (used both inside the
+  Bravyi-Haah module and to implement scheduling barriers, Section V-A),
+* magic-state injection operations ``INJECT_T`` / ``INJECT_TDAG`` which are
+  realised as a small number of CNOT braids in expectation (Section II-E),
+* an explicit ``BARRIER`` pseudo-gate, which the simulator treats as a
+  multi-target CNOT touching every qubit of the machine (Section VIII-A).
+
+Each gate records the logical qubits it touches.  Braided gates (``CNOT``,
+``CXX`` and the injections) are the only ones that occupy routing channels in
+the network simulator; the rest are local to a tile.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Tuple
+
+
+class GateKind(enum.Enum):
+    """Enumeration of the gate types used by the distillation workloads."""
+
+    PREP = "prep"
+    H = "h"
+    X = "x"
+    Z = "z"
+    S = "s"
+    T = "t"
+    CNOT = "cnot"
+    CXX = "cxx"
+    INJECT_T = "inject_t"
+    INJECT_TDAG = "inject_tdag"
+    MEAS_X = "meas_x"
+    MEAS_Z = "meas_z"
+    BARRIER = "barrier"
+
+    @property
+    def is_braided(self) -> bool:
+        """Whether the gate occupies routing channels on the mesh."""
+        return self in _BRAIDED_KINDS
+
+    @property
+    def is_measurement(self) -> bool:
+        """Whether the gate measures (and therefore frees) its qubits."""
+        return self in (GateKind.MEAS_X, GateKind.MEAS_Z)
+
+    @property
+    def is_single_qubit(self) -> bool:
+        """Whether the gate acts on exactly one qubit."""
+        return self in _SINGLE_QUBIT_KINDS
+
+
+_BRAIDED_KINDS = frozenset(
+    {GateKind.CNOT, GateKind.CXX, GateKind.INJECT_T, GateKind.INJECT_TDAG}
+)
+_SINGLE_QUBIT_KINDS = frozenset(
+    {
+        GateKind.PREP,
+        GateKind.H,
+        GateKind.X,
+        GateKind.Z,
+        GateKind.S,
+        GateKind.T,
+        GateKind.MEAS_X,
+        GateKind.MEAS_Z,
+    }
+)
+
+#: Default gate durations in logical surface-code cycles.  Values follow the
+#: conventions of Fowler et al. [19] / Javadi-Abhari et al. [1]: a braided
+#: CNOT occupies its path for two logical cycles (extend + contract), a
+#: magic-state injection costs two CNOT braids in expectation (Section II-E),
+#: single-qubit Cliffords and measurements take one cycle each.
+DEFAULT_DURATIONS = {
+    GateKind.PREP: 1,
+    GateKind.H: 1,
+    GateKind.X: 1,
+    GateKind.Z: 1,
+    GateKind.S: 1,
+    GateKind.T: 1,
+    GateKind.CNOT: 2,
+    GateKind.CXX: 2,
+    GateKind.INJECT_T: 4,
+    GateKind.INJECT_TDAG: 4,
+    GateKind.MEAS_X: 1,
+    GateKind.MEAS_Z: 1,
+    GateKind.BARRIER: 1,
+}
+
+
+@dataclass(frozen=True)
+class Gate:
+    """A single gate instance on explicit logical qubit indices.
+
+    Attributes
+    ----------
+    kind:
+        The :class:`GateKind` of the operation.
+    qubits:
+        The logical qubits touched by the gate.  For controlled gates the
+        first qubit is the control and the remaining qubits are targets.
+    tag:
+        Optional free-form label used to track provenance (e.g. which
+        distillation round and module the gate belongs to).
+    """
+
+    kind: GateKind
+    qubits: Tuple[int, ...]
+    tag: Optional[str] = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.qubits and self.kind is not GateKind.BARRIER:
+            raise ValueError(f"gate {self.kind} must act on at least one qubit")
+        if len(set(self.qubits)) != len(self.qubits):
+            raise ValueError(f"gate {self.kind} has duplicate qubits: {self.qubits}")
+        if self.kind.is_single_qubit and len(self.qubits) != 1:
+            raise ValueError(
+                f"{self.kind.value} acts on one qubit, got {len(self.qubits)}"
+            )
+        if self.kind in (GateKind.CNOT, GateKind.INJECT_T, GateKind.INJECT_TDAG):
+            if len(self.qubits) != 2:
+                raise ValueError(
+                    f"{self.kind.value} acts on two qubits, got {len(self.qubits)}"
+                )
+        if self.kind is GateKind.CXX and len(self.qubits) < 2:
+            raise ValueError("cxx needs a control and at least one target")
+
+    @property
+    def control(self) -> Optional[int]:
+        """The control qubit for controlled gates, ``None`` otherwise."""
+        if self.kind in (GateKind.CNOT, GateKind.CXX):
+            return self.qubits[0]
+        if self.kind in (GateKind.INJECT_T, GateKind.INJECT_TDAG):
+            # Injection consumes the raw state (first operand) into the target.
+            return self.qubits[0]
+        return None
+
+    @property
+    def targets(self) -> Tuple[int, ...]:
+        """The target qubits for controlled gates, all qubits otherwise."""
+        if self.control is None:
+            return self.qubits
+        return self.qubits[1:]
+
+    @property
+    def is_braided(self) -> bool:
+        """Whether this gate needs a braid (routing path) on the mesh."""
+        return self.kind.is_braided
+
+    @property
+    def is_barrier(self) -> bool:
+        """Whether this gate is a scheduling barrier."""
+        return self.kind is GateKind.BARRIER
+
+    def duration(self, durations: Optional[dict] = None) -> int:
+        """Return the gate duration in logical cycles.
+
+        Parameters
+        ----------
+        durations:
+            Optional mapping from :class:`GateKind` to cycle counts; defaults
+            to :data:`DEFAULT_DURATIONS`.
+        """
+        table = durations if durations is not None else DEFAULT_DURATIONS
+        return table[self.kind]
+
+    def interaction_pairs(self) -> Iterable[Tuple[int, int]]:
+        """Yield the two-qubit interaction pairs induced by this gate.
+
+        Two-qubit gates yield a single pair.  Multi-target CXX gates yield one
+        pair per (control, target) combination, matching how the paper's
+        interaction graphs are drawn (Fig. 4).  Single-qubit gates and
+        barriers yield nothing.
+        """
+        if self.kind is GateKind.CNOT or self.kind in (
+            GateKind.INJECT_T,
+            GateKind.INJECT_TDAG,
+        ):
+            yield (self.qubits[0], self.qubits[1])
+        elif self.kind is GateKind.CXX:
+            control = self.qubits[0]
+            for target in self.qubits[1:]:
+                yield (control, target)
+
+    def remap(self, mapping: dict) -> "Gate":
+        """Return a copy of this gate with qubits renamed through ``mapping``.
+
+        Qubits absent from ``mapping`` keep their original index.
+        """
+        new_qubits = tuple(mapping.get(q, q) for q in self.qubits)
+        return Gate(self.kind, new_qubits, self.tag)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        operands = ", ".join(str(q) for q in self.qubits)
+        return f"{self.kind.value}({operands})"
+
+
+def prep(qubit: int, tag: Optional[str] = None) -> Gate:
+    """Prepare ``qubit`` in the logical |0> state."""
+    return Gate(GateKind.PREP, (qubit,), tag)
+
+
+def h(qubit: int, tag: Optional[str] = None) -> Gate:
+    """Hadamard on ``qubit``."""
+    return Gate(GateKind.H, (qubit,), tag)
+
+
+def cnot(control: int, target: int, tag: Optional[str] = None) -> Gate:
+    """Braided CNOT from ``control`` to ``target``."""
+    return Gate(GateKind.CNOT, (control, target), tag)
+
+
+def cxx(control: int, targets: Iterable[int], tag: Optional[str] = None) -> Gate:
+    """Single-control multi-target CNOT (``CXX`` in the Scaffold listing)."""
+    return Gate(GateKind.CXX, (control, *targets), tag)
+
+
+def inject_t(raw_state: int, target: int, tag: Optional[str] = None) -> Gate:
+    """Probabilistic T-state injection of ``raw_state`` into ``target``."""
+    return Gate(GateKind.INJECT_T, (raw_state, target), tag)
+
+
+def inject_tdag(raw_state: int, target: int, tag: Optional[str] = None) -> Gate:
+    """Probabilistic T-dagger-state injection of ``raw_state`` into ``target``."""
+    return Gate(GateKind.INJECT_TDAG, (raw_state, target), tag)
+
+
+def meas_x(qubit: int, tag: Optional[str] = None) -> Gate:
+    """X-basis measurement of ``qubit``."""
+    return Gate(GateKind.MEAS_X, (qubit,), tag)
+
+
+def meas_z(qubit: int, tag: Optional[str] = None) -> Gate:
+    """Z-basis measurement of ``qubit``."""
+    return Gate(GateKind.MEAS_Z, (qubit,), tag)
+
+
+def barrier(qubits: Iterable[int] = (), tag: Optional[str] = None) -> Gate:
+    """A scheduling barrier over ``qubits`` (empty means machine-wide)."""
+    return Gate(GateKind.BARRIER, tuple(qubits), tag)

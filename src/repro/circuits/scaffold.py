@@ -1,0 +1,142 @@
+"""Scaffold-style text emission and a minimal flat-assembly parser.
+
+The paper expresses its workloads in the Scaffold language (Fig. 5) and
+compiles them to gate-level instructions.  This module provides the two ends
+of that pipeline for the reproduced toolchain:
+
+* :func:`emit_scaffold` renders a :class:`~repro.circuits.circuit.Circuit`
+  into a Scaffold-flavoured flat listing (one gate per line, register-indexed
+  operands) so generated factories can be inspected and diffed against the
+  listings in the paper.
+* :func:`parse_flat_assembly` parses that same flat format back into a
+  circuit, which gives the test-suite a round-trip invariant and lets users
+  feed externally generated gate streams into the mapper/simulator stack.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from .circuit import Circuit
+from .gates import Gate, GateKind
+
+#: Gate mnemonics used in the flat listing, matching Fig. 5 where possible.
+_KIND_TO_MNEMONIC = {
+    GateKind.PREP: "PrepZ",
+    GateKind.H: "H",
+    GateKind.X: "X",
+    GateKind.Z: "Z",
+    GateKind.S: "S",
+    GateKind.T: "T",
+    GateKind.CNOT: "CNOT",
+    GateKind.CXX: "CXX",
+    GateKind.INJECT_T: "injectT",
+    GateKind.INJECT_TDAG: "injectTdag",
+    GateKind.MEAS_X: "MeasX",
+    GateKind.MEAS_Z: "MeasZ",
+    GateKind.BARRIER: "Barrier",
+}
+
+_MNEMONIC_TO_KIND = {mnemonic.lower(): kind for kind, mnemonic in _KIND_TO_MNEMONIC.items()}
+
+_LINE_PATTERN = re.compile(
+    r"^\s*(?P<mnemonic>[A-Za-z_][A-Za-z0-9_]*)\s*\(\s*(?P<operands>[^)]*)\)\s*;?\s*(?:$|//)"
+)
+_OPERAND_PATTERN = re.compile(
+    r"^(?P<register>[A-Za-z_][A-Za-z0-9_]*)\s*\[\s*(?P<index>\d+)\s*\]$|^(?P<flat>\d+)$"
+)
+
+
+def emit_scaffold(circuit: Circuit, include_header: bool = True) -> str:
+    """Render ``circuit`` as a Scaffold-flavoured flat listing.
+
+    The output declares every register with a ``qbit name[size];`` line and
+    then lists one gate per line with symbolic operands, e.g.::
+
+        qbit raw_states[32];
+        qbit out[8];
+        qbit anc[13];
+        H ( anc[0] );
+        CNOT ( anc[1] , anc[3] );
+    """
+    lines: List[str] = []
+    if include_header:
+        lines.append(f"// circuit: {circuit.name}")
+        lines.append(f"// qubits: {circuit.num_qubits}, gates: {len(circuit)}")
+    for register in circuit.registers.values():
+        lines.append(f"qbit {register.name}[{register.size}];")
+    for gate in circuit:
+        mnemonic = _KIND_TO_MNEMONIC[gate.kind]
+        operands = " , ".join(circuit.qubit_name(q) for q in gate.qubits)
+        comment = f"  // {gate.tag}" if gate.tag else ""
+        lines.append(f"{mnemonic} ( {operands} );{comment}")
+    return "\n".join(lines) + "\n"
+
+
+def _parse_operand(
+    token: str, registers: Dict[str, Tuple[int, int]]
+) -> int:
+    """Resolve a ``register[i]`` or flat-integer operand to a qubit index."""
+    match = _OPERAND_PATTERN.match(token.strip())
+    if match is None:
+        raise ValueError(f"cannot parse operand {token!r}")
+    if match.group("flat") is not None:
+        return int(match.group("flat"))
+    register = match.group("register")
+    index = int(match.group("index"))
+    if register not in registers:
+        raise ValueError(f"unknown register {register!r} in operand {token!r}")
+    start, size = registers[register]
+    if index >= size:
+        raise ValueError(
+            f"operand {token!r} indexes past register size {size}"
+        )
+    return start + index
+
+
+def parse_flat_assembly(text: str, name: str = "parsed") -> Circuit:
+    """Parse a flat Scaffold-style listing back into a :class:`Circuit`.
+
+    Supports the subset emitted by :func:`emit_scaffold`: ``qbit`` register
+    declarations, the gate mnemonics of Fig. 5, ``//`` comments and blank
+    lines.  Raises :class:`ValueError` on anything else.
+    """
+    circuit = Circuit(name)
+    registers: Dict[str, Tuple[int, int]] = {}
+
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith("//"):
+            continue
+        if line.startswith("qbit"):
+            decl = re.match(r"^qbit\s+([A-Za-z_][A-Za-z0-9_]*)\s*\[\s*(\d+)\s*\]\s*;", line)
+            if decl is None:
+                raise ValueError(f"cannot parse register declaration {line!r}")
+            reg_name, size = decl.group(1), int(decl.group(2))
+            register = circuit.add_register(reg_name, size)
+            registers[reg_name] = (register.start, register.size)
+            continue
+        match = _LINE_PATTERN.match(line)
+        if match is None:
+            raise ValueError(f"cannot parse line {line!r}")
+        mnemonic = match.group("mnemonic").lower()
+        if mnemonic not in _MNEMONIC_TO_KIND:
+            raise ValueError(f"unknown gate mnemonic {match.group('mnemonic')!r}")
+        kind = _MNEMONIC_TO_KIND[mnemonic]
+        operand_text = match.group("operands").strip()
+        operands: Tuple[int, ...]
+        if operand_text:
+            operands = tuple(
+                _parse_operand(token, registers)
+                for token in operand_text.split(",")
+            )
+        else:
+            operands = ()
+        circuit.append(Gate(kind, operands))
+    return circuit
+
+
+def roundtrip(circuit: Circuit) -> Circuit:
+    """Emit and re-parse a circuit (used by tests as an invariant check)."""
+    return parse_flat_assembly(emit_scaffold(circuit), name=circuit.name)

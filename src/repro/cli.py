@@ -1,0 +1,111 @@
+"""Command-line interface: run any reproduced experiment from the shell.
+
+Examples
+--------
+List the available experiments::
+
+    repro-msfu list
+
+Run the Fig. 6 correlation study with 40 random mappings::
+
+    repro-msfu run fig6 --num-mappings 40
+
+Run the two-level Table I block over the full paper capacity range::
+
+    repro-msfu run table1-level2 --capacities 4,16,36,64,100
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional, Sequence
+
+from .experiments import EXPERIMENTS
+
+
+def _parse_capacities(text: str) -> List[int]:
+    """Parse a comma-separated capacity list such as ``"4,16,36"``."""
+    try:
+        return [int(token) for token in text.split(",") if token.strip()]
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(
+            f"capacities must be comma-separated integers, got {text!r}"
+        ) from error
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser for the ``repro-msfu`` entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro-msfu",
+        description=(
+            "Reproduction of 'Magic-State Functional Units' (MICRO 2018): "
+            "run the paper's experiments on the reimplemented toolchain."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list the available experiments")
+
+    run_parser = subparsers.add_parser("run", help="run one experiment")
+    run_parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS.keys()),
+        help="experiment identifier (see 'list')",
+    )
+    run_parser.add_argument(
+        "--capacities",
+        type=_parse_capacities,
+        default=None,
+        help="comma-separated factory capacities to sweep (experiment-specific default)",
+    )
+    run_parser.add_argument(
+        "--num-mappings",
+        type=int,
+        default=None,
+        help="number of random mappings (fig6 only)",
+    )
+    run_parser.add_argument("--seed", type=int, default=0, help="random seed")
+    return parser
+
+
+def run_experiment(name: str, **kwargs) -> str:
+    """Run an experiment by name and return its formatted result."""
+    runner, formatter = EXPERIMENTS[name]
+    filtered = {key: value for key, value in kwargs.items() if value is not None}
+    result = runner(**filtered)
+    return formatter(result)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for the ``repro-msfu`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        print("Available experiments:")
+        for name in sorted(EXPERIMENTS):
+            print(f"  {name}")
+        return 0
+
+    kwargs = {"seed": args.seed}
+    if args.capacities is not None:
+        kwargs["capacities"] = args.capacities
+    if args.num_mappings is not None:
+        kwargs["num_mappings"] = args.num_mappings
+    if args.experiment == "fig6":
+        kwargs.pop("capacities", None)
+    else:
+        kwargs.pop("num_mappings", None)
+
+    started = time.time()
+    output = run_experiment(args.experiment, **kwargs)
+    elapsed = time.time() - started
+    print(output)
+    print(f"\n[{args.experiment} completed in {elapsed:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the console script
+    sys.exit(main())

@@ -1,0 +1,176 @@
+"""Single-level Bravyi-Haah (3k+8 -> k) distillation module generator.
+
+This reproduces the Scaffold listing of Fig. 5 in the paper: a single
+Bravyi-Haah module consumes ``3k + 8`` raw (noisy) magic states, uses
+``k + 5`` ancillary qubits and produces ``k`` higher-fidelity output magic
+states, for a total footprint of ``5k + 13`` logical qubits plus the raw
+state storage.
+
+The gate sequence follows the listing line by line.  One index expression in
+the published listing (``raw_states[2 * i + 8 + i]`` inside ``tail``) would
+reuse raw states already consumed by the main injection loops; we read it as
+``raw_states[2K + 8 + i]`` which consumes each of the ``3k + 8`` raw states
+exactly once, matching the protocol's stated input count.  This choice is
+documented in DESIGN.md and asserted by the test-suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..circuits.circuit import Circuit, QubitRegister
+from ..circuits.gates import cnot, cxx, h, inject_t, inject_tdag, meas_x
+
+
+@dataclass(frozen=True)
+class BravyiHaahSpec:
+    """Parameters of a single Bravyi-Haah distillation module.
+
+    Attributes
+    ----------
+    k:
+        Number of output magic states produced by the module.
+    """
+
+    k: int
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError(f"Bravyi-Haah capacity k must be >= 1, got {self.k}")
+
+    @property
+    def num_raw_states(self) -> int:
+        """Number of noisy input magic states consumed (3k + 8)."""
+        return 3 * self.k + 8
+
+    @property
+    def num_ancillas(self) -> int:
+        """Number of ancillary qubits used for syndrome checking (k + 5)."""
+        return self.k + 5
+
+    @property
+    def num_outputs(self) -> int:
+        """Number of distilled output states produced (k)."""
+        return self.k
+
+    @property
+    def num_module_qubits(self) -> int:
+        """Logical qubits inside the module excluding raw storage (2k + 5)."""
+        return self.num_ancillas + self.num_outputs
+
+    @property
+    def total_qubits(self) -> int:
+        """All logical qubits touched by the module (5k + 13)."""
+        return self.num_raw_states + self.num_ancillas + self.num_outputs
+
+
+def _append_tail(
+    circuit: Circuit,
+    spec: BravyiHaahSpec,
+    raw: QubitRegister,
+    anc: QubitRegister,
+    out: QubitRegister,
+    tag: Optional[str],
+) -> None:
+    """Append the ``tail`` sub-module of Fig. 5 (output conversion stage)."""
+    k = spec.k
+    for i in range(k):
+        circuit.append(cnot(out[i], anc[5 + i], tag))
+        circuit.append(inject_t(raw[2 * k + 8 + i], anc[5 + i], tag))
+        circuit.append(cnot(anc[5 + i], anc[4 + i], tag))
+        circuit.append(cnot(anc[3 + i], anc[5 + i], tag))
+        circuit.append(cnot(anc[4 + i], anc[3 + i], tag))
+
+
+def append_bravyi_haah_module(
+    circuit: Circuit,
+    spec: BravyiHaahSpec,
+    raw: QubitRegister,
+    anc: QubitRegister,
+    out: QubitRegister,
+    tag: Optional[str] = None,
+) -> None:
+    """Append one Bravyi-Haah module onto existing registers of ``circuit``.
+
+    ``raw`` must have ``3k + 8`` qubits, ``anc`` must have ``k + 5`` and
+    ``out`` must have ``k``.  The gate order follows the listing of Fig. 5:
+    Hadamard preparations, the verification CXX fan-outs, the T / T-dagger
+    state injections, the tail conversion stage and the final X-basis
+    measurement of every ancilla.
+    """
+    k = spec.k
+    if len(raw) < spec.num_raw_states:
+        raise ValueError(
+            f"raw register needs {spec.num_raw_states} qubits, has {len(raw)}"
+        )
+    if len(anc) < spec.num_ancillas:
+        raise ValueError(
+            f"ancilla register needs {spec.num_ancillas} qubits, has {len(anc)}"
+        )
+    if len(out) < spec.num_outputs:
+        raise ValueError(
+            f"output register needs {spec.num_outputs} qubits, has {len(out)}"
+        )
+
+    for i in range(3):
+        circuit.append(h(anc[i], tag))
+    for i in range(k):
+        circuit.append(h(out[i], tag))
+    circuit.append(cnot(anc[1], anc[3], tag))
+    circuit.append(cnot(anc[2], anc[4], tag))
+    circuit.append(cxx(anc[0], [anc[i] for i in range(1, k + 1)], tag))
+    _append_tail(circuit, spec, raw, anc, out, tag)
+    for i in range(1, k + 5):
+        circuit.append(inject_t(raw[2 * i - 2], anc[i], tag))
+    circuit.append(cxx(anc[0], [anc[i] for i in range(1, k + 5)], tag))
+    for i in range(1, k + 5):
+        circuit.append(inject_tdag(raw[2 * i - 1], anc[i], tag))
+    for i in range(spec.num_ancillas):
+        circuit.append(meas_x(anc[i], tag))
+
+
+def build_bravyi_haah_circuit(k: int, name: Optional[str] = None) -> Circuit:
+    """Build a standalone single-level Bravyi-Haah circuit with capacity ``k``.
+
+    The returned circuit owns three registers: ``raw_states`` (3k+8 qubits),
+    ``out`` (k qubits) and ``anc`` (k+5 qubits), mirroring the ``main``
+    module of Fig. 5.
+    """
+    spec = BravyiHaahSpec(k)
+    circuit = Circuit(name or f"bravyi_haah_k{k}")
+    raw = circuit.add_register("raw_states", spec.num_raw_states)
+    out = circuit.add_register("out", spec.num_outputs)
+    anc = circuit.add_register("anc", spec.num_ancillas)
+    append_bravyi_haah_module(circuit, spec, raw, anc, out, tag="r1.m0")
+    return circuit
+
+
+def module_gate_count(k: int) -> int:
+    """Closed-form number of gates in one Bravyi-Haah module.
+
+    Used by tests to pin down the generator: 3 + k Hadamards, 2 + 5k CNOTs
+    from the head and tail, 2 CXX fan-outs, k + (k+4) T injections,
+    (k+4) T-dagger injections and k+5 measurements.
+    """
+    hadamards = 3 + k
+    cnots = 2 + 4 * k
+    cxx_gates = 2
+    injections = k + 2 * (k + 4)
+    measurements = k + 5
+    return hadamards + cnots + cxx_gates + injections + measurements
+
+
+def raw_state_usage(circuit: Circuit) -> Tuple[int, ...]:
+    """Return how many times each ``raw_states`` qubit is consumed.
+
+    A correctly generated module consumes every raw state exactly once; the
+    property-based tests assert this for all supported capacities.
+    """
+    raw = circuit.register("raw_states")
+    usage = [0] * len(raw)
+    for gate in circuit:
+        for qubit in gate.qubits:
+            if raw.start <= qubit < raw.start + raw.size:
+                usage[qubit - raw.start] += 1
+    return tuple(usage)

@@ -1,0 +1,135 @@
+"""Analytic error model for Bravyi-Haah block-code distillation.
+
+Implements the closed-form expressions quoted in Sections II-B, II-F and II-G
+of the paper:
+
+* surface-code logical error rate ``P_L ~ d * (100 * p)^((d+1)/2)`` for
+  physical error rate ``p`` and code distance ``d``,
+* Bravyi-Haah output error ``(1 + 3k) * eps^2`` for input error ``eps``,
+* first-order success probability ``1 - (8 + 3k) * eps``,
+* the recursive multi-level error suppression ``~ eps^(2^l)``.
+
+These are used by :mod:`repro.distillation.resources` to pick per-round code
+distances ("balanced investment", O'Gorman & Campbell) and by the resource
+accounting behind Table I and Fig. 10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+def surface_code_logical_error(distance: int, physical_error: float) -> float:
+    """Logical error rate of a distance-``d`` surface-code qubit.
+
+    Uses the scaling ``P_L ~ d * (100 * p)^((d+1)/2)`` quoted in Section II-B
+    (Fowler et al.), valid for physical error rates below the ~1% threshold.
+    """
+    if distance < 1:
+        raise ValueError(f"code distance must be >= 1, got {distance}")
+    if not 0.0 <= physical_error < 1.0:
+        raise ValueError(f"physical error must be in [0, 1), got {physical_error}")
+    return distance * (100.0 * physical_error) ** ((distance + 1) / 2.0)
+
+
+def required_code_distance(
+    physical_error: float, target_logical_error: float, max_distance: int = 101
+) -> int:
+    """Smallest odd code distance achieving ``target_logical_error``.
+
+    Raises :class:`ValueError` if no distance up to ``max_distance`` suffices
+    (i.e. the physical error rate is above threshold for the target).
+    """
+    if target_logical_error <= 0:
+        raise ValueError("target logical error must be positive")
+    for distance in range(3, max_distance + 1, 2):
+        if surface_code_logical_error(distance, physical_error) <= target_logical_error:
+            return distance
+    raise ValueError(
+        f"no code distance <= {max_distance} reaches logical error "
+        f"{target_logical_error} at physical error {physical_error}"
+    )
+
+
+def bravyi_haah_output_error(k: int, input_error: float) -> float:
+    """Output error of one Bravyi-Haah ``(3k+8) -> k`` round: ``(1+3k) eps^2``."""
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if input_error < 0:
+        raise ValueError(f"input error must be non-negative, got {input_error}")
+    return (1 + 3 * k) * input_error**2
+
+
+def bravyi_haah_success_probability(k: int, input_error: float) -> float:
+    """First-order success probability of one round: ``1 - (8+3k) eps``.
+
+    Clamped to ``[0, 1]`` so that unrealistically high input error rates do
+    not produce negative probabilities.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    return min(1.0, max(0.0, 1.0 - (8 + 3 * k) * input_error))
+
+
+def multi_level_output_errors(k: int, levels: int, injection_error: float) -> List[float]:
+    """Per-round output error rates of an ``l``-level block-code factory.
+
+    Element ``r-1`` of the returned list is the error rate of the states
+    *produced by* round ``r`` (so the last element is the factory's final
+    output fidelity).
+    """
+    if levels < 1:
+        raise ValueError(f"levels must be >= 1, got {levels}")
+    errors: List[float] = []
+    current = injection_error
+    for _ in range(levels):
+        current = bravyi_haah_output_error(k, current)
+        errors.append(current)
+    return errors
+
+
+def required_levels(
+    k: int, injection_error: float, target_error: float, max_levels: int = 16
+) -> int:
+    """Number of block-code levels needed to reach ``target_error``."""
+    if target_error <= 0:
+        raise ValueError("target error must be positive")
+    if injection_error <= target_error:
+        return 0
+    current = injection_error
+    for level in range(1, max_levels + 1):
+        current = bravyi_haah_output_error(k, current)
+        if current <= target_error:
+            return level
+    raise ValueError(
+        f"cannot reach target error {target_error} from injection error "
+        f"{injection_error} within {max_levels} levels (k={k})"
+    )
+
+
+@dataclass(frozen=True)
+class ErrorBudget:
+    """A convenience bundle of the error-model inputs used across experiments.
+
+    Attributes
+    ----------
+    physical_error:
+        Physical gate/measurement error rate of the underlying hardware.
+    injection_error:
+        Error rate of raw (injected) magic states entering round 1.
+    target_error:
+        Error rate the factory's outputs must reach for the application.
+    """
+
+    physical_error: float = 1e-3
+    injection_error: float = 1e-2
+    target_error: float = 1e-10
+
+    def output_errors(self, k: int, levels: int) -> List[float]:
+        """Per-round output error rates for a ``k``, ``levels`` factory."""
+        return multi_level_output_errors(k, levels, self.injection_error)
+
+    def levels_needed(self, k: int) -> int:
+        """Rounds needed for this budget with per-module capacity ``k``."""
+        return required_levels(k, self.injection_error, self.target_error)

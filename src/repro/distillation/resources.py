@@ -1,0 +1,146 @@
+"""Resource accounting: code distances, physical qubits, space-time volume.
+
+Section II-G of the paper describes the "balanced investment" technique of
+O'Gorman & Campbell: because the magic states improve every round, earlier
+rounds can be encoded at a smaller code distance than later rounds, which
+shrinks the physical footprint of the factory.  The number of physical qubits
+needed by round ``r`` of an ``l``-level factory scales as
+
+    q_r = n_r * (5k + 13) * d_r^2
+
+where ``n_r`` is the number of modules in the round and ``d_r`` the round's
+code distance.  (The paper writes the module count in grouped form
+``m_r^(r-1) g_r^(l-r)``; the product is the same.)
+
+The evaluation metrics of Fig. 10 and Table I are expressed at the *logical*
+level — area in logical-qubit tiles, latency in cycles, and their product as
+"quantum volume" — so this module provides both logical and physical
+accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .block_code import Factory, FactorySpec
+from .error_model import (
+    ErrorBudget,
+    multi_level_output_errors,
+    required_code_distance,
+)
+
+
+@dataclass(frozen=True)
+class RoundResources:
+    """Resource summary of a single distillation round."""
+
+    round_index: int
+    modules: int
+    logical_qubits: int
+    code_distance: int
+    physical_qubits: int
+    output_error: float
+
+
+@dataclass(frozen=True)
+class FactoryResources:
+    """Aggregate resource summary of a full factory."""
+
+    spec: FactorySpec
+    rounds: List[RoundResources]
+
+    @property
+    def max_physical_qubits(self) -> int:
+        """Peak physical-qubit footprint over the factory's lifetime."""
+        return max(r.physical_qubits for r in self.rounds)
+
+    @property
+    def max_logical_qubits(self) -> int:
+        """Peak logical-qubit footprint over the factory's lifetime."""
+        return max(r.logical_qubits for r in self.rounds)
+
+    @property
+    def final_output_error(self) -> float:
+        """Error rate of the states produced by the last round."""
+        return self.rounds[-1].output_error
+
+
+def balanced_code_distances(
+    spec: FactorySpec, budget: Optional[ErrorBudget] = None
+) -> List[int]:
+    """Per-round code distances under balanced investment.
+
+    The code distance of round ``r`` is chosen so that the logical error
+    contributed by the round's surface-code operations stays below the error
+    rate of the magic states the round produces — investing less in early
+    rounds whose states are still noisy, more in later rounds (Fig. 2 draws
+    the round-2 tiles larger for exactly this reason).
+    """
+    budget = budget or ErrorBudget()
+    output_errors = multi_level_output_errors(
+        spec.k, spec.levels, budget.injection_error
+    )
+    distances: List[int] = []
+    for round_error in output_errors:
+        # The code must not limit the fidelity achieved by distillation; a
+        # conservative margin of 10x below the round's output error is used.
+        target = round_error / 10.0
+        distances.append(required_code_distance(budget.physical_error, target))
+    return distances
+
+
+def round_module_counts(spec: FactorySpec) -> List[int]:
+    """Number of Bravyi-Haah modules in each round, first round first."""
+    return [spec.modules_in_round(r) for r in range(1, spec.levels + 1)]
+
+
+def factory_resources(
+    spec: FactorySpec, budget: Optional[ErrorBudget] = None
+) -> FactoryResources:
+    """Compute per-round logical/physical resource requirements for ``spec``."""
+    budget = budget or ErrorBudget()
+    distances = balanced_code_distances(spec, budget)
+    output_errors = multi_level_output_errors(
+        spec.k, spec.levels, budget.injection_error
+    )
+    logical_per_module = 5 * spec.k + 13
+    rounds: List[RoundResources] = []
+    for round_index in range(1, spec.levels + 1):
+        modules = spec.modules_in_round(round_index)
+        logical = modules * logical_per_module
+        distance = distances[round_index - 1]
+        physical = logical * distance * distance
+        rounds.append(
+            RoundResources(
+                round_index=round_index,
+                modules=modules,
+                logical_qubits=logical,
+                code_distance=distance,
+                physical_qubits=physical,
+                output_error=output_errors[round_index - 1],
+            )
+        )
+    return FactoryResources(spec=spec, rounds=rounds)
+
+
+def logical_area(factory: Factory) -> int:
+    """Logical-qubit area of a factory circuit (peak concurrently-live qubits).
+
+    For the no-reuse policy this is the full allocated qubit count; with
+    reuse the footprint equals the larger of the per-round active sets
+    because measured qubits are recycled.
+    """
+    peak = 0
+    for round_index in range(1, factory.spec.levels + 1):
+        peak = max(peak, len(factory.round_qubits(round_index)))
+    if factory.reuse_policy.value == "no_reuse":
+        return factory.num_qubits
+    return peak
+
+
+def space_time_volume(area_qubits: int, latency_cycles: int) -> int:
+    """Space-time ("quantum") volume: logical area times latency in cycles."""
+    if area_qubits < 0 or latency_cycles < 0:
+        raise ValueError("area and latency must be non-negative")
+    return area_qubits * latency_cycles

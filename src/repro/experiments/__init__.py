@@ -1,0 +1,45 @@
+"""One module per reproduced paper artifact (figures and tables).
+
+Every experiment module exposes a ``run(...)`` function returning a
+structured result object and a ``format_result(result)`` helper producing a
+printable table.  The :data:`EXPERIMENTS` registry maps experiment names (as
+accepted by the command-line interface) to runner callables.
+"""
+
+from . import (
+    fig6_correlation,
+    fig7_scaling,
+    fig9_permutation,
+    fig9_reuse,
+    fig10_resources,
+    table1_volumes,
+)
+
+#: Registry of runnable experiments: name -> (runner, formatter).
+EXPERIMENTS = {
+    "fig6": (fig6_correlation.run, fig6_correlation.format_result),
+    "fig7a": (fig7_scaling.run_single_level, fig7_scaling.format_result),
+    "fig7b": (fig7_scaling.run_two_level, fig7_scaling.format_result),
+    "fig9ab": (fig9_reuse.run, fig9_reuse.format_result),
+    "fig9cd": (fig9_permutation.run, fig9_permutation.format_result),
+    "fig10-single": (fig10_resources.run_single_level, fig10_resources.format_result),
+    "fig10-two": (fig10_resources.run_two_level, fig10_resources.format_result),
+    "table1-level1": (
+        lambda **kwargs: table1_volumes.run(levels=1, **kwargs),
+        table1_volumes.format_result,
+    ),
+    "table1-level2": (
+        lambda **kwargs: table1_volumes.run(levels=2, **kwargs),
+        table1_volumes.format_result,
+    ),
+}
+
+__all__ = [
+    "EXPERIMENTS",
+    "fig6_correlation",
+    "fig7_scaling",
+    "fig9_permutation",
+    "fig9_reuse",
+    "fig10_resources",
+    "table1_volumes",
+]

@@ -1,0 +1,90 @@
+"""Experiment EXP-F6: metric-versus-latency correlation (Fig. 6).
+
+The paper simulates a population of randomized mappings of a distillation
+circuit and reports the Pearson correlation between three mapping metrics and
+the realised circuit latency:
+
+======================  ===========
+metric                  paper r
+======================  ===========
+edge crossings           0.831
+average edge length      0.601
+average edge spacing    -0.625
+======================  ===========
+
+This experiment reproduces that study on a single-level Bravyi-Haah factory.
+Absolute r-values depend on the simulator's congestion model; the qualitative
+claim being checked is that crossings and length correlate *positively* with
+latency, spacing *negatively*, and that crossings are the strongest of the
+three.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..analysis.correlation import CorrelationStudy, correlation_study
+from ..distillation.block_code import build_single_level_factory
+from ..routing.simulator import SimulatorConfig
+
+#: r-values reported in Fig. 6 of the paper.
+PAPER_R_VALUES = {
+    "edge_crossings_r": 0.831,
+    "edge_length_r": 0.601,
+    "edge_spacing_r": -0.625,
+}
+
+
+@dataclass(frozen=True)
+class Fig6Result:
+    """Measured correlation study next to the paper's reference r-values."""
+
+    study: CorrelationStudy
+    paper: Dict[str, float]
+
+    def measured(self) -> Dict[str, float]:
+        """The measured r-values keyed like :data:`PAPER_R_VALUES`."""
+        return self.study.as_dict()
+
+
+def run(
+    capacity: int = 8,
+    num_mappings: int = 30,
+    seed: int = 0,
+    config: Optional[SimulatorConfig] = None,
+) -> Fig6Result:
+    """Run the Fig. 6 correlation experiment.
+
+    Parameters
+    ----------
+    capacity:
+        Output capacity of the single-level factory whose mappings are
+        randomized (the paper uses a single-level distillation circuit).
+    num_mappings:
+        Number of random mappings in the population.
+    seed:
+        Base random seed.
+    """
+    factory = build_single_level_factory(capacity)
+    study = correlation_study(
+        factory.circuit, num_mappings=num_mappings, seed=seed, config=config
+    )
+    return Fig6Result(study=study, paper=dict(PAPER_R_VALUES))
+
+
+def format_result(result: Fig6Result) -> str:
+    """Human-readable table of measured vs paper r-values."""
+    measured = result.measured()
+    lines = ["Fig. 6 — metric vs latency correlation (Pearson r)"]
+    lines.append(f"{'metric':26s}{'paper':>10s}{'measured':>12s}")
+    labels = {
+        "edge_crossings_r": "edge crossings",
+        "edge_length_r": "avg edge length",
+        "edge_spacing_r": "avg edge spacing",
+    }
+    for key, label in labels.items():
+        lines.append(
+            f"{label:26s}{result.paper[key]:>10.3f}{measured[key]:>12.3f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,189 @@
+"""Community detection and clustering utilities for interaction graphs.
+
+Section VI-B.1 of the paper uses community structure in two ways:
+
+* the force-directed annealer alternates between local force moves and
+  higher-level *community* moves — repulsing distinct communities away from
+  each other or pulling a fragmented community back together — to escape
+  local minima;
+* the KMeans clustering algorithm is used to locate the spatial centroids of
+  the clusters a community has broken into, so that an attraction force of
+  the right magnitude can rejoin them.
+
+This module provides community detection (greedy modularity with a
+label-propagation fallback) plus a small dependency-free KMeans implementation
+operating on 2-D placement coordinates.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import networkx as nx
+
+Position = Tuple[float, float]
+
+
+def detect_communities(
+    graph: nx.Graph, max_communities: Optional[int] = None, seed: int = 0
+) -> List[List[int]]:
+    """Partition the graph's vertices into communities.
+
+    Uses greedy modularity maximisation (Clauset-Newman-Moore, one of the
+    classic approaches cited in the paper's Section VI-B.1 reference list).
+    Isolated vertices are grouped into their own trailing community.  If
+    ``max_communities`` is given, the smallest communities are merged until
+    the bound is met.
+    """
+    if graph.number_of_nodes() == 0:
+        return []
+    connected_nodes = [node for node, degree in graph.degree() if degree > 0]
+    isolated = [node for node, degree in graph.degree() if degree == 0]
+
+    communities: List[List[int]] = []
+    if connected_nodes:
+        core = graph.subgraph(connected_nodes)
+        try:
+            detected = nx.community.greedy_modularity_communities(core, weight="weight")
+            communities = [sorted(c) for c in detected]
+        except (nx.NetworkXError, ZeroDivisionError):
+            detected = nx.community.label_propagation_communities(core)
+            communities = [sorted(c) for c in detected]
+    if isolated:
+        communities.append(sorted(isolated))
+
+    if max_communities is not None and len(communities) > max_communities:
+        communities.sort(key=len, reverse=True)
+        kept = communities[: max_communities - 1]
+        merged = sorted(q for community in communities[max_communities - 1 :] for q in community)
+        kept.append(merged)
+        communities = kept
+    return communities
+
+
+def community_of(communities: Sequence[Sequence[int]]) -> Dict[int, int]:
+    """Invert a community list into a ``{vertex: community index}`` map."""
+    assignment: Dict[int, int] = {}
+    for index, community in enumerate(communities):
+        for vertex in community:
+            assignment[vertex] = index
+    return assignment
+
+
+def community_centroid(
+    community: Sequence[int], positions: Mapping[int, Position]
+) -> Position:
+    """Spatial centroid of the placed vertices of one community."""
+    placed = [positions[v] for v in community if v in positions]
+    if not placed:
+        return (0.0, 0.0)
+    return (
+        sum(p[0] for p in placed) / len(placed),
+        sum(p[1] for p in placed) / len(placed),
+    )
+
+
+def kmeans(
+    points: Sequence[Position],
+    num_clusters: int,
+    max_iterations: int = 50,
+    seed: int = 0,
+) -> Tuple[List[Position], List[int]]:
+    """Small 2-D KMeans used to find cluster centroids within a community.
+
+    Returns ``(centroids, assignment)`` where ``assignment[i]`` is the
+    cluster index of ``points[i]``.  Initialisation follows the kmeans++
+    heuristic (choose each next seed with probability proportional to the
+    squared distance from the nearest existing seed).
+    """
+    if num_clusters < 1:
+        raise ValueError(f"num_clusters must be >= 1, got {num_clusters}")
+    if not points:
+        return [], []
+    num_clusters = min(num_clusters, len(points))
+    rng = random.Random(seed)
+
+    # kmeans++ seeding.
+    centroids: List[Position] = [points[rng.randrange(len(points))]]
+    while len(centroids) < num_clusters:
+        distances = [
+            min((p[0] - c[0]) ** 2 + (p[1] - c[1]) ** 2 for c in centroids)
+            for p in points
+        ]
+        total = sum(distances)
+        if total <= 0:
+            centroids.append(points[rng.randrange(len(points))])
+            continue
+        threshold = rng.random() * total
+        cumulative = 0.0
+        for point, distance in zip(points, distances):
+            cumulative += distance
+            if cumulative >= threshold:
+                centroids.append(point)
+                break
+
+    assignment = [0] * len(points)
+    for _ in range(max_iterations):
+        changed = False
+        for index, point in enumerate(points):
+            best = min(
+                range(len(centroids)),
+                key=lambda c: (point[0] - centroids[c][0]) ** 2
+                + (point[1] - centroids[c][1]) ** 2,
+            )
+            if best != assignment[index]:
+                assignment[index] = best
+                changed = True
+        new_centroids: List[Position] = []
+        for cluster in range(len(centroids)):
+            members = [points[i] for i in range(len(points)) if assignment[i] == cluster]
+            if members:
+                new_centroids.append(
+                    (
+                        sum(p[0] for p in members) / len(members),
+                        sum(p[1] for p in members) / len(members),
+                    )
+                )
+            else:
+                new_centroids.append(centroids[cluster])
+        centroids = new_centroids
+        if not changed:
+            break
+    return centroids, assignment
+
+
+def community_fragmentation(
+    community: Sequence[int],
+    positions: Mapping[int, Position],
+    cluster_gap: float = 3.0,
+    seed: int = 0,
+) -> Tuple[List[Position], List[List[int]]]:
+    """Detect whether a community has fragmented into spatial clusters.
+
+    Runs KMeans with ``k = 2`` and reports the clusters only if their
+    centroids are more than ``cluster_gap`` apart — otherwise the community is
+    considered contiguous and a single cluster is returned.  The force-directed
+    annealer uses the centroids to aim its community-joining attraction force.
+    """
+    placed = [v for v in community if v in positions]
+    if len(placed) < 2:
+        return (
+            [community_centroid(community, positions)],
+            [list(community)],
+        )
+    points = [positions[v] for v in placed]
+    centroids, assignment = kmeans(points, num_clusters=2, seed=seed)
+    if len(centroids) < 2:
+        return [centroids[0]], [list(placed)]
+    gap = math.hypot(
+        centroids[0][0] - centroids[1][0], centroids[0][1] - centroids[1][1]
+    )
+    if gap <= cluster_gap:
+        return [community_centroid(placed, positions)], [list(placed)]
+    clusters: List[List[int]] = [[], []]
+    for vertex, cluster in zip(placed, assignment):
+        clusters[cluster].append(vertex)
+    clusters = [c for c in clusters if c]
+    return centroids[: len(clusters)], clusters

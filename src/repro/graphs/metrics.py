@@ -1,0 +1,214 @@
+"""Mapping-quality metrics: edge length, edge spacing and edge crossings.
+
+Section VI-A of the paper studies three heuristics for predicting braid
+congestion from a qubit mapping, and Fig. 6 reports their correlation with
+simulated circuit latency:
+
+* **edge (Manhattan) length** — longer braids occupy more channel area and
+  are more likely to conflict (r = 0.601),
+* **edge spacing** — the average distance between braid midpoints; larger
+  spacing means braids are spread out and conflict less (r = -0.625),
+* **edge crossings** — two braids whose endpoint-to-endpoint segments cross
+  must serialise (r = 0.831, the strongest predictor).
+
+All metrics take an interaction graph together with a *position map*
+``{qubit: (row, col)}``; they are agnostic to how the mapping was produced so
+every mapper and the correlation experiment can share them.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+import networkx as nx
+
+Position = Tuple[float, float]
+PositionMap = Mapping[int, Position]
+
+
+def _edge_endpoints(
+    graph: nx.Graph, positions: PositionMap
+) -> List[Tuple[Position, Position]]:
+    """Collect the placed endpoint coordinates of every edge in the graph."""
+    endpoints: List[Tuple[Position, Position]] = []
+    for a, b in graph.edges():
+        if a not in positions or b not in positions:
+            raise KeyError(f"edge ({a}, {b}) has an unplaced endpoint")
+        endpoints.append((positions[a], positions[b]))
+    return endpoints
+
+
+def manhattan_distance(p: Position, q: Position) -> float:
+    """Manhattan (L1) distance between two grid positions."""
+    return abs(p[0] - q[0]) + abs(p[1] - q[1])
+
+
+def euclidean_distance(p: Position, q: Position) -> float:
+    """Euclidean (L2) distance between two grid positions."""
+    return math.hypot(p[0] - q[0], p[1] - q[1])
+
+
+def total_edge_length(
+    graph: nx.Graph, positions: PositionMap, weighted: bool = True
+) -> float:
+    """Sum of Manhattan edge lengths (optionally weighted by interaction count)."""
+    total = 0.0
+    for a, b, data in graph.edges(data=True):
+        weight = data.get("weight", 1) if weighted else 1
+        total += weight * manhattan_distance(positions[a], positions[b])
+    return total
+
+
+def average_edge_length(graph: nx.Graph, positions: PositionMap) -> float:
+    """Average Manhattan edge length of the mapping (Fig. 6, middle metric)."""
+    if graph.number_of_edges() == 0:
+        return 0.0
+    return total_edge_length(graph, positions, weighted=False) / graph.number_of_edges()
+
+
+def edge_midpoint(p: Position, q: Position) -> Position:
+    """Midpoint of a placed edge, used by the spacing metric and repulsion force."""
+    return ((p[0] + q[0]) / 2.0, (p[1] + q[1]) / 2.0)
+
+
+def average_edge_spacing(graph: nx.Graph, positions: PositionMap) -> float:
+    """Average pairwise distance between edge midpoints (Fig. 6, right metric).
+
+    Larger values mean braids are more spread out over the mesh and are less
+    likely to contend for the same channels.
+    """
+    midpoints = [
+        edge_midpoint(positions[a], positions[b]) for a, b in graph.edges()
+    ]
+    if len(midpoints) < 2:
+        return 0.0
+    total = 0.0
+    count = 0
+    for p, q in itertools.combinations(midpoints, 2):
+        total += euclidean_distance(p, q)
+        count += 1
+    return total / count
+
+
+def _orientation(p: Position, q: Position, r: Position) -> int:
+    """Orientation of the ordered triple (p, q, r): 0 collinear, 1 cw, 2 ccw."""
+    value = (q[1] - p[1]) * (r[0] - q[0]) - (q[0] - p[0]) * (r[1] - q[1])
+    if abs(value) < 1e-12:
+        return 0
+    return 1 if value > 0 else 2
+
+
+def _on_segment(p: Position, q: Position, r: Position) -> bool:
+    """Whether collinear point ``q`` lies on segment ``pr``."""
+    return (
+        min(p[0], r[0]) - 1e-12 <= q[0] <= max(p[0], r[0]) + 1e-12
+        and min(p[1], r[1]) - 1e-12 <= q[1] <= max(p[1], r[1]) + 1e-12
+    )
+
+
+def segments_intersect(
+    a1: Position, a2: Position, b1: Position, b2: Position
+) -> bool:
+    """Whether segments ``a1-a2`` and ``b1-b2`` intersect (shared endpoints excluded).
+
+    Edges that merely meet at a shared qubit are not counted as crossings —
+    they serialise through the dependency DAG rather than through routing
+    conflicts.
+    """
+    endpoints_a = {a1, a2}
+    endpoints_b = {b1, b2}
+    if endpoints_a & endpoints_b:
+        return False
+
+    o1 = _orientation(a1, a2, b1)
+    o2 = _orientation(a1, a2, b2)
+    o3 = _orientation(b1, b2, a1)
+    o4 = _orientation(b1, b2, a2)
+
+    if o1 != o2 and o3 != o4:
+        return True
+    if o1 == 0 and _on_segment(a1, b1, a2):
+        return True
+    if o2 == 0 and _on_segment(a1, b2, a2):
+        return True
+    if o3 == 0 and _on_segment(b1, a1, b2):
+        return True
+    if o4 == 0 and _on_segment(b1, a2, b2):
+        return True
+    return False
+
+
+def count_edge_crossings(graph: nx.Graph, positions: PositionMap) -> int:
+    """Count pairs of placed edges whose straight segments cross (Fig. 6, left).
+
+    This is the geometric crossing count over the geodesic (straight-line)
+    paths between endpoints, matching the paper's definition in VI-A.3.  The
+    routine is O(m^2) in the number of edges, which is acceptable for
+    factory-scale interaction graphs (a few thousand edges).
+    """
+    endpoints = _edge_endpoints(graph, positions)
+    crossings = 0
+    for (a1, a2), (b1, b2) in itertools.combinations(endpoints, 2):
+        if segments_intersect(a1, a2, b1, b2):
+            crossings += 1
+    return crossings
+
+
+def mapping_metrics(graph: nx.Graph, positions: PositionMap) -> Dict[str, float]:
+    """All three Fig. 6 metrics for a mapping, as a dictionary.
+
+    Keys: ``edge_crossings``, ``average_edge_length``, ``average_edge_spacing``.
+    """
+    return {
+        "edge_crossings": float(count_edge_crossings(graph, positions)),
+        "average_edge_length": average_edge_length(graph, positions),
+        "average_edge_spacing": average_edge_spacing(graph, positions),
+    }
+
+
+def mapping_cost(
+    graph: nx.Graph,
+    positions: PositionMap,
+    length_weight: float = 1.0,
+    spacing_weight: float = 1.0,
+    crossing_weight: float = 4.0,
+) -> float:
+    """Scalar cost combining the three metrics (lower is better).
+
+    The force-directed annealer of Section VI-B.1 accepts or rejects vertex
+    moves based on "a cost metric ... a function of the combination of
+    average edge length, average edge spacing, and number of edge crossings".
+    Crossings get the largest default weight because they correlate most
+    strongly with latency (r = 0.831).
+    """
+    metrics = mapping_metrics(graph, positions)
+    spacing = metrics["average_edge_spacing"]
+    spacing_term = 1.0 / (1.0 + spacing)
+    return (
+        crossing_weight * metrics["edge_crossings"]
+        + length_weight * metrics["average_edge_length"]
+        + spacing_weight * spacing_term
+    )
+
+
+def pearson_correlation(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Pearson correlation coefficient between two equal-length samples.
+
+    Used to reproduce the r-values of Fig. 6.  Returns 0.0 when either sample
+    has zero variance (a degenerate but non-erroneous case).
+    """
+    if len(xs) != len(ys):
+        raise ValueError("samples must have equal length")
+    n = len(xs)
+    if n < 2:
+        return 0.0
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    var_x = sum((x - mean_x) ** 2 for x in xs)
+    var_y = sum((y - mean_y) ** 2 for y in ys)
+    if var_x <= 0 or var_y <= 0:
+        return 0.0
+    return cov / math.sqrt(var_x * var_y)

@@ -1,0 +1,275 @@
+"""Multilevel recursive graph bisection (METIS-style, pure Python).
+
+Section VI-B.2 of the paper uses a recursive bisectioning technique in the
+style of METIS / Scotch: vertices are *coarsened* by heavy-edge matching, a
+minimum-weight cut is found on the contracted graph, the cut is projected
+back (*uncoarsened*) and refined to repair discrepancies introduced by the
+coarsening, and the whole procedure recurses on both halves.  Each graph
+bisection is matched by a bisection of the physical grid, which yields the
+graph-partitioning (GP) mapping evaluated throughout the paper.
+
+This module implements the graph side of that procedure: coarsening,
+balanced bisection with Kernighan-Lin-style boundary refinement, and the
+recursive driver that returns a hierarchy of vertex blocks.  The grid side
+(matching grid bisections and final cell assignment) lives in
+:mod:`repro.mapping.graph_partition`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+
+@dataclass
+class Bisection:
+    """Result of bisecting a vertex set into two balanced halves."""
+
+    left: List[int]
+    right: List[int]
+    cut_weight: float
+
+
+def heavy_edge_matching(graph: nx.Graph, seed: int = 0) -> List[Tuple[int, ...]]:
+    """Contract vertices pairwise along heavy edges.
+
+    Visits vertices in random order and matches each unmatched vertex with
+    its unmatched neighbour of maximum edge weight; unmatched leftovers form
+    singleton groups.  Returns the list of vertex groups (size 1 or 2) that
+    become the super-vertices of the coarser graph.
+    """
+    rng = random.Random(seed)
+    vertices = list(graph.nodes())
+    rng.shuffle(vertices)
+    matched: Set[int] = set()
+    groups: List[Tuple[int, ...]] = []
+    for vertex in vertices:
+        if vertex in matched:
+            continue
+        best_neighbor = None
+        best_weight = -1.0
+        for neighbor in graph.neighbors(vertex):
+            if neighbor in matched or neighbor == vertex:
+                continue
+            weight = graph[vertex][neighbor].get("weight", 1)
+            if weight > best_weight:
+                best_weight = weight
+                best_neighbor = neighbor
+        if best_neighbor is None:
+            matched.add(vertex)
+            groups.append((vertex,))
+        else:
+            matched.add(vertex)
+            matched.add(best_neighbor)
+            groups.append((vertex, best_neighbor))
+    return groups
+
+
+def contract(graph: nx.Graph, groups: Sequence[Tuple[int, ...]]) -> Tuple[nx.Graph, Dict[int, int]]:
+    """Build the coarse graph induced by ``groups``.
+
+    Returns the coarse graph (nodes are group indices, carrying a ``size``
+    attribute equal to the number of original vertices they represent) and
+    the fine-vertex to coarse-node map.
+    """
+    coarse = nx.Graph()
+    membership: Dict[int, int] = {}
+    for index, group in enumerate(groups):
+        size = sum(graph.nodes[v].get("size", 1) for v in group)
+        coarse.add_node(index, size=size)
+        for vertex in group:
+            membership[vertex] = index
+    for a, b, data in graph.edges(data=True):
+        ca, cb = membership[a], membership[b]
+        if ca == cb:
+            continue
+        weight = data.get("weight", 1)
+        if coarse.has_edge(ca, cb):
+            coarse[ca][cb]["weight"] += weight
+        else:
+            coarse.add_edge(ca, cb, weight=weight)
+    return coarse, membership
+
+
+def cut_weight(graph: nx.Graph, left: Set[int]) -> float:
+    """Total weight of edges crossing the partition boundary."""
+    weight = 0.0
+    for a, b, data in graph.edges(data=True):
+        if (a in left) != (b in left):
+            weight += data.get("weight", 1)
+    return weight
+
+
+def _vertex_size(graph: nx.Graph, vertex: int) -> int:
+    return graph.nodes[vertex].get("size", 1)
+
+
+def _initial_bisection(
+    graph: nx.Graph, target_left: int, seed: int = 0
+) -> Set[int]:
+    """Greedy BFS-based initial bisection growing a region of ``target_left`` size."""
+    rng = random.Random(seed)
+    vertices = list(graph.nodes())
+    if not vertices:
+        return set()
+    start = max(vertices, key=lambda v: graph.degree(v, weight="weight"))
+    left: Set[int] = set()
+    left_size = 0
+    frontier = [start]
+    visited = {start}
+    while frontier and left_size < target_left:
+        vertex = frontier.pop(0)
+        if left_size + _vertex_size(graph, vertex) > target_left and left:
+            continue
+        left.add(vertex)
+        left_size += _vertex_size(graph, vertex)
+        neighbors = sorted(
+            (n for n in graph.neighbors(vertex) if n not in visited),
+            key=lambda n: -graph[vertex][n].get("weight", 1),
+        )
+        for neighbor in neighbors:
+            visited.add(neighbor)
+            frontier.append(neighbor)
+        if not frontier:
+            remaining = [v for v in vertices if v not in visited]
+            if remaining:
+                pick = rng.choice(remaining)
+                visited.add(pick)
+                frontier.append(pick)
+    return left
+
+
+def _refine_bisection(
+    graph: nx.Graph,
+    left: Set[int],
+    target_left: int,
+    max_passes: int = 4,
+    balance_tolerance: int = 1,
+) -> Set[int]:
+    """Kernighan-Lin style boundary refinement of a bisection.
+
+    Repeatedly moves the boundary vertex with the best gain (reduction in cut
+    weight) to the other side, subject to keeping the left-side vertex count
+    within ``balance_tolerance`` of ``target_left``.
+    """
+    left = set(left)
+    all_vertices = set(graph.nodes())
+
+    def gain(vertex: int) -> float:
+        internal = 0.0
+        external = 0.0
+        in_left = vertex in left
+        for neighbor in graph.neighbors(vertex):
+            weight = graph[vertex][neighbor].get("weight", 1)
+            if (neighbor in left) == in_left:
+                internal += weight
+            else:
+                external += weight
+        return external - internal
+
+    for _ in range(max_passes):
+        moved_any = False
+        boundary = [
+            v
+            for v in all_vertices
+            if any(((n in left) != (v in left)) for n in graph.neighbors(v))
+        ]
+        boundary.sort(key=gain, reverse=True)
+        for vertex in boundary:
+            vertex_gain = gain(vertex)
+            if vertex_gain <= 0:
+                break
+            left_size = sum(_vertex_size(graph, v) for v in left)
+            size = _vertex_size(graph, vertex)
+            if vertex in left:
+                new_left_size = left_size - size
+            else:
+                new_left_size = left_size + size
+            if abs(new_left_size - target_left) > balance_tolerance + max(
+                0, abs(left_size - target_left)
+            ):
+                continue
+            if vertex in left:
+                left.remove(vertex)
+            else:
+                left.add(vertex)
+            moved_any = True
+        if not moved_any:
+            break
+    return left
+
+
+def bisect(
+    graph: nx.Graph,
+    target_left: Optional[int] = None,
+    seed: int = 0,
+    coarsen_threshold: int = 32,
+) -> Bisection:
+    """Bisect the graph into two balanced halves with small cut weight.
+
+    If the graph is larger than ``coarsen_threshold`` vertices, it is first
+    coarsened via heavy-edge matching, bisected recursively, and the result
+    projected back and refined — the classic multilevel scheme.
+    """
+    vertices = list(graph.nodes())
+    total_size = sum(_vertex_size(graph, v) for v in vertices)
+    if target_left is None:
+        target_left = total_size // 2
+    if len(vertices) <= 1:
+        return Bisection(left=list(vertices), right=[], cut_weight=0.0)
+
+    if len(vertices) > coarsen_threshold:
+        groups = heavy_edge_matching(graph, seed=seed)
+        if len(groups) < len(vertices):
+            coarse, membership = contract(graph, groups)
+            coarse_result = bisect(
+                coarse,
+                target_left=target_left,
+                seed=seed + 1,
+                coarsen_threshold=coarsen_threshold,
+            )
+            coarse_left = set(coarse_result.left)
+            projected_left = {
+                v for v in vertices if membership[v] in coarse_left
+            }
+            refined = _refine_bisection(graph, projected_left, target_left)
+            left = sorted(refined)
+            right = sorted(set(vertices) - refined)
+            return Bisection(left=left, right=right, cut_weight=cut_weight(graph, refined))
+
+    initial = _initial_bisection(graph, target_left, seed=seed)
+    refined = _refine_bisection(graph, initial, target_left)
+    left = sorted(refined)
+    right = sorted(set(vertices) - refined)
+    return Bisection(left=left, right=right, cut_weight=cut_weight(graph, refined))
+
+
+def recursive_bisection(
+    graph: nx.Graph,
+    num_parts: int,
+    seed: int = 0,
+) -> List[List[int]]:
+    """Partition the graph into ``num_parts`` balanced blocks recursively.
+
+    The recursion splits the requested part count as evenly as possible at
+    every level (left gets ``ceil(parts/2)`` parts), so non-power-of-two part
+    counts are supported.  Returns the blocks in recursion order.
+    """
+    if num_parts < 1:
+        raise ValueError(f"num_parts must be >= 1, got {num_parts}")
+    vertices = list(graph.nodes())
+    if num_parts == 1 or len(vertices) <= 1:
+        return [sorted(vertices)]
+    left_parts = (num_parts + 1) // 2
+    right_parts = num_parts - left_parts
+    total = len(vertices)
+    target_left = round(total * left_parts / num_parts)
+    result = bisect(graph, target_left=target_left, seed=seed)
+    left_graph = graph.subgraph(result.left).copy()
+    right_graph = graph.subgraph(result.right).copy()
+    blocks = recursive_bisection(left_graph, left_parts, seed=seed * 2 + 1)
+    blocks += recursive_bisection(right_graph, right_parts, seed=seed * 2 + 2)
+    return blocks

@@ -1,0 +1,460 @@
+"""Force-directed annealing mapper (Section VI-B.1).
+
+The force-directed (FD) procedure iteratively transforms an initial mapping
+by simulating three kinds of forces, each targeting one of the congestion
+heuristics of Section VI-A:
+
+* **vertex-vertex attraction** — every vertex is pulled toward the centroid
+  of its interaction-graph neighbours, shrinking average edge length;
+* **edge-edge repulsion** — braids repel each other through forces between
+  edge midpoints (inverse-square in the midpoint distance), spreading edges
+  uniformly over the mesh;
+* **magnetic dipole rotation** — every vertex is assigned a north/south pole
+  by 2-colouring the interaction graph; opposite poles attract and identical
+  poles repel, which rotates edges toward (anti-)parallel orientations and
+  reduces edge crossings.
+
+Vertices are moved along the net force through an annealing acceptance rule
+(improving moves always accepted, worsening moves accepted with Boltzmann
+probability under a cooling temperature).  When progress stalls, higher-level
+*community* moves — repulsion between distinct communities, or attraction of
+a fragmented community's clusters (located by KMeans) back together — kick
+the mapping out of the local minimum, exactly as described in the paper.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from ..circuits.circuit import Circuit
+from ..graphs.community import community_centroid, community_fragmentation, detect_communities
+from ..graphs.interaction import interaction_graph
+from ..graphs.metrics import mapping_cost
+from .placement import Cell, Placement, grid_dimensions_for, row_major_placement
+
+Vector = Tuple[float, float]
+
+
+@dataclass
+class ForceDirectedConfig:
+    """Tuning knobs of the force-directed annealer.
+
+    The ``use_*`` switches exist for the ablation benchmarks (e.g. running
+    the annealer without the dipole rotation force to quantify how much the
+    edge-crossing heuristic contributes).
+    """
+
+    sweeps: int = 30
+    temperature: float = 1.0
+    cooling: float = 0.88
+    attraction_weight: float = 1.0
+    repulsion_weight: float = 1.0
+    dipole_weight: float = 1.0
+    neighborhood_radius: int = 4
+    #: Maximum cells a vertex may travel in one move (the net force sets the
+    #: actual distance, clamped to this bound).
+    max_step: int = 4
+    community_patience: int = 5
+    max_community_moves: int = 4
+    use_attraction: bool = True
+    use_edge_repulsion: bool = True
+    use_dipole: bool = True
+    use_communities: bool = True
+    cost_crossing_weight: float = 4.0
+    seed: int = 0
+
+
+def assign_dipole_poles(graph: nx.Graph, seed: int = 0) -> Dict[int, int]:
+    """Assign a +1 / -1 pole to every vertex by greedy 2-colouring.
+
+    The interaction graph of a full schedule is generally not bipartite, so
+    a BFS greedy colouring is used: each vertex takes the pole that conflicts
+    with the fewest already-coloured neighbours.  Within a single timestep the
+    graph is a disjoint union of paths (the paper's observation), for which
+    this reduces to an exact 2-colouring.
+    """
+    poles: Dict[int, int] = {}
+    rng = random.Random(seed)
+    nodes = list(graph.nodes())
+    rng.shuffle(nodes)
+    for start in nodes:
+        if start in poles:
+            continue
+        poles[start] = 1
+        queue = [start]
+        while queue:
+            vertex = queue.pop()
+            for neighbor in graph.neighbors(vertex):
+                if neighbor in poles:
+                    continue
+                opposite = sum(1 for n in graph.neighbors(neighbor) if poles.get(n) == -poles[vertex])
+                same = sum(1 for n in graph.neighbors(neighbor) if poles.get(n) == poles[vertex])
+                poles[neighbor] = -poles[vertex] if same >= opposite else poles[vertex]
+                queue.append(neighbor)
+    return poles
+
+
+def _bucket_key(position: Vector, bucket: float) -> Tuple[int, int]:
+    return (int(position[0] // bucket), int(position[1] // bucket))
+
+
+def _nearby_buckets(key: Tuple[int, int]) -> List[Tuple[int, int]]:
+    row, col = key
+    return [(row + dr, col + dc) for dr in (-1, 0, 1) for dc in (-1, 0, 1)]
+
+
+class _ForceField:
+    """Computes the per-vertex net force for the current placement."""
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        config: ForceDirectedConfig,
+        poles: Mapping[int, int],
+    ) -> None:
+        self.graph = graph
+        self.config = config
+        self.poles = poles
+
+    def forces(self, positions: Mapping[int, Cell]) -> Dict[int, Vector]:
+        """Net force on every vertex under the current positions."""
+        config = self.config
+        forces: Dict[int, List[float]] = {v: [0.0, 0.0] for v in self.graph.nodes()}
+
+        if config.use_attraction:
+            self._add_attraction(positions, forces)
+        if config.use_edge_repulsion:
+            self._add_edge_repulsion(positions, forces)
+        if config.use_dipole:
+            self._add_dipole(positions, forces)
+        return {v: (f[0], f[1]) for v, f in forces.items()}
+
+    # ------------------------------------------------------------------
+    def _add_attraction(
+        self, positions: Mapping[int, Cell], forces: Dict[int, List[float]]
+    ) -> None:
+        """Pull every vertex toward the centroid of its neighbourhood."""
+        weight = self.config.attraction_weight
+        for vertex in self.graph.nodes():
+            neighbors = list(self.graph.neighbors(vertex))
+            if not neighbors:
+                continue
+            centroid_row = sum(positions[n][0] for n in neighbors) / len(neighbors)
+            centroid_col = sum(positions[n][1] for n in neighbors) / len(neighbors)
+            row, col = positions[vertex]
+            forces[vertex][0] += weight * (centroid_row - row)
+            forces[vertex][1] += weight * (centroid_col - col)
+
+    def _add_edge_repulsion(
+        self, positions: Mapping[int, Cell], forces: Dict[int, List[float]]
+    ) -> None:
+        """Repel edges from each other through their midpoints.
+
+        Midpoints are bucketed on a coarse grid so only nearby edge pairs
+        interact, keeping the sweep cost close to linear in the edge count.
+        """
+        weight = self.config.repulsion_weight
+        bucket = float(max(2, self.config.neighborhood_radius))
+        edges = list(self.graph.edges())
+        midpoints: List[Vector] = []
+        buckets: Dict[Tuple[int, int], List[int]] = defaultdict(list)
+        for index, (a, b) in enumerate(edges):
+            pa, pb = positions[a], positions[b]
+            midpoint = ((pa[0] + pb[0]) / 2.0, (pa[1] + pb[1]) / 2.0)
+            midpoints.append(midpoint)
+            buckets[_bucket_key(midpoint, bucket)].append(index)
+
+        for index, (a, b) in enumerate(edges):
+            midpoint = midpoints[index]
+            push = [0.0, 0.0]
+            for key in _nearby_buckets(_bucket_key(midpoint, bucket)):
+                for other_index in buckets.get(key, ()):
+                    if other_index == index:
+                        continue
+                    other = midpoints[other_index]
+                    d_row = midpoint[0] - other[0]
+                    d_col = midpoint[1] - other[1]
+                    distance_sq = d_row * d_row + d_col * d_col
+                    if distance_sq < 1e-9:
+                        d_row, d_col, distance_sq = 0.5, 0.5, 0.5
+                    magnitude = weight / distance_sq
+                    push[0] += magnitude * d_row
+                    push[1] += magnitude * d_col
+            # The repulsion acts on the edge; split it between the endpoints.
+            forces[a][0] += push[0] / 2.0
+            forces[a][1] += push[1] / 2.0
+            forces[b][0] += push[0] / 2.0
+            forces[b][1] += push[1] / 2.0
+
+    def _add_dipole(
+        self, positions: Mapping[int, Cell], forces: Dict[int, List[float]]
+    ) -> None:
+        """Pole-based dipole forces: opposite poles attract, identical repel."""
+        weight = self.config.dipole_weight
+        radius = float(self.config.neighborhood_radius)
+        bucket = radius
+        buckets: Dict[Tuple[int, int], List[int]] = defaultdict(list)
+        for vertex in self.graph.nodes():
+            buckets[_bucket_key(positions[vertex], bucket)].append(vertex)
+
+        for vertex in self.graph.nodes():
+            pole = self.poles.get(vertex, 1)
+            row, col = positions[vertex]
+            for key in _nearby_buckets(_bucket_key(positions[vertex], bucket)):
+                for other in buckets.get(key, ()):
+                    if other == vertex:
+                        continue
+                    other_pole = self.poles.get(other, 1)
+                    o_row, o_col = positions[other]
+                    d_row = row - o_row
+                    d_col = col - o_col
+                    distance_sq = d_row * d_row + d_col * d_col
+                    if distance_sq < 1e-9 or distance_sq > radius * radius:
+                        continue
+                    magnitude = weight / distance_sq
+                    if pole == other_pole:
+                        forces[vertex][0] += magnitude * d_row
+                        forces[vertex][1] += magnitude * d_col
+                    else:
+                        forces[vertex][0] -= magnitude * d_row
+                        forces[vertex][1] -= magnitude * d_col
+
+
+def _local_cost(
+    graph: nx.Graph, positions: Mapping[int, Cell], vertices: Sequence[int]
+) -> float:
+    """Weighted Manhattan length of the edges incident to ``vertices``.
+
+    Used as the move-acceptance cost: it is cheap to evaluate and decreases
+    whenever a move shortens the braids touching the moved qubits.
+    """
+    cost = 0.0
+    seen: Set[Tuple[int, int]] = set()
+    for vertex in vertices:
+        if vertex not in graph:
+            continue
+        row, col = positions[vertex]
+        for neighbor in graph.neighbors(vertex):
+            key = (min(vertex, neighbor), max(vertex, neighbor))
+            if key in seen:
+                continue
+            seen.add(key)
+            weight = graph[vertex][neighbor].get("weight", 1)
+            n_row, n_col = positions[neighbor]
+            cost += weight * (abs(row - n_row) + abs(col - n_col))
+    return cost
+
+
+def _step_toward(force: Vector, max_step: int = 1) -> Tuple[int, int]:
+    """Grid step in the direction of the net force, clamped to ``max_step``.
+
+    The step length scales with the force magnitude so strongly displaced
+    vertices (e.g. a later-round module sitting far from the qubits it talks
+    to) can migrate across the array within a reasonable number of sweeps.
+    """
+    def component(value: float) -> int:
+        if abs(value) < 0.25:
+            return 0
+        magnitude = min(max_step, max(1, int(round(abs(value)))))
+        return magnitude if value > 0 else -magnitude
+
+    return component(force[0]), component(force[1])
+
+
+def force_directed_refine(
+    graph: nx.Graph,
+    initial: Placement,
+    config: Optional[ForceDirectedConfig] = None,
+) -> Placement:
+    """Refine an existing placement with force-directed annealing.
+
+    Returns the best placement (by the combined metric cost of
+    :func:`repro.graphs.metrics.mapping_cost`) seen over all sweeps; the input
+    placement is not modified.
+    """
+    config = config or ForceDirectedConfig()
+    rng = random.Random(config.seed)
+    placement = initial.copy()
+    poles = assign_dipole_poles(graph, seed=config.seed)
+    field_model = _ForceField(graph, config, poles)
+
+    vertices = [v for v in graph.nodes() if v in placement.positions]
+    communities = detect_communities(graph) if config.use_communities else []
+
+    # The exact combined cost (which counts edge crossings) is quadratic in
+    # the edge count; for factory-scale graphs fall back to the total
+    # weighted edge length as the sweep-level progress metric.
+    use_exact_cost = graph.number_of_edges() <= 600
+
+    def full_cost(current: Placement) -> float:
+        if use_exact_cost:
+            return mapping_cost(
+                graph,
+                current.as_float_positions(),
+                crossing_weight=config.cost_crossing_weight,
+            )
+        return _local_cost(graph, current.positions, list(graph.nodes()))
+
+    best = placement.copy()
+    best_cost = full_cost(best)
+    temperature = config.temperature
+    stall_counter = 0
+    community_moves_used = 0
+
+    for _sweep in range(config.sweeps):
+        forces = field_model.forces(placement.positions)
+        order = list(vertices)
+        rng.shuffle(order)
+        improved_any = False
+
+        for vertex in order:
+            force = forces.get(vertex, (0.0, 0.0))
+            d_row, d_col = _step_toward(force, config.max_step)
+            if d_row == 0 and d_col == 0:
+                continue
+            row, col = placement.positions[vertex]
+            target = (row + d_row, col + d_col)
+            if not placement.in_bounds(target):
+                continue
+            occupant = placement.occupied_cells().get(target)
+            affected = [vertex] if occupant is None else [vertex, occupant]
+            before = _local_cost(graph, placement.positions, affected)
+            placement.move(vertex, target)
+            after = _local_cost(graph, placement.positions, affected)
+            delta = after - before
+            accept = delta <= 0 or (
+                temperature > 1e-9 and rng.random() < math.exp(-delta / temperature)
+            )
+            if accept:
+                if delta < 0:
+                    improved_any = True
+            else:
+                # Undo the move (move() swaps, so moving back restores both).
+                placement.move(vertex, (row, col))
+
+        temperature *= config.cooling
+        current_cost = full_cost(placement)
+        if current_cost < best_cost:
+            best_cost = current_cost
+            best = placement.copy()
+            stall_counter = 0
+        else:
+            stall_counter += 1
+
+        if (
+            config.use_communities
+            and communities
+            and stall_counter >= config.community_patience
+            and community_moves_used < config.max_community_moves
+        ):
+            _apply_community_move(placement, graph, communities, rng)
+            community_moves_used += 1
+            stall_counter = 0
+
+    return best
+
+
+def _apply_community_move(
+    placement: Placement,
+    graph: nx.Graph,
+    communities: Sequence[Sequence[int]],
+    rng: random.Random,
+) -> None:
+    """One higher-level community move to escape a local minimum.
+
+    Alternates (randomly) between pulling a fragmented community's clusters
+    together and pushing two overlapping communities apart, as described in
+    Section VI-B.1.  Moves are realised as single-cell relocations toward /
+    away from the relevant centroid so the placement always stays valid.
+    """
+    float_positions = placement.as_float_positions()
+    if rng.random() < 0.5 and len(communities) >= 2:
+        # Community repulsion: push the two closest communities apart.
+        centroids = [community_centroid(c, float_positions) for c in communities]
+        best_pair = None
+        best_distance = float("inf")
+        for i in range(len(communities)):
+            for j in range(i + 1, len(communities)):
+                distance = math.hypot(
+                    centroids[i][0] - centroids[j][0],
+                    centroids[i][1] - centroids[j][1],
+                )
+                if distance < best_distance:
+                    best_distance = distance
+                    best_pair = (i, j)
+        if best_pair is None:
+            return
+        i, j = best_pair
+        for community_index, direction in ((i, 1.0), (j, -1.0)):
+            away_row = centroids[i][0] - centroids[j][0]
+            away_col = centroids[i][1] - centroids[j][1]
+            norm = math.hypot(away_row, away_col) or 1.0
+            step = (
+                int(round(direction * away_row / norm)),
+                int(round(direction * away_col / norm)),
+            )
+            _shift_vertices(placement, communities[community_index], step)
+    else:
+        # Community attraction: rejoin the clusters of a fragmented community.
+        community = list(communities[rng.randrange(len(communities))])
+        centroids, clusters = community_fragmentation(community, float_positions)
+        if len(clusters) < 2:
+            return
+        target = community_centroid(community, float_positions)
+        for cluster in clusters:
+            cluster_centroid = community_centroid(cluster, float_positions)
+            step_row = target[0] - cluster_centroid[0]
+            step_col = target[1] - cluster_centroid[1]
+            norm = math.hypot(step_row, step_col) or 1.0
+            step = (int(round(step_row / norm)), int(round(step_col / norm)))
+            _shift_vertices(placement, cluster, step)
+
+
+def _shift_vertices(
+    placement: Placement, vertices: Sequence[int], step: Tuple[int, int]
+) -> None:
+    """Shift a set of vertices by one step, skipping moves that leave the grid."""
+    if step == (0, 0):
+        return
+    for vertex in vertices:
+        if vertex not in placement.positions:
+            continue
+        row, col = placement.positions[vertex]
+        target = (row + step[0], col + step[1])
+        if placement.in_bounds(target):
+            placement.move(vertex, target)
+
+
+def force_directed_placement(
+    circuit_or_graph,
+    initial: Optional[Placement] = None,
+    config: Optional[ForceDirectedConfig] = None,
+    width: Optional[int] = None,
+    height: Optional[int] = None,
+) -> Placement:
+    """Produce a force-directed placement for a circuit or interaction graph.
+
+    When no initial placement is supplied a row-major placement on an
+    auto-sized grid is used as the starting point (the paper starts from the
+    linear hand-optimized mapping when one is available; callers that have a
+    factory should pass ``linear_factory_placement(factory)`` as ``initial``).
+    """
+    config = config or ForceDirectedConfig()
+    if isinstance(circuit_or_graph, Circuit):
+        graph = interaction_graph(circuit_or_graph)
+        qubits = list(range(circuit_or_graph.num_qubits))
+    else:
+        graph = circuit_or_graph
+        qubits = list(graph.nodes())
+
+    if initial is None:
+        if width is None or height is None:
+            height, width = grid_dimensions_for(len(qubits))
+        initial = row_major_placement(qubits, width=width, height=height)
+    return force_directed_refine(graph, initial, config)

@@ -1,0 +1,139 @@
+"""Linear mapping baseline (Fowler, Devitt & Jones block layout).
+
+The paper's baseline is the hand-optimized layout of reference [19], which
+the authors describe as a *linear* mapping: each Bravyi-Haah module is laid
+out as a compact strip in which every ancilla sits next to the raw states it
+absorbs, and modules are then placed one after another along a line.  This
+layout is nearly optimal for single-level factories (Fig. 7a, Fig. 10a) but
+incurs large permutation overheads for multi-level factories because
+consecutive rounds end up far apart along the line (Fig. 10c/10f).
+
+The module-local geometry used here:
+
+    row 0:                out[0] ... out[k-1]        tail raw states
+    row 1:        raw[0] raw[2] ... raw[2k+6]        (T injections)
+    row 2:  anc[0] anc[1] anc[2] ...     anc[k+4]    (syndrome ancillas)
+    row 3:        raw[1] raw[3] ... raw[2k+7]        (T-dagger injections)
+
+so that every injection braid is a unit-length vertical hop and the CXX
+fan-outs run along the ancilla row.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..distillation.block_code import Factory, ModuleInstance
+from ..distillation.bravyi_haah import BravyiHaahSpec
+from .placement import Cell, Placement
+
+
+def linear_module_cells(spec: BravyiHaahSpec) -> Dict[str, List[Cell]]:
+    """Module-local cell assignment for the linear layout.
+
+    Returns a dict with keys ``"raw"``, ``"anc"`` and ``"out"`` whose values
+    list the local cells of each register in index order.  The local block is
+    ``module_height x module_width`` cells, obtainable from
+    :func:`linear_module_shape`.
+    """
+    k = spec.k
+    anc_cells = [(2, col) for col in range(k + 5)]
+    raw_cells: List[Cell] = [None] * spec.num_raw_states  # type: ignore[list-item]
+    # Main injection loops: raw[2i-2] above anc[i], raw[2i-1] below anc[i].
+    for i in range(1, k + 5):
+        raw_cells[2 * i - 2] = (1, i)
+        raw_cells[2 * i - 1] = (3, i)
+    # Outputs sit above the ancillas they interact with (anc[5+i]); the tail
+    # raw states sit below those same ancillas on the bottom row.
+    out_cells = [(0, 5 + i) for i in range(k)]
+    for i in range(k):
+        raw_cells[2 * k + 8 + i] = (4, 5 + i)
+    return {"raw": raw_cells, "anc": anc_cells, "out": out_cells}
+
+
+def linear_module_shape(spec: BravyiHaahSpec) -> Tuple[int, int]:
+    """(height, width) of one module block under the linear layout."""
+    return 5, spec.k + 5
+
+
+def linear_factory_placement(
+    factory: Factory,
+    modules_per_row: Optional[int] = None,
+    gap: int = 1,
+) -> Placement:
+    """Linear-mapping placement of a whole factory.
+
+    Modules are laid out block after block in linear (row-major) order, with
+    no regard for the inter-round permutation structure: round 1's modules
+    come first, then round 2's, and so on.  Within a module the hand-
+    optimized strip layout of [19] is used, which is why this baseline is
+    nearly optimal for single-level factories; the obliviousness to the
+    permutation step is what makes it deteriorate on multi-level factories
+    (Fig. 10c/10f).  ``modules_per_row`` controls the wrap width; the default
+    wraps to a near-square arrangement of module blocks.
+
+    Qubits already placed by an earlier round (reused qubits, or outputs
+    feeding the next round) keep their positions.
+    """
+    spec = factory.spec.module
+    block_height, block_width = linear_module_shape(spec)
+
+    total_modules = sum(len(round_modules) for round_modules in factory.rounds)
+    if modules_per_row is None:
+        modules_per_row = max(1, round(total_modules**0.5))
+    modules_per_row = max(1, modules_per_row)
+
+    rows_of_blocks = 0
+    for round_modules in factory.rounds:
+        rows_of_blocks += -(-len(round_modules) // modules_per_row)
+    width = modules_per_row * (block_width + gap)
+    height = rows_of_blocks * (block_height + gap)
+    placement = Placement(width=width, height=height)
+
+    block_row_cursor = 0
+    for round_index, round_modules in enumerate(factory.rounds, start=1):
+        for position, module in enumerate(round_modules):
+            block_row = block_row_cursor + position // modules_per_row
+            block_col = position % modules_per_row
+            origin = (
+                block_row * (block_height + gap),
+                block_col * (block_width + gap),
+            )
+            place_raw = round_index == 1
+            _place_unplaced_module(placement, module, spec, origin, place_raw)
+        block_row_cursor += -(-len(round_modules) // modules_per_row)
+    return placement
+
+
+def _place_unplaced_module(
+    placement: Placement,
+    module: ModuleInstance,
+    spec: BravyiHaahSpec,
+    origin: Cell,
+    place_raw: bool,
+) -> None:
+    """Place the module's qubits that do not yet have a position."""
+    cells = linear_module_cells(spec)
+    row0, col0 = origin
+
+    def place_if_new(qubit: int, cell: Cell) -> None:
+        if qubit not in placement.positions:
+            placement.place(qubit, cell)
+
+    for local_index, qubit in enumerate(module.anc_qubits):
+        row, col = cells["anc"][local_index]
+        place_if_new(qubit, (row0 + row, col0 + col))
+    for local_index, qubit in enumerate(module.out_qubits):
+        row, col = cells["out"][local_index]
+        place_if_new(qubit, (row0 + row, col0 + col))
+    if place_raw:
+        for local_index, qubit in enumerate(module.raw_qubits):
+            row, col = cells["raw"][local_index]
+            place_if_new(qubit, (row0 + row, col0 + col))
+
+
+def linear_single_module_placement(factory: Factory) -> Placement:
+    """Placement of a single-module (single-level) factory, tightly cropped."""
+    if factory.spec.levels != 1 or len(factory.rounds[0]) != 1:
+        raise ValueError("expected a single-level, single-module factory")
+    return linear_factory_placement(factory)

@@ -1,0 +1,247 @@
+"""Placement of logical qubits onto the 2-D tile grid.
+
+Every mapper in this package produces a :class:`Placement`: an injective map
+from logical qubit indices to ``(row, col)`` tile coordinates on a rectangular
+grid of logical-qubit tiles (Fig. 1 of the paper).  The grid dimensions define
+the factory's *area* (in logical qubits) and the coordinates feed both the
+mapping-quality metrics of :mod:`repro.graphs.metrics` and the braid-routing
+simulator of :mod:`repro.routing`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+Cell = Tuple[int, int]
+
+
+@dataclass
+class Placement:
+    """An assignment of logical qubits to grid tiles.
+
+    Attributes
+    ----------
+    width:
+        Number of tile columns in the grid.
+    height:
+        Number of tile rows in the grid.
+    positions:
+        Mapping from qubit index to ``(row, col)`` tile.
+    """
+
+    width: int
+    height: int
+    positions: Dict[int, Cell] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.width < 1 or self.height < 1:
+            raise ValueError(
+                f"grid must be at least 1x1, got {self.height}x{self.width}"
+            )
+        self.validate()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def area(self) -> int:
+        """Grid area in logical-qubit tiles (the paper's Fig. 10b/10d metric)."""
+        return self.width * self.height
+
+    @property
+    def num_qubits(self) -> int:
+        """Number of qubits placed."""
+        return len(self.positions)
+
+    def __contains__(self, qubit: int) -> bool:
+        return qubit in self.positions
+
+    def __getitem__(self, qubit: int) -> Cell:
+        return self.positions[qubit]
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.positions)
+
+    def position(self, qubit: int) -> Cell:
+        """The tile of ``qubit`` (KeyError if unplaced)."""
+        return self.positions[qubit]
+
+    def occupied_cells(self) -> Dict[Cell, int]:
+        """Map of occupied cells back to the qubit occupying them."""
+        return {cell: qubit for qubit, cell in self.positions.items()}
+
+    def in_bounds(self, cell: Cell) -> bool:
+        """Whether ``cell`` lies inside the grid."""
+        row, col = cell
+        return 0 <= row < self.height and 0 <= col < self.width
+
+    def free_cells(self) -> List[Cell]:
+        """All unoccupied cells, row-major order."""
+        occupied = set(self.positions.values())
+        return [
+            (row, col)
+            for row in range(self.height)
+            for col in range(self.width)
+            if (row, col) not in occupied
+        ]
+
+    def validate(self) -> None:
+        """Raise :class:`ValueError` if the placement is out of bounds or overlapping."""
+        seen: Dict[Cell, int] = {}
+        for qubit, cell in self.positions.items():
+            if not self.in_bounds(cell):
+                raise ValueError(
+                    f"qubit {qubit} placed at {cell}, outside {self.height}x{self.width} grid"
+                )
+            if cell in seen:
+                raise ValueError(
+                    f"qubits {seen[cell]} and {qubit} both placed at {cell}"
+                )
+            seen[cell] = qubit
+
+    # ------------------------------------------------------------------
+    # Mutation helpers
+    # ------------------------------------------------------------------
+    def place(self, qubit: int, cell: Cell) -> None:
+        """Place (or move) ``qubit`` at ``cell``; the cell must be free."""
+        if not self.in_bounds(cell):
+            raise ValueError(f"cell {cell} outside {self.height}x{self.width} grid")
+        occupant = self.occupied_cells().get(cell)
+        if occupant is not None and occupant != qubit:
+            raise ValueError(f"cell {cell} already occupied by qubit {occupant}")
+        self.positions[qubit] = cell
+
+    def swap(self, qubit_a: int, qubit_b: int) -> None:
+        """Swap the cells of two placed qubits."""
+        cell_a = self.positions[qubit_a]
+        cell_b = self.positions[qubit_b]
+        self.positions[qubit_a] = cell_b
+        self.positions[qubit_b] = cell_a
+
+    def move(self, qubit: int, cell: Cell) -> None:
+        """Move ``qubit`` to ``cell``; swaps with any current occupant."""
+        if not self.in_bounds(cell):
+            raise ValueError(f"cell {cell} outside {self.height}x{self.width} grid")
+        occupant = self.occupied_cells().get(cell)
+        if occupant is None or occupant == qubit:
+            self.positions[qubit] = cell
+        else:
+            self.swap(qubit, occupant)
+
+    def copy(self) -> "Placement":
+        """Deep copy of this placement."""
+        return Placement(self.width, self.height, dict(self.positions))
+
+    def translated(self, row_offset: int, col_offset: int) -> "Placement":
+        """Return a copy of the placement shifted by the given offsets.
+
+        The grid is grown if the shift pushes cells past the current bounds;
+        negative shifts must stay within bounds.
+        """
+        new_positions = {
+            qubit: (row + row_offset, col + col_offset)
+            for qubit, (row, col) in self.positions.items()
+        }
+        max_row = max((cell[0] for cell in new_positions.values()), default=0)
+        max_col = max((cell[1] for cell in new_positions.values()), default=0)
+        return Placement(
+            width=max(self.width, max_col + 1),
+            height=max(self.height, max_row + 1),
+            positions=new_positions,
+        )
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+    def as_float_positions(self) -> Dict[int, Tuple[float, float]]:
+        """Positions as floats, for the geometric metrics and force fields."""
+        return {
+            qubit: (float(row), float(col))
+            for qubit, (row, col) in self.positions.items()
+        }
+
+
+def grid_dimensions_for(num_qubits: int, aspect_ratio: float = 1.0, slack: float = 1.3) -> Tuple[int, int]:
+    """Pick grid dimensions able to hold ``num_qubits`` qubits.
+
+    ``slack`` controls the extra routing area reserved beyond the minimum
+    square: the paper's factories keep channels between logical qubits, and a
+    completely full grid leaves no room for braids to route around each
+    other.  Returns ``(height, width)``.
+    """
+    if num_qubits < 1:
+        raise ValueError(f"num_qubits must be >= 1, got {num_qubits}")
+    if slack < 1.0:
+        raise ValueError(f"slack must be >= 1.0, got {slack}")
+    cells = max(1, math.ceil(num_qubits * slack))
+    height = max(1, int(round(math.sqrt(cells / aspect_ratio))))
+    width = max(1, math.ceil(cells / height))
+    while height * width < num_qubits:
+        width += 1
+    return height, width
+
+
+def row_major_placement(
+    qubits: Sequence[int],
+    width: Optional[int] = None,
+    height: Optional[int] = None,
+) -> Placement:
+    """Place ``qubits`` in row-major order on a grid.
+
+    If dimensions are omitted a near-square grid with routing slack is chosen
+    via :func:`grid_dimensions_for`.
+    """
+    if width is None or height is None:
+        height, width = grid_dimensions_for(len(qubits))
+    placement = Placement(width=width, height=height)
+    if len(qubits) > width * height:
+        raise ValueError(
+            f"cannot place {len(qubits)} qubits on a {height}x{width} grid"
+        )
+    for index, qubit in enumerate(qubits):
+        placement.place(qubit, (index // width, index % width))
+    return placement
+
+
+def pack_placements(
+    placements: Sequence[Placement],
+    columns: Optional[int] = None,
+    gap: int = 1,
+) -> Tuple[Placement, List[Tuple[int, int]]]:
+    """Tile several placements side by side into one combined placement.
+
+    Each input placement keeps its internal geometry; blocks are arranged in
+    a grid of ``columns`` blocks per row with ``gap`` empty tile rows/columns
+    between blocks (the empty space provides routing channels between
+    modules).  Returns the combined placement and the per-block
+    ``(row_offset, col_offset)`` origins.
+
+    The qubit index spaces of the inputs must be disjoint.
+    """
+    if not placements:
+        raise ValueError("pack_placements needs at least one placement")
+    if columns is None:
+        columns = max(1, int(math.ceil(math.sqrt(len(placements)))))
+    block_width = max(p.width for p in placements)
+    block_height = max(p.height for p in placements)
+    rows = math.ceil(len(placements) / columns)
+    total_width = columns * block_width + (columns - 1) * gap
+    total_height = rows * block_height + (rows - 1) * gap
+
+    combined = Placement(width=total_width, height=total_height)
+    origins: List[Tuple[int, int]] = []
+    for index, block in enumerate(placements):
+        block_row = index // columns
+        block_col = index % columns
+        row_offset = block_row * (block_height + gap)
+        col_offset = block_col * (block_width + gap)
+        origins.append((row_offset, col_offset))
+        for qubit, (row, col) in block.positions.items():
+            if qubit in combined.positions:
+                raise ValueError(
+                    f"qubit {qubit} appears in more than one packed placement"
+                )
+            combined.place(qubit, (row + row_offset, col + col_offset))
+    return combined, origins

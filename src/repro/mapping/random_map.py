@@ -1,0 +1,86 @@
+"""Random placement baseline.
+
+Table I's "Random" row places the factory's qubits uniformly at random on the
+grid.  Randomized mappings are also the sample population for the Fig. 6
+correlation study: by drawing many random placements and simulating each, the
+relationship between the geometric metrics (crossings, edge length, edge
+spacing) and realized latency can be measured.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Optional, Sequence
+
+from ..circuits.circuit import Circuit
+from .placement import Placement, grid_dimensions_for
+
+
+def random_placement(
+    qubits: Sequence[int],
+    width: Optional[int] = None,
+    height: Optional[int] = None,
+    seed: int = 0,
+    slack: float = 1.3,
+) -> Placement:
+    """Place ``qubits`` on uniformly random distinct cells.
+
+    Parameters
+    ----------
+    qubits:
+        The logical qubits to place.
+    width, height:
+        Grid dimensions; chosen automatically (near-square with routing
+        slack) when omitted.
+    seed:
+        Seed of the private random generator, so placements are reproducible.
+    slack:
+        Extra area factor used when dimensions are chosen automatically.
+    """
+    if width is None or height is None:
+        height, width = grid_dimensions_for(len(qubits), slack=slack)
+    if len(qubits) > width * height:
+        raise ValueError(
+            f"cannot place {len(qubits)} qubits on a {height}x{width} grid"
+        )
+    rng = random.Random(seed)
+    cells = [(row, col) for row in range(height) for col in range(width)]
+    chosen = rng.sample(cells, len(qubits))
+    placement = Placement(width=width, height=height)
+    for qubit, cell in zip(qubits, chosen):
+        placement.place(qubit, cell)
+    return placement
+
+
+def random_circuit_placement(
+    circuit: Circuit,
+    width: Optional[int] = None,
+    height: Optional[int] = None,
+    seed: int = 0,
+    slack: float = 1.3,
+) -> Placement:
+    """Random placement of every qubit of a circuit."""
+    return random_placement(
+        list(range(circuit.num_qubits)), width=width, height=height, seed=seed, slack=slack
+    )
+
+
+def random_placements(
+    qubits: Sequence[int],
+    count: int,
+    width: Optional[int] = None,
+    height: Optional[int] = None,
+    base_seed: int = 0,
+    slack: float = 1.3,
+) -> List[Placement]:
+    """A family of ``count`` random placements with distinct seeds.
+
+    Used by the Fig. 6 correlation experiment, which needs a population of
+    mappings spanning a range of metric values.
+    """
+    return [
+        random_placement(
+            qubits, width=width, height=height, seed=base_seed + i, slack=slack
+        )
+        for i in range(count)
+    ]

@@ -1,0 +1,30 @@
+"""Surface-code braid routing substrate and cycle-accurate simulator."""
+
+from .braid import BraidPath
+from .mesh import Cell, LatticeCell, Mesh, is_channel_cell, lattice_to_tile, tile_to_lattice
+from .router import BraidRouter, bfs_detour, rectilinear_candidates
+from .simulator import (
+    RoutingDeadlockError,
+    SimulationResult,
+    SimulatorConfig,
+    simulate,
+    simulate_latency,
+)
+
+__all__ = [
+    "BraidPath",
+    "Cell",
+    "LatticeCell",
+    "Mesh",
+    "is_channel_cell",
+    "lattice_to_tile",
+    "tile_to_lattice",
+    "BraidRouter",
+    "bfs_detour",
+    "rectilinear_candidates",
+    "RoutingDeadlockError",
+    "SimulationResult",
+    "SimulatorConfig",
+    "simulate",
+    "simulate_latency",
+]

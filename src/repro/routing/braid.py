@@ -1,0 +1,66 @@
+"""Braid path representation.
+
+A braid is the spatial footprint of a single two-qubit (or multi-target)
+operation on the mesh: the set of lattice cells the braid's pathway occupies
+while it executes.  Two braids conflict when their footprints intersect —
+the simulator then stalls one of them (Section VIII-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, Optional, Sequence, Tuple
+
+from .mesh import LatticeCell
+
+
+@dataclass(frozen=True)
+class BraidPath:
+    """An immutable braid footprint on the channel lattice.
+
+    Attributes
+    ----------
+    cells:
+        All lattice cells occupied by the braid (endpoints included).
+    endpoints:
+        The tile lattice cells of the qubits the braid connects.
+    hop:
+        Optional Valiant-style intermediate destination the braid was routed
+        through (used by the permutation-step optimisation of Section
+        VII-B.3); ``None`` for direct braids.
+    """
+
+    cells: FrozenSet[LatticeCell]
+    endpoints: Tuple[LatticeCell, ...]
+    hop: Optional[LatticeCell] = None
+
+    @classmethod
+    def from_cells(
+        cls,
+        cells: Iterable[LatticeCell],
+        endpoints: Sequence[LatticeCell],
+        hop: Optional[LatticeCell] = None,
+    ) -> "BraidPath":
+        """Build a braid path from an iterable of cells and its endpoints."""
+        return cls(cells=frozenset(cells), endpoints=tuple(endpoints), hop=hop)
+
+    @property
+    def length(self) -> int:
+        """Number of lattice cells the braid occupies."""
+        return len(self.cells)
+
+    def conflicts_with(self, other: "BraidPath") -> bool:
+        """Whether this braid shares any lattice cell with ``other``."""
+        return not self.cells.isdisjoint(other.cells)
+
+    def conflicts_with_cells(self, cells: FrozenSet[LatticeCell]) -> bool:
+        """Whether this braid shares any lattice cell with a locked-cell set."""
+        return not self.cells.isdisjoint(cells)
+
+    def union(self, other: "BraidPath") -> "BraidPath":
+        """Combine two braid footprints (used to build multi-target stars)."""
+        return BraidPath(
+            cells=self.cells | other.cells,
+            endpoints=tuple(dict.fromkeys(self.endpoints + other.endpoints)),
+            hop=self.hop or other.hop,
+        )

@@ -1,0 +1,269 @@
+"""Cycle-accurate braid scheduling simulator.
+
+This is the evaluation substrate of the paper (Section VIII-A): a simulator
+that takes a gate-level schedule plus a physical qubit mapping and executes
+the braids on the 2-D mesh, in parallel where the dependency structure and
+routing allow, inserting stalls whenever two braids would intersect.
+
+Semantics reproduced from the paper's description:
+
+* any data hazard (the same qubit appearing in two instructions) is treated
+  as a true dependency;
+* braids are scheduled in parallel when their paths do not intersect; when
+  they would intersect, one braid stalls until the other completes;
+* barriers are machine-wide synchronisation points (implemented by the
+  paper as a multi-target CNOT over every qubit);
+* multi-target CNOT gates are routed as a star of paths from the control to
+  every target, occupying the union of those paths.
+
+The simulator is event driven: time jumps from one braid-completion event to
+the next, so the cost is proportional to the number of gates and stall
+retries rather than to the final cycle count.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..circuits.circuit import Circuit
+from ..circuits.dag import build_dependency_dag
+from ..circuits.gates import DEFAULT_DURATIONS, Gate, GateKind
+from ..mapping.placement import Placement
+from .braid import BraidPath
+from .mesh import Cell, LatticeCell, Mesh, tile_to_lattice
+from .router import BraidRouter
+
+
+@dataclass
+class SimulatorConfig:
+    """Knobs of the braid simulator.
+
+    Attributes
+    ----------
+    durations:
+        Gate-kind to cycle-count mapping (defaults to
+        :data:`~repro.circuits.gates.DEFAULT_DURATIONS`).
+    allow_detour:
+        Let blocked braids search for longer detour routes instead of
+        stalling (off by default, matching the paper's stall-only baseline).
+    detour_slack:
+        Maximum detour length as a multiple of the shortest route.
+    hops:
+        Optional map from gate index to an intermediate *tile* cell the braid
+        must pass through (Valiant-style routing for permutation braids,
+        Section VII-B.3).
+    max_cycles:
+        Safety limit; simulation aborts with an error beyond this.
+    """
+
+    durations: Mapping[GateKind, int] = field(
+        default_factory=lambda: dict(DEFAULT_DURATIONS)
+    )
+    allow_detour: bool = False
+    detour_slack: float = 2.0
+    max_candidates: int = 2
+    hops: Mapping[int, Cell] = field(default_factory=dict)
+    max_cycles: int = 10_000_000
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of simulating one circuit on one placement."""
+
+    latency: int
+    area: int
+    gate_start: List[int]
+    gate_end: List[int]
+    stall_cycles: int
+    stall_events: int
+    braided_gates: int
+    max_concurrent_braids: int
+    total_braid_cells: int
+
+    @property
+    def volume(self) -> int:
+        """Space-time volume (area in tiles times latency in cycles)."""
+        return self.area * self.latency
+
+    @property
+    def average_braid_length(self) -> float:
+        """Average braid footprint in lattice cells."""
+        if self.braided_gates == 0:
+            return 0.0
+        return self.total_braid_cells / self.braided_gates
+
+
+class RoutingDeadlockError(RuntimeError):
+    """Raised when no ready braid can be routed and nothing is in flight."""
+
+
+def _gate_list(circuit_or_gates) -> Tuple[Gate, ...]:
+    if isinstance(circuit_or_gates, Circuit):
+        return circuit_or_gates.gates
+    return tuple(circuit_or_gates)
+
+
+def simulate(
+    circuit_or_gates,
+    placement: Placement,
+    config: Optional[SimulatorConfig] = None,
+) -> SimulationResult:
+    """Simulate a circuit on a placement and return timing/volume results.
+
+    Every qubit referenced by the gate list must be placed.  Gates are issued
+    in program order among those whose dependencies are satisfied; braided
+    gates that cannot be routed without intersecting an in-flight braid are
+    stalled and retried after the next braid completion.
+    """
+    config = config or SimulatorConfig()
+    gates = _gate_list(circuit_or_gates)
+    durations = config.durations
+
+    used_qubits: Set[int] = set()
+    for gate in gates:
+        used_qubits.update(gate.qubits)
+    missing = [q for q in used_qubits if q not in placement.positions]
+    if missing:
+        raise ValueError(
+            f"{len(missing)} qubits used by the circuit are not placed "
+            f"(first few: {sorted(missing)[:5]})"
+        )
+
+    mesh = Mesh.from_placement(
+        placement.positions, width=placement.width, height=placement.height
+    )
+    router = BraidRouter(
+        mesh,
+        allow_detour=config.allow_detour,
+        detour_slack=config.detour_slack,
+        max_candidates=config.max_candidates,
+    )
+    hop_cells: Dict[int, LatticeCell] = {
+        index: tile_to_lattice(cell) for index, cell in config.hops.items()
+    }
+
+    dag = build_dependency_dag(gates)
+    n = len(gates)
+    if n == 0:
+        return SimulationResult(
+            latency=0,
+            area=placement.area,
+            gate_start=[],
+            gate_end=[],
+            stall_cycles=0,
+            stall_events=0,
+            braided_gates=0,
+            max_concurrent_braids=0,
+            total_braid_cells=0,
+        )
+
+    remaining_preds = [len(p) for p in dag.predecessors]
+    ready_time = [0] * n
+    ready: List[int] = [i for i in range(n) if remaining_preds[i] == 0]
+    ready.sort()
+
+    gate_start: List[int] = [-1] * n
+    gate_end: List[int] = [-1] * n
+    locked: Set[LatticeCell] = set()
+    active: List[Tuple[int, int, FrozenSet[LatticeCell]]] = []
+    now = 0
+    completed = 0
+    stall_events = 0
+    total_braid_cells = 0
+    braided_gates = 0
+    concurrent_braids = 0
+    max_concurrent_braids = 0
+
+    def try_route(index: int, gate: Gate) -> Optional[BraidPath]:
+        """Attempt to route the braid of ``gate`` avoiding locked cells."""
+        locked_frozen = frozenset(locked)
+        if gate.kind is GateKind.CXX:
+            return router.route_star(gate.qubits[0], gate.qubits[1:], locked_frozen)
+        hop = hop_cells.get(index)
+        return router.route_pair(
+            gate.qubits[0], gate.qubits[1], locked_frozen, hop=hop
+        )
+
+    while completed < n:
+        if now > config.max_cycles:
+            raise RuntimeError(
+                f"simulation exceeded max_cycles={config.max_cycles}"
+            )
+        # ------------------------------------------------------------------
+        # Start every ready gate we can at the current time, in program order.
+        # ------------------------------------------------------------------
+        still_ready: List[int] = []
+        for index in ready:
+            gate = gates[index]
+            duration = gate.duration(durations)
+            if gate.is_braided:
+                path = try_route(index, gate)
+                if path is None:
+                    stall_events += 1
+                    still_ready.append(index)
+                    continue
+                locked.update(path.cells)
+                total_braid_cells += path.length
+                braided_gates += 1
+                concurrent_braids += 1
+                max_concurrent_braids = max(max_concurrent_braids, concurrent_braids)
+                cells: FrozenSet[LatticeCell] = path.cells
+            else:
+                cells = frozenset()
+            gate_start[index] = now
+            gate_end[index] = now + duration
+            heapq.heappush(active, (now + duration, index, cells))
+        ready = still_ready
+
+        if completed + len(active) == n and not active:
+            break
+        if not active:
+            if ready:
+                raise RoutingDeadlockError(
+                    f"{len(ready)} gates cannot be routed on an otherwise idle mesh"
+                )
+            break
+
+        # ------------------------------------------------------------------
+        # Advance to the next completion event and retire everything there.
+        # ------------------------------------------------------------------
+        now = active[0][0]
+        while active and active[0][0] == now:
+            _, index, cells = heapq.heappop(active)
+            if cells:
+                locked.difference_update(cells)
+                concurrent_braids -= 1
+            completed += 1
+            for successor in dag.successors[index]:
+                remaining_preds[successor] -= 1
+                ready_time[successor] = max(ready_time[successor], now)
+                if remaining_preds[successor] == 0:
+                    ready.append(successor)
+        ready.sort()
+
+    latency = max(gate_end) if gate_end else 0
+    stall_cycles = sum(
+        max(0, start - ready_at)
+        for start, ready_at in zip(gate_start, ready_time)
+        if start >= 0
+    )
+    return SimulationResult(
+        latency=latency,
+        area=placement.area,
+        gate_start=gate_start,
+        gate_end=gate_end,
+        stall_cycles=stall_cycles,
+        stall_events=stall_events,
+        braided_gates=braided_gates,
+        max_concurrent_braids=max_concurrent_braids,
+        total_braid_cells=total_braid_cells,
+    )
+
+
+def simulate_latency(
+    circuit_or_gates, placement: Placement, config: Optional[SimulatorConfig] = None
+) -> int:
+    """Convenience wrapper returning only the circuit latency in cycles."""
+    return simulate(circuit_or_gates, placement, config).latency

@@ -1,0 +1,41 @@
+"""Schedule-level optimisations: barriers, qubit renaming, critical-path bounds."""
+
+from .critical_path import (
+    circuit_lower_bound,
+    factory_area_lower_bound,
+    factory_latency_lower_bound,
+    factory_volume_lower_bound,
+    lower_bound_summary,
+)
+from .renaming import (
+    count_false_dependencies,
+    rename_after_measurement,
+    reuse_area_savings,
+    sharing_after_measurement_pairs,
+)
+from .schedule import (
+    asap_timesteps,
+    expand_barriers_to_cxx,
+    insert_round_barriers,
+    reorder_commuting_preparations,
+    strip_barriers,
+    timestep_degree_bound,
+)
+
+__all__ = [
+    "circuit_lower_bound",
+    "factory_area_lower_bound",
+    "factory_latency_lower_bound",
+    "factory_volume_lower_bound",
+    "lower_bound_summary",
+    "count_false_dependencies",
+    "rename_after_measurement",
+    "reuse_area_savings",
+    "sharing_after_measurement_pairs",
+    "asap_timesteps",
+    "expand_barriers_to_cxx",
+    "insert_round_barriers",
+    "reorder_commuting_preparations",
+    "strip_barriers",
+    "timestep_degree_bound",
+]

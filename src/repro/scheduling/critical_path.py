@@ -1,0 +1,66 @@
+"""Theoretical lower bounds on factory latency and volume.
+
+The "Theoretical Lower Bound" curves of Fig. 7 and the "Critical" row of
+Table I use the circuit's dependency critical path: no mapping, however
+clever, can execute the schedule faster than its longest chain of dependent
+gates.  The corresponding volume lower bound multiplies that latency by the
+minimum logical area a factory of the given capacity needs (its logical
+qubit count).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..circuits.circuit import Circuit
+from ..circuits.dag import critical_path_length
+from ..distillation.block_code import Factory, FactorySpec, ReusePolicy, build_factory
+
+
+def circuit_lower_bound(circuit_or_gates, durations: Optional[dict] = None) -> int:
+    """Critical-path latency (cycles) of any circuit."""
+    return critical_path_length(circuit_or_gates, durations)
+
+
+def factory_latency_lower_bound(
+    spec: FactorySpec, durations: Optional[dict] = None
+) -> int:
+    """Critical-path latency of a block-code factory of the given spec.
+
+    Barriers are omitted (they only add dependencies), and the no-reuse
+    policy is used so that no false dependency inflates the bound — this is
+    the most permissive schedule the factory could possibly follow.
+    """
+    factory = build_factory(
+        spec, reuse_policy=ReusePolicy.NO_REUSE, barriers_between_rounds=False
+    )
+    return critical_path_length(factory.circuit, durations)
+
+
+def factory_area_lower_bound(spec: FactorySpec) -> int:
+    """Minimum logical area of the factory: the qubits of its largest round.
+
+    A round needs all of its modules live at once (each module holds
+    ``5k + 13`` logical qubits including the raw states it is absorbing), and
+    rounds can in principle reuse each other's space, so the largest round
+    sets the floor.
+    """
+    per_module = 5 * spec.k + 13
+    return max(
+        spec.modules_in_round(round_index) * per_module
+        for round_index in range(1, spec.levels + 1)
+    )
+
+
+def factory_volume_lower_bound(
+    spec: FactorySpec, durations: Optional[dict] = None
+) -> int:
+    """Critical space-time volume: latency bound times area bound."""
+    return factory_latency_lower_bound(spec, durations) * factory_area_lower_bound(spec)
+
+
+def lower_bound_summary(spec: FactorySpec) -> Dict[str, int]:
+    """Latency, area and volume lower bounds for a spec as a dictionary."""
+    latency = factory_latency_lower_bound(spec)
+    area = factory_area_lower_bound(spec)
+    return {"latency": latency, "area": area, "volume": latency * area}

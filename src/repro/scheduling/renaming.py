@@ -1,0 +1,120 @@
+"""Qubit reuse versus renaming (Section V-B).
+
+Between two rounds of a block-code factory, every ancillary qubit is measured
+for error checking at the end of the earlier round and re-initialised at the
+start of the next round.  Two instructions that share such a qubit therefore
+form a *sharing-after-measurement* false dependency: the second round does
+not actually need the first round's data, only a fresh qubit.
+
+The paper explores two policies, both supported by the factory builder
+(:class:`repro.distillation.block_code.ReusePolicy`):
+
+* **renaming (no reuse)** — always allocate fresh qubits, removing the false
+  dependencies at the cost of area;
+* **reuse** — recycle the measured qubits, saving area but constraining the
+  schedule and raising the interaction-graph degree.
+
+This module provides analysis helpers over circuits with measurements: it
+identifies the sharing-after-measurement dependencies and can rewrite a
+reusing circuit into its renamed (no-reuse) form, which the tests use to
+verify that renaming removes exactly those dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from ..circuits.circuit import Circuit
+from ..circuits.gates import Gate, GateKind
+
+
+def sharing_after_measurement_pairs(circuit: Circuit) -> List[Tuple[int, int]]:
+    """Gate-index pairs that share a qubit across a measurement.
+
+    Returns pairs ``(measure_index, reuse_index)`` where the gate at
+    ``reuse_index`` touches a qubit that was measured by the gate at
+    ``measure_index`` (with no intervening gate on that qubit).  These are
+    exactly the false dependencies introduced by qubit reuse.
+    """
+    last_measured_by: Dict[int, int] = {}
+    pairs: List[Tuple[int, int]] = []
+    for index, gate in enumerate(circuit):
+        if gate.is_barrier:
+            continue
+        for qubit in gate.qubits:
+            if qubit in last_measured_by:
+                pairs.append((last_measured_by[qubit], index))
+                del last_measured_by[qubit]
+        if gate.kind.is_measurement:
+            for qubit in gate.qubits:
+                last_measured_by[qubit] = index
+    return pairs
+
+
+def count_false_dependencies(circuit: Circuit) -> int:
+    """Number of sharing-after-measurement dependencies in the circuit."""
+    return len(sharing_after_measurement_pairs(circuit))
+
+
+def rename_after_measurement(circuit: Circuit) -> Tuple[Circuit, Dict[int, List[int]]]:
+    """Rewrite a circuit so measured qubits are never reused.
+
+    Every time a gate touches a qubit that has been measured, the qubit is
+    given a brand-new index from a fresh ``renamed`` register.  Returns the
+    rewritten circuit and a map from original qubit index to the list of
+    replacement indices it was renamed to (in order of renaming).
+
+    The rewritten circuit has zero sharing-after-measurement dependencies,
+    which is the renaming policy's defining property.
+    """
+    # First pass: count how many fresh qubits are needed.
+    measured: Set[int] = set()
+    renames_needed = 0
+    for gate in circuit:
+        if gate.is_barrier:
+            continue
+        for qubit in gate.qubits:
+            if qubit in measured:
+                measured.discard(qubit)
+                renames_needed += 1
+        if gate.kind.is_measurement:
+            measured.update(gate.qubits)
+
+    renamed = Circuit(f"{circuit.name}_renamed")
+    for register in circuit.registers.values():
+        renamed.add_register(register.name, register.size)
+    fresh_register = None
+    if renames_needed:
+        fresh_register = renamed.add_register("renamed", renames_needed)
+
+    current_name: Dict[int, int] = {}
+    measured_now: Set[int] = set()
+    rename_log: Dict[int, List[int]] = {}
+    next_fresh = 0
+
+    for gate in circuit:
+        if gate.is_barrier:
+            renamed.append(gate)
+            continue
+        mapping: Dict[int, int] = {}
+        for qubit in gate.qubits:
+            live_name = current_name.get(qubit, qubit)
+            if live_name in measured_now:
+                fresh = fresh_register[next_fresh]
+                next_fresh += 1
+                current_name[qubit] = fresh
+                rename_log.setdefault(qubit, []).append(fresh)
+                measured_now.discard(live_name)
+                live_name = fresh
+            mapping[qubit] = live_name
+        renamed.append(gate.remap(mapping))
+        if gate.kind.is_measurement:
+            for qubit in gate.qubits:
+                measured_now.add(current_name.get(qubit, qubit))
+    return renamed, rename_log
+
+
+def reuse_area_savings(circuit: Circuit) -> int:
+    """How many qubits the reuse policy saves over renaming for this circuit."""
+    renamed, rename_log = rename_after_measurement(circuit)
+    return renamed.num_qubits - circuit.num_qubits

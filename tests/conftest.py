@@ -1,0 +1,69 @@
+"""Shared fixtures for the test-suite.
+
+Factory construction and simulation are deterministic, so expensive objects
+(factories, placements) are session-scoped to keep the suite fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distillation import (
+    FactorySpec,
+    ReusePolicy,
+    build_factory,
+    build_single_level_factory,
+    build_two_level_factory,
+)
+from repro.graphs import interaction_graph
+from repro.mapping import linear_factory_placement, random_circuit_placement
+
+
+@pytest.fixture(scope="session")
+def single_level_k4():
+    """A single-level capacity-4 factory."""
+    return build_single_level_factory(4)
+
+
+@pytest.fixture(scope="session")
+def single_level_k8():
+    """A single-level capacity-8 factory (the Fig. 5 circuit)."""
+    return build_single_level_factory(8)
+
+
+@pytest.fixture(scope="session")
+def two_level_cap4():
+    """A two-level capacity-4 factory (k=2), no reuse, with barriers."""
+    return build_two_level_factory(4, barriers_between_rounds=True)
+
+
+@pytest.fixture(scope="session")
+def two_level_cap4_reuse():
+    """A two-level capacity-4 factory with qubit reuse."""
+    return build_two_level_factory(
+        4, reuse_policy=ReusePolicy.REUSE, barriers_between_rounds=True
+    )
+
+
+@pytest.fixture(scope="session")
+def two_level_cap16():
+    """A two-level capacity-16 factory (k=4)."""
+    return build_two_level_factory(16, barriers_between_rounds=True)
+
+
+@pytest.fixture(scope="session")
+def k4_interaction_graph(single_level_k4):
+    """Interaction graph of the single-level capacity-4 factory."""
+    return interaction_graph(single_level_k4.circuit)
+
+
+@pytest.fixture(scope="session")
+def k4_linear_placement(single_level_k4):
+    """Linear placement of the single-level capacity-4 factory."""
+    return linear_factory_placement(single_level_k4)
+
+
+@pytest.fixture(scope="session")
+def k4_random_placement(single_level_k4):
+    """Random placement of the single-level capacity-4 factory."""
+    return random_circuit_placement(single_level_k4.circuit, seed=11)

@@ -1,0 +1,243 @@
+"""Unit tests for multi-level factory construction (repro.distillation.block_code)."""
+
+import pytest
+
+from repro.circuits import GateKind
+from repro.distillation import (
+    FactorySpec,
+    ReusePolicy,
+    build_factory,
+    build_single_level_factory,
+    build_two_level_factory,
+    default_port_map,
+    validate_port_map,
+)
+
+
+class TestFactorySpec:
+    def test_capacity_is_k_to_the_levels(self):
+        assert FactorySpec(k=4, levels=2).capacity == 16
+        assert FactorySpec(k=10, levels=2).capacity == 100
+        assert FactorySpec(k=8, levels=1).capacity == 8
+
+    def test_raw_input_count(self):
+        assert FactorySpec(k=2, levels=2).num_raw_inputs == 14**2
+
+    def test_modules_per_round_two_level(self):
+        spec = FactorySpec(k=4, levels=2)
+        assert spec.modules_in_round(1) == 20
+        assert spec.modules_in_round(2) == 4
+
+    def test_modules_per_round_three_level(self):
+        spec = FactorySpec(k=2, levels=3)
+        assert spec.modules_in_round(1) == 14**2
+        assert spec.modules_in_round(2) == 2 * 14
+        assert spec.modules_in_round(3) == 4
+
+    def test_round_index_bounds(self):
+        spec = FactorySpec(k=2, levels=2)
+        with pytest.raises(ValueError):
+            spec.modules_in_round(0)
+        with pytest.raises(ValueError):
+            spec.modules_in_round(3)
+
+    def test_from_capacity(self):
+        assert FactorySpec.from_capacity(36, 2).k == 6
+        assert FactorySpec.from_capacity(8, 1).k == 8
+
+    def test_from_capacity_rejects_non_powers(self):
+        with pytest.raises(ValueError):
+            FactorySpec.from_capacity(10, 2)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            FactorySpec(k=0, levels=1)
+        with pytest.raises(ValueError):
+            FactorySpec(k=2, levels=0)
+
+
+class TestPortMaps:
+    def test_default_port_map_covers_all_pairs(self):
+        spec = FactorySpec(k=2, levels=2)
+        port_map = default_port_map(spec, 1)
+        assert len(port_map) == 14 * 2  # every (producer, consumer) pair
+
+    def test_default_port_map_valid(self):
+        spec = FactorySpec(k=3, levels=2)
+        validate_port_map(spec, 1, default_port_map(spec, 1))
+
+    def test_last_boundary_has_no_map(self):
+        spec = FactorySpec(k=3, levels=2)
+        assert default_port_map(spec, 2) == {}
+
+    def test_validate_rejects_duplicate_ports(self):
+        spec = FactorySpec(k=2, levels=2)
+        port_map = default_port_map(spec, 1)
+        # Make producer 0 send port 0 to both consumers.
+        port_map[(0, 0)] = 0
+        port_map[(0, 1)] = 0
+        with pytest.raises(ValueError):
+            validate_port_map(spec, 1, port_map)
+
+    def test_validate_rejects_missing_pairs(self):
+        spec = FactorySpec(k=2, levels=2)
+        port_map = default_port_map(spec, 1)
+        port_map.pop((0, 0))
+        with pytest.raises(ValueError):
+            validate_port_map(spec, 1, port_map)
+
+    def test_validate_rejects_out_of_range_port(self):
+        spec = FactorySpec(k=2, levels=2)
+        port_map = default_port_map(spec, 1)
+        port_map[(0, 0)] = 5
+        with pytest.raises(ValueError):
+            validate_port_map(spec, 1, port_map)
+
+
+class TestSingleLevelFactory:
+    def test_single_level_is_one_module(self, single_level_k8):
+        assert len(single_level_k8.rounds) == 1
+        assert len(single_level_k8.rounds[0]) == 1
+
+    def test_single_level_qubit_count(self, single_level_k8):
+        assert single_level_k8.num_qubits == 5 * 8 + 13
+
+    def test_single_level_has_no_permutation_edges(self, single_level_k8):
+        assert single_level_k8.permutation_edges == []
+
+    def test_output_qubits_are_module_outputs(self, single_level_k8):
+        module = single_level_k8.rounds[0][0]
+        assert single_level_k8.output_qubits == module.out_qubits
+
+
+class TestTwoLevelFactory:
+    def test_round_structure(self, two_level_cap4):
+        spec = two_level_cap4.spec
+        assert spec.k == 2
+        assert len(two_level_cap4.rounds) == 2
+        assert len(two_level_cap4.rounds[0]) == 14
+        assert len(two_level_cap4.rounds[1]) == 2
+
+    def test_capacity_outputs(self, two_level_cap4):
+        assert len(two_level_cap4.output_qubits) == 4
+
+    def test_permutation_edge_count(self, two_level_cap4):
+        # Every round-1 output feeds exactly one round-2 input slot.
+        assert len(two_level_cap4.permutation_edges) == 14 * 2
+
+    def test_round2_inputs_are_round1_outputs(self, two_level_cap4):
+        round1_outputs = {
+            q for module in two_level_cap4.rounds[0] for q in module.out_qubits
+        }
+        for module in two_level_cap4.rounds[1]:
+            assert set(module.raw_qubits) <= round1_outputs
+
+    def test_correlated_error_constraint(self, two_level_cap4):
+        # Each round-2 module takes at most one state from any round-1 module.
+        producer_of = {}
+        for module in two_level_cap4.rounds[0]:
+            for qubit in module.out_qubits:
+                producer_of[qubit] = module.module_index
+        for module in two_level_cap4.rounds[1]:
+            producers = [producer_of[q] for q in module.raw_qubits]
+            assert len(producers) == len(set(producers))
+
+    def test_barriers_between_rounds(self, two_level_cap4):
+        barriers = [g for g in two_level_cap4.circuit if g.is_barrier]
+        assert len(barriers) == 1
+
+    def test_no_barriers_when_disabled(self):
+        factory = build_two_level_factory(4, barriers_between_rounds=False)
+        assert all(not g.is_barrier for g in factory.circuit)
+
+    def test_round_gate_slices_cover_all_gates(self, two_level_cap4):
+        total = sum(
+            len(two_level_cap4.round_gates(r))
+            for r in (1, 2)
+        )
+        non_barrier = sum(1 for g in two_level_cap4.circuit if not g.is_barrier)
+        assert total == non_barrier
+
+    def test_round_qubits_include_inputs(self, two_level_cap4):
+        round2_qubits = set(two_level_cap4.round_qubits(2))
+        for module in two_level_cap4.rounds[1]:
+            assert set(module.raw_qubits) <= round2_qubits
+
+    def test_module_of_qubit_covers_all_local_qubits(self, two_level_cap4):
+        owner = two_level_cap4.module_of_qubit()
+        for module in two_level_cap4.modules():
+            for qubit in module.local_qubits:
+                assert owner[qubit] == (module.round_index, module.module_index)
+
+    def test_gate_count_scales_with_modules(self, two_level_cap4):
+        from repro.distillation import module_gate_count
+
+        expected = 16 * module_gate_count(2) + 1  # 16 modules + 1 barrier
+        assert len(two_level_cap4.circuit) == expected
+
+
+class TestReusePolicy:
+    def test_reuse_allocates_fewer_qubits(self, two_level_cap4, two_level_cap4_reuse):
+        assert two_level_cap4_reuse.num_qubits < two_level_cap4.num_qubits
+
+    def test_reuse_recycles_measured_qubits(self, two_level_cap4_reuse):
+        round1_local = {
+            q
+            for module in two_level_cap4_reuse.rounds[0]
+            for q in module.all_qubits
+        }
+        round2_local = {
+            q
+            for module in two_level_cap4_reuse.rounds[1]
+            for q in module.local_qubits
+        }
+        assert round2_local <= round1_local
+
+    def test_no_reuse_keeps_rounds_disjoint(self, two_level_cap4):
+        round1_local = {
+            q for module in two_level_cap4.rounds[0] for q in module.all_qubits
+        }
+        round2_local = {
+            q for module in two_level_cap4.rounds[1] for q in module.local_qubits
+        }
+        assert not (round1_local & round2_local)
+
+    def test_reuse_never_recycles_forwarded_outputs(self, two_level_cap4_reuse):
+        forwarded = {
+            edge.producer_qubit for edge in two_level_cap4_reuse.permutation_edges
+        }
+        round2_local = {
+            q
+            for module in two_level_cap4_reuse.rounds[1]
+            for q in module.local_qubits
+        }
+        assert not (forwarded & round2_local)
+
+
+class TestCustomPortMaps:
+    def test_custom_port_map_changes_wiring(self):
+        spec = FactorySpec(k=2, levels=2)
+        base = build_factory(spec)
+        # Swap the ports every producer sends to the two consumers.
+        swapped = {
+            (producer, consumer): 1 - port
+            for (producer, consumer), port in default_port_map(spec, 1).items()
+        }
+        custom = build_factory(spec, port_maps=[swapped])
+        base_inputs = [m.raw_qubits for m in base.rounds[1]]
+        custom_inputs = [m.raw_qubits for m in custom.rounds[1]]
+        assert base_inputs != custom_inputs
+        # The multiset of consumed qubits is identical — only the routing changed.
+        assert sorted(q for mod in base_inputs for q in mod) == sorted(
+            q for mod in custom_inputs for q in mod
+        )
+
+    def test_port_map_count_must_match_boundaries(self):
+        spec = FactorySpec(k=2, levels=2)
+        with pytest.raises(ValueError):
+            build_factory(spec, port_maps=[])
+
+    def test_wrong_port_map_rejected(self):
+        spec = FactorySpec(k=2, levels=2)
+        with pytest.raises(ValueError):
+            build_factory(spec, port_maps=[{(0, 0): 0}])

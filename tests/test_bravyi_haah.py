@@ -1,0 +1,105 @@
+"""Unit tests for the Bravyi-Haah module generator (repro.distillation.bravyi_haah)."""
+
+import pytest
+
+from repro.circuits import GateKind
+from repro.distillation import (
+    BravyiHaahSpec,
+    build_bravyi_haah_circuit,
+    module_gate_count,
+    raw_state_usage,
+)
+
+
+class TestSpec:
+    def test_counts_match_protocol(self):
+        spec = BravyiHaahSpec(8)
+        assert spec.num_raw_states == 32
+        assert spec.num_ancillas == 13
+        assert spec.num_outputs == 8
+        assert spec.total_qubits == 53
+        assert spec.num_module_qubits == 21
+
+    @pytest.mark.parametrize("k", [1, 2, 4, 6, 8, 10, 24])
+    def test_total_qubits_formula(self, k):
+        spec = BravyiHaahSpec(k)
+        assert spec.total_qubits == 5 * k + 13
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            BravyiHaahSpec(0)
+
+
+class TestCircuitGeneration:
+    @pytest.mark.parametrize("k", [1, 2, 4, 8, 12])
+    def test_gate_count_matches_closed_form(self, k):
+        circuit = build_bravyi_haah_circuit(k)
+        assert len(circuit) == module_gate_count(k)
+
+    @pytest.mark.parametrize("k", [2, 4, 8])
+    def test_every_raw_state_consumed_exactly_once(self, k):
+        circuit = build_bravyi_haah_circuit(k)
+        assert raw_state_usage(circuit) == tuple([1] * (3 * k + 8))
+
+    def test_injection_count_equals_raw_states(self):
+        circuit = build_bravyi_haah_circuit(8)
+        counts = circuit.gate_counts()
+        injections = counts[GateKind.INJECT_T] + counts[GateKind.INJECT_TDAG]
+        assert injections == 3 * 8 + 8
+
+    def test_all_ancillas_measured(self):
+        circuit = build_bravyi_haah_circuit(4)
+        anc = circuit.register("anc")
+        measured = {
+            gate.qubits[0]
+            for gate in circuit
+            if gate.kind is GateKind.MEAS_X
+        }
+        assert measured == set(anc.qubits)
+
+    def test_outputs_never_measured(self):
+        circuit = build_bravyi_haah_circuit(4)
+        out = set(circuit.register("out").qubits)
+        for gate in circuit:
+            if gate.kind.is_measurement:
+                assert not (set(gate.qubits) & out)
+
+    def test_two_cxx_fanouts(self):
+        circuit = build_bravyi_haah_circuit(6)
+        cxx_gates = [g for g in circuit if g.kind is GateKind.CXX]
+        assert len(cxx_gates) == 2
+        # First touches k targets, second k+4 targets; both controlled by anc[0].
+        anc0 = circuit.register("anc")[0]
+        assert all(g.control == anc0 for g in cxx_gates)
+        assert {len(g.targets) for g in cxx_gates} == {6, 10}
+
+    def test_hadamard_count(self):
+        k = 5
+        circuit = build_bravyi_haah_circuit(k)
+        assert circuit.count(GateKind.H) == 3 + k
+
+    def test_register_sizes(self):
+        circuit = build_bravyi_haah_circuit(8)
+        assert circuit.register("raw_states").size == 32
+        assert circuit.register("out").size == 8
+        assert circuit.register("anc").size == 13
+        assert circuit.num_qubits == 53
+
+    def test_every_output_interacts_with_tail_ancilla(self):
+        k = 4
+        circuit = build_bravyi_haah_circuit(k)
+        out = circuit.register("out")
+        anc = circuit.register("anc")
+        pairs = set()
+        for gate in circuit:
+            if gate.kind is GateKind.CNOT:
+                pairs.add(gate.qubits)
+        for i in range(k):
+            assert (out[i], anc[5 + i]) in pairs
+
+    def test_circuit_name_defaults_to_capacity(self):
+        assert build_bravyi_haah_circuit(3).name == "bravyi_haah_k3"
+
+    def test_gates_are_tagged_with_module_id(self):
+        circuit = build_bravyi_haah_circuit(2)
+        assert all(gate.tag == "r1.m0" for gate in circuit)

@@ -1,0 +1,165 @@
+"""Unit tests for the circuit container (repro.circuits.circuit)."""
+
+import pytest
+
+from repro.circuits import Circuit, GateKind, cnot, concatenate, cxx, h, inject_t, meas_x
+
+
+def small_circuit():
+    circuit = Circuit("small")
+    a = circuit.add_register("a", 3)
+    b = circuit.add_register("b", 2)
+    circuit.append(h(a[0]))
+    circuit.append(cnot(a[0], a[1]))
+    circuit.append(inject_t(b[0], a[2]))
+    circuit.append(cxx(a[0], [a[1], a[2]]))
+    circuit.append(meas_x(a[1]))
+    return circuit
+
+
+class TestRegisters:
+    def test_registers_are_contiguous(self):
+        circuit = Circuit()
+        a = circuit.add_register("a", 3)
+        b = circuit.add_register("b", 2)
+        assert a.qubits == (0, 1, 2)
+        assert b.qubits == (3, 4)
+        assert circuit.num_qubits == 5
+
+    def test_register_indexing_and_iteration(self):
+        circuit = Circuit()
+        a = circuit.add_register("a", 4)
+        assert a[0] == 0
+        assert a[-1] == 3
+        assert list(a) == [0, 1, 2, 3]
+        assert len(a) == 4
+
+    def test_register_index_out_of_range(self):
+        circuit = Circuit()
+        a = circuit.add_register("a", 2)
+        with pytest.raises(IndexError):
+            a[2]
+
+    def test_duplicate_register_name_rejected(self):
+        circuit = Circuit()
+        circuit.add_register("a", 2)
+        with pytest.raises(ValueError):
+            circuit.add_register("a", 3)
+
+    def test_non_positive_register_size_rejected(self):
+        circuit = Circuit()
+        with pytest.raises(ValueError):
+            circuit.add_register("a", 0)
+
+    def test_qubit_name_resolution(self):
+        circuit = Circuit()
+        circuit.add_register("raw", 2)
+        circuit.add_register("anc", 2)
+        assert circuit.qubit_name(0) == "raw[0]"
+        assert circuit.qubit_name(3) == "anc[1]"
+
+    def test_register_lookup(self):
+        circuit = Circuit()
+        circuit.add_register("raw", 2)
+        assert circuit.register("raw").size == 2
+        with pytest.raises(KeyError):
+            circuit.register("missing")
+
+
+class TestGateManagement:
+    def test_append_validates_qubits(self):
+        circuit = Circuit()
+        circuit.add_register("a", 2)
+        with pytest.raises(ValueError):
+            circuit.append(cnot(0, 5))
+
+    def test_len_and_iteration(self):
+        circuit = small_circuit()
+        assert len(circuit) == 5
+        assert len(list(circuit)) == 5
+        assert circuit[0].kind is GateKind.H
+
+    def test_extend(self):
+        circuit = Circuit()
+        circuit.add_register("a", 2)
+        circuit.extend([h(0), cnot(0, 1)])
+        assert len(circuit) == 2
+
+    def test_gates_tuple_is_immutable_snapshot(self):
+        circuit = small_circuit()
+        snapshot = circuit.gates
+        circuit.append(h(0))
+        assert len(snapshot) == 5
+        assert len(circuit.gates) == 6
+
+
+class TestStatistics:
+    def test_gate_counts(self):
+        circuit = small_circuit()
+        counts = circuit.gate_counts()
+        assert counts[GateKind.H] == 1
+        assert counts[GateKind.CNOT] == 1
+        assert counts[GateKind.CXX] == 1
+
+    def test_count_single_kind(self):
+        assert small_circuit().count(GateKind.MEAS_X) == 1
+
+    def test_t_count_counts_injections(self):
+        circuit = small_circuit()
+        assert circuit.t_count == 1
+
+    def test_braided_gate_count(self):
+        assert small_circuit().braided_gate_count == 3
+
+    def test_total_duration_is_sum(self):
+        circuit = small_circuit()
+        assert circuit.total_duration() == sum(g.duration() for g in circuit)
+
+    def test_used_qubits(self):
+        circuit = small_circuit()
+        assert circuit.used_qubits() == (0, 1, 2, 3)
+
+
+class TestTransformations:
+    def test_remap_qubits(self):
+        circuit = small_circuit()
+        remapped = circuit.remap_qubits({0: 7})
+        assert remapped[1].qubits == (7, 1)
+        assert remapped.num_qubits >= 8
+
+    def test_subcircuit_preserves_qubit_space(self):
+        circuit = small_circuit()
+        sub = circuit.subcircuit([1, 3])
+        assert len(sub) == 2
+        assert sub.num_qubits == circuit.num_qubits
+
+    def test_with_gates_keeps_registers(self):
+        circuit = small_circuit()
+        new = circuit.with_gates([h(0)])
+        assert new.num_qubits == circuit.num_qubits
+        assert new.register("a").size == 3
+        assert len(new) == 1
+
+
+class TestConcatenate:
+    def test_concatenate_offsets_qubits(self):
+        first = Circuit("one")
+        first.add_register("q", 2)
+        first.append(cnot(0, 1))
+        second = Circuit("two")
+        second.add_register("q", 3)
+        second.append(cnot(0, 2))
+
+        combined = concatenate([first, second])
+        assert combined.num_qubits == 5
+        assert combined.offsets == [0, 2]
+        assert combined[0].qubits == (0, 1)
+        assert combined[1].qubits == (2, 4)
+
+    def test_concatenate_register_names_unique(self):
+        first = Circuit("one")
+        first.add_register("q", 1)
+        second = Circuit("two")
+        second.add_register("q", 1)
+        combined = concatenate([first, second])
+        assert set(combined.registers) == {"c0_q", "c1_q"}

@@ -1,0 +1,141 @@
+"""Unit tests for dependency analysis (repro.circuits.dag)."""
+
+from repro.circuits import (
+    Circuit,
+    asap_levels,
+    asap_start_times,
+    barrier,
+    build_dependency_dag,
+    cnot,
+    critical_path_length,
+    dependency_depth,
+    h,
+    level_partition,
+    meas_x,
+)
+from repro.circuits.gates import DEFAULT_DURATIONS, GateKind
+
+
+def chain_gates():
+    # h(0); cnot(0,1); cnot(1,2); meas(2): a pure dependency chain.
+    return [h(0), cnot(0, 1), cnot(1, 2), meas_x(2)]
+
+
+def parallel_gates():
+    # Two completely independent CNOTs plus a dependent one.
+    return [cnot(0, 1), cnot(2, 3), cnot(1, 2)]
+
+
+class TestDependencyDag:
+    def test_chain_dependencies(self):
+        dag = build_dependency_dag(chain_gates())
+        assert dag.predecessors[0] == ()
+        assert dag.predecessors[1] == (0,)
+        assert dag.predecessors[2] == (1,)
+        assert dag.predecessors[3] == (2,)
+
+    def test_successors_mirror_predecessors(self):
+        dag = build_dependency_dag(chain_gates())
+        for index, preds in enumerate(dag.predecessors):
+            for pred in preds:
+                assert index in dag.successors[pred]
+
+    def test_independent_gates_have_no_edge(self):
+        dag = build_dependency_dag(parallel_gates())
+        assert dag.predecessors[1] == ()
+        assert set(dag.predecessors[2]) == {0, 1}
+
+    def test_roots_and_leaves(self):
+        dag = build_dependency_dag(parallel_gates())
+        assert dag.roots() == [0, 1]
+        assert dag.leaves() == [2]
+
+    def test_shared_qubit_is_true_dependency_even_for_reads(self):
+        # Two CNOTs sharing only the control qubit still serialise (the
+        # simulator treats any data hazard as a true dependency).
+        dag = build_dependency_dag([cnot(0, 1), cnot(0, 2)])
+        assert dag.predecessors[1] == (0,)
+
+    def test_barrier_orders_everything(self):
+        gates = [cnot(0, 1), barrier(), cnot(2, 3)]
+        dag = build_dependency_dag(gates)
+        assert dag.predecessors[1] == (0,)
+        assert dag.predecessors[2] == (1,)
+
+    def test_consecutive_barriers_chain(self):
+        gates = [barrier(), barrier()]
+        dag = build_dependency_dag(gates)
+        assert dag.predecessors[1] == (0,)
+
+
+class TestAsapAndCriticalPath:
+    def test_asap_levels_chain(self):
+        dag = build_dependency_dag(chain_gates())
+        assert asap_levels(dag) == [0, 1, 2, 3]
+
+    def test_asap_levels_parallel(self):
+        dag = build_dependency_dag(parallel_gates())
+        assert asap_levels(dag) == [0, 0, 1]
+
+    def test_asap_start_times_respect_durations(self):
+        dag = build_dependency_dag([cnot(0, 1), cnot(1, 2)])
+        starts = asap_start_times(dag)
+        assert starts == [0, DEFAULT_DURATIONS[GateKind.CNOT]]
+
+    def test_critical_path_of_chain(self):
+        expected = sum(gate.duration() for gate in chain_gates())
+        assert critical_path_length(chain_gates()) == expected
+
+    def test_critical_path_of_parallel_gates(self):
+        cnot_duration = DEFAULT_DURATIONS[GateKind.CNOT]
+        assert critical_path_length(parallel_gates()) == 2 * cnot_duration
+
+    def test_critical_path_empty(self):
+        assert critical_path_length([]) == 0
+
+    def test_critical_path_accepts_circuit(self):
+        circuit = Circuit()
+        circuit.add_register("q", 3)
+        circuit.extend(chain_gates())
+        assert critical_path_length(circuit) == critical_path_length(chain_gates())
+
+    def test_custom_durations(self):
+        durations = dict(DEFAULT_DURATIONS)
+        durations[GateKind.CNOT] = 10
+        assert critical_path_length([cnot(0, 1)], durations) == 10
+
+    def test_dependency_depth(self):
+        assert dependency_depth(chain_gates()) == 4
+        assert dependency_depth(parallel_gates()) == 2
+        assert dependency_depth([]) == 0
+
+    def test_level_partition_groups_indices(self):
+        dag = build_dependency_dag(parallel_gates())
+        assert level_partition(dag) == [[0, 1], [2]]
+
+    def test_barrier_extends_critical_path_only_slightly(self):
+        # Adding a barrier between independent halves adds its own duration
+        # but does not multiply the critical path.
+        gates = [cnot(0, 1), cnot(2, 3)]
+        with_barrier = [cnot(0, 1), barrier(), cnot(2, 3)]
+        base = critical_path_length(gates)
+        barriered = critical_path_length(with_barrier)
+        assert barriered == base + DEFAULT_DURATIONS[GateKind.CNOT] + 1
+
+
+class TestFactoryCriticalPath:
+    def test_factory_critical_path_positive(self, single_level_k4):
+        assert critical_path_length(single_level_k4.circuit) > 0
+
+    def test_two_level_critical_path_exceeds_single_level(
+        self, single_level_k4, two_level_cap4
+    ):
+        # The two-level factory (k=2 per module) contains round-2 work that
+        # depends on round-1 outputs, so its critical path must be longer
+        # than a single round of the same module size.
+        single_k2 = critical_path_length(single_level_k4.circuit)
+        assert critical_path_length(two_level_cap4.circuit) > 0
+        assert (
+            critical_path_length(two_level_cap4.circuit)
+            >= single_k2 * 0.5
+        )

@@ -1,0 +1,118 @@
+"""Unit tests for the analytic error model (repro.distillation.error_model)."""
+
+import pytest
+
+from repro.distillation import (
+    ErrorBudget,
+    bravyi_haah_output_error,
+    bravyi_haah_success_probability,
+    multi_level_output_errors,
+    required_code_distance,
+    required_levels,
+    surface_code_logical_error,
+)
+
+
+class TestSurfaceCode:
+    def test_logical_error_formula(self):
+        # d=3, p=1e-3: P_L = 3 * (0.1)^2 = 0.03.
+        assert surface_code_logical_error(3, 1e-3) == pytest.approx(0.03)
+
+    def test_logical_error_decreases_with_distance(self):
+        p = 1e-3
+        errors = [surface_code_logical_error(d, p) for d in (3, 5, 7, 9)]
+        assert errors == sorted(errors, reverse=True)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            surface_code_logical_error(0, 1e-3)
+        with pytest.raises(ValueError):
+            surface_code_logical_error(3, 1.5)
+
+    def test_required_code_distance_monotone_in_target(self):
+        lenient = required_code_distance(1e-3, 1e-6)
+        strict = required_code_distance(1e-3, 1e-12)
+        assert strict >= lenient
+        assert lenient % 2 == 1
+        assert strict % 2 == 1
+
+    def test_required_code_distance_meets_target(self):
+        target = 1e-9
+        d = required_code_distance(1e-3, target)
+        assert surface_code_logical_error(d, 1e-3) <= target
+
+    def test_required_code_distance_unreachable(self):
+        # Above-threshold error rates can never reach the target.
+        with pytest.raises(ValueError):
+            required_code_distance(0.5, 1e-9, max_distance=21)
+
+    def test_required_code_distance_rejects_bad_target(self):
+        with pytest.raises(ValueError):
+            required_code_distance(1e-3, 0.0)
+
+
+class TestBravyiHaah:
+    def test_output_error_formula(self):
+        assert bravyi_haah_output_error(8, 1e-2) == pytest.approx(25 * 1e-4)
+
+    def test_output_error_quadratic_suppression(self):
+        assert bravyi_haah_output_error(2, 1e-3) < 1e-3
+
+    def test_success_probability_first_order(self):
+        assert bravyi_haah_success_probability(8, 1e-3) == pytest.approx(1 - 32 * 1e-3)
+
+    def test_success_probability_clamped(self):
+        assert bravyi_haah_success_probability(8, 0.5) == 0.0
+        assert bravyi_haah_success_probability(8, 0.0) == 1.0
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValueError):
+            bravyi_haah_output_error(0, 1e-3)
+        with pytest.raises(ValueError):
+            bravyi_haah_success_probability(0, 1e-3)
+
+    def test_negative_error_rejected(self):
+        with pytest.raises(ValueError):
+            bravyi_haah_output_error(2, -0.1)
+
+
+class TestMultiLevel:
+    def test_per_round_errors_decrease(self):
+        errors = multi_level_output_errors(4, 3, 1e-2)
+        assert len(errors) == 3
+        assert errors[0] > errors[1] > errors[2]
+
+    def test_recursion_matches_single_application(self):
+        single = bravyi_haah_output_error(4, 1e-2)
+        double = bravyi_haah_output_error(4, single)
+        assert multi_level_output_errors(4, 2, 1e-2)[-1] == pytest.approx(double)
+
+    def test_required_levels(self):
+        assert required_levels(4, 1e-2, 1e-2) == 0
+        # One round: (1 + 3*4) * (1e-2)^2 = 1.3e-3; two rounds: ~2.2e-6.
+        assert required_levels(4, 1e-2, 2e-3) == 1
+        assert required_levels(4, 1e-2, 1e-4) == 2
+
+    def test_required_levels_unreachable(self):
+        # With an input error rate where distillation no longer converges,
+        # the target can never be reached.
+        with pytest.raises(ValueError):
+            required_levels(8, 0.2, 1e-9, max_levels=5)
+
+    def test_invalid_levels_rejected(self):
+        with pytest.raises(ValueError):
+            multi_level_output_errors(4, 0, 1e-2)
+
+
+class TestErrorBudget:
+    def test_defaults_are_sensible(self):
+        budget = ErrorBudget()
+        assert 0 < budget.physical_error < budget.injection_error < 1
+
+    def test_output_errors_delegate(self):
+        budget = ErrorBudget(injection_error=1e-2)
+        assert budget.output_errors(4, 2) == multi_level_output_errors(4, 2, 1e-2)
+
+    def test_levels_needed(self):
+        budget = ErrorBudget(injection_error=1e-2, target_error=1e-4)
+        assert budget.levels_needed(4) == 2

@@ -1,0 +1,129 @@
+"""Unit tests for the gate IR (repro.circuits.gates)."""
+
+import pytest
+
+from repro.circuits import gates as g
+from repro.circuits.gates import DEFAULT_DURATIONS, Gate, GateKind
+
+
+class TestGateConstruction:
+    def test_cnot_has_control_and_target(self):
+        gate = g.cnot(1, 2)
+        assert gate.kind is GateKind.CNOT
+        assert gate.control == 1
+        assert gate.targets == (2,)
+
+    def test_cxx_control_and_targets(self):
+        gate = g.cxx(0, [1, 2, 3])
+        assert gate.control == 0
+        assert gate.targets == (1, 2, 3)
+
+    def test_single_qubit_gate_has_no_control(self):
+        assert g.h(3).control is None
+        assert g.meas_x(3).control is None
+
+    def test_injection_consumes_raw_state(self):
+        gate = g.inject_t(5, 9)
+        assert gate.qubits == (5, 9)
+        assert gate.control == 5
+
+    def test_barrier_can_be_empty(self):
+        gate = g.barrier()
+        assert gate.is_barrier
+        assert gate.qubits == ()
+
+    def test_duplicate_qubits_rejected(self):
+        with pytest.raises(ValueError):
+            g.cnot(1, 1)
+
+    def test_single_qubit_gate_rejects_two_qubits(self):
+        with pytest.raises(ValueError):
+            Gate(GateKind.H, (1, 2))
+
+    def test_cnot_requires_exactly_two_qubits(self):
+        with pytest.raises(ValueError):
+            Gate(GateKind.CNOT, (1,))
+        with pytest.raises(ValueError):
+            Gate(GateKind.CNOT, (1, 2, 3))
+
+    def test_cxx_requires_at_least_one_target(self):
+        with pytest.raises(ValueError):
+            Gate(GateKind.CXX, (1,))
+
+    def test_empty_non_barrier_gate_rejected(self):
+        with pytest.raises(ValueError):
+            Gate(GateKind.H, ())
+
+    def test_gate_is_frozen(self):
+        gate = g.cnot(0, 1)
+        with pytest.raises(AttributeError):
+            gate.qubits = (2, 3)
+
+    def test_tag_not_part_of_equality(self):
+        assert g.cnot(0, 1, tag="a") == g.cnot(0, 1, tag="b")
+
+
+class TestGateProperties:
+    def test_braided_kinds(self):
+        assert g.cnot(0, 1).is_braided
+        assert g.cxx(0, [1, 2]).is_braided
+        assert g.inject_t(0, 1).is_braided
+        assert g.inject_tdag(0, 1).is_braided
+        assert not g.h(0).is_braided
+        assert not g.meas_x(0).is_braided
+        assert not g.barrier().is_braided
+
+    def test_measurement_kinds(self):
+        assert GateKind.MEAS_X.is_measurement
+        assert GateKind.MEAS_Z.is_measurement
+        assert not GateKind.CNOT.is_measurement
+
+    def test_single_qubit_kinds(self):
+        assert GateKind.H.is_single_qubit
+        assert GateKind.PREP.is_single_qubit
+        assert not GateKind.CNOT.is_single_qubit
+        assert not GateKind.BARRIER.is_single_qubit
+
+    def test_default_durations_cover_every_kind(self):
+        for kind in GateKind:
+            assert kind in DEFAULT_DURATIONS
+            assert DEFAULT_DURATIONS[kind] >= 1
+
+    def test_duration_lookup(self):
+        assert g.cnot(0, 1).duration() == DEFAULT_DURATIONS[GateKind.CNOT]
+        assert g.h(0).duration({GateKind.H: 7}) == 7
+
+
+class TestInteractionPairs:
+    def test_cnot_yields_single_pair(self):
+        assert list(g.cnot(2, 5).interaction_pairs()) == [(2, 5)]
+
+    def test_injection_yields_single_pair(self):
+        assert list(g.inject_t(4, 7).interaction_pairs()) == [(4, 7)]
+        assert list(g.inject_tdag(4, 7).interaction_pairs()) == [(4, 7)]
+
+    def test_cxx_yields_pair_per_target(self):
+        pairs = list(g.cxx(0, [1, 2, 3]).interaction_pairs())
+        assert pairs == [(0, 1), (0, 2), (0, 3)]
+
+    def test_single_qubit_yields_nothing(self):
+        assert list(g.h(0).interaction_pairs()) == []
+        assert list(g.meas_x(0).interaction_pairs()) == []
+
+    def test_barrier_yields_nothing(self):
+        assert list(g.barrier([0, 1, 2]).interaction_pairs()) == []
+
+
+class TestRemap:
+    def test_remap_changes_mapped_qubits(self):
+        gate = g.cnot(0, 1).remap({0: 10, 1: 11})
+        assert gate.qubits == (10, 11)
+
+    def test_remap_keeps_unmapped_qubits(self):
+        gate = g.cxx(0, [1, 2]).remap({1: 9})
+        assert gate.qubits == (0, 9, 2)
+
+    def test_remap_preserves_kind_and_tag(self):
+        gate = g.inject_t(0, 1, tag="x").remap({0: 5})
+        assert gate.kind is GateKind.INJECT_T
+        assert gate.tag == "x"

@@ -1,0 +1,214 @@
+"""Unit tests for the mapping algorithms (linear, random, FD, GP)."""
+
+import pytest
+
+from repro.circuits import critical_path_length
+from repro.distillation import BravyiHaahSpec, build_single_level_factory
+from repro.graphs import interaction_graph, mapping_metrics, total_edge_length
+from repro.mapping import (
+    ForceDirectedConfig,
+    assign_dipole_poles,
+    force_directed_placement,
+    force_directed_refine,
+    graph_partition_placement,
+    linear_factory_placement,
+    linear_module_cells,
+    linear_module_shape,
+    random_circuit_placement,
+    random_placement,
+    random_placements,
+)
+from repro.routing import simulate
+
+
+def assert_places_all_qubits(placement, circuit):
+    for qubit in range(circuit.num_qubits):
+        assert qubit in placement
+
+
+class TestLinearMapping:
+    def test_module_cells_are_disjoint(self):
+        for k in (2, 4, 8, 10):
+            cells = linear_module_cells(BravyiHaahSpec(k))
+            all_cells = cells["raw"] + cells["anc"] + cells["out"]
+            assert len(all_cells) == len(set(all_cells))
+
+    def test_module_cells_fit_block_shape(self):
+        for k in (2, 8):
+            spec = BravyiHaahSpec(k)
+            height, width = linear_module_shape(spec)
+            for register_cells in linear_module_cells(spec).values():
+                for row, col in register_cells:
+                    assert 0 <= row < height
+                    assert 0 <= col < width
+
+    def test_module_cells_cover_every_qubit(self):
+        spec = BravyiHaahSpec(6)
+        cells = linear_module_cells(spec)
+        assert len(cells["raw"]) == spec.num_raw_states
+        assert len(cells["anc"]) == spec.num_ancillas
+        assert len(cells["out"]) == spec.num_outputs
+
+    def test_injection_braids_are_short(self):
+        # The hand layout places raw states adjacent to the ancilla they are
+        # injected into; edge length of injections must be at most 2.
+        spec = BravyiHaahSpec(4)
+        cells = linear_module_cells(spec)
+        for i in range(1, spec.k + 5):
+            raw_cell = cells["raw"][2 * i - 2]
+            anc_cell = cells["anc"][i]
+            distance = abs(raw_cell[0] - anc_cell[0]) + abs(raw_cell[1] - anc_cell[1])
+            assert distance <= 2
+
+    def test_factory_placement_places_everything(self, single_level_k4):
+        placement = linear_factory_placement(single_level_k4)
+        assert_places_all_qubits(placement, single_level_k4.circuit)
+
+    def test_two_level_placement_places_everything(self, two_level_cap4):
+        placement = linear_factory_placement(two_level_cap4)
+        assert_places_all_qubits(placement, two_level_cap4.circuit)
+        placement.validate()
+
+    def test_reuse_factory_placement_valid(self, two_level_cap4_reuse):
+        placement = linear_factory_placement(two_level_cap4_reuse)
+        assert_places_all_qubits(placement, two_level_cap4_reuse.circuit)
+
+    def test_single_level_linear_close_to_critical_path(self, single_level_k8):
+        placement = linear_factory_placement(single_level_k8)
+        latency = simulate(single_level_k8.circuit, placement).latency
+        bound = critical_path_length(single_level_k8.circuit)
+        assert latency <= bound * 1.5
+
+
+class TestRandomMapping:
+    def test_random_placement_injective(self):
+        placement = random_placement(list(range(30)), seed=5)
+        assert len(set(placement.positions.values())) == 30
+
+    def test_random_placement_deterministic_per_seed(self):
+        first = random_placement(list(range(20)), seed=3)
+        second = random_placement(list(range(20)), seed=3)
+        assert first.positions == second.positions
+
+    def test_different_seeds_differ(self):
+        first = random_placement(list(range(20)), seed=1)
+        second = random_placement(list(range(20)), seed=2)
+        assert first.positions != second.positions
+
+    def test_random_circuit_placement(self, single_level_k4):
+        placement = random_circuit_placement(single_level_k4.circuit, seed=0)
+        assert_places_all_qubits(placement, single_level_k4.circuit)
+
+    def test_random_placements_family(self):
+        family = random_placements(list(range(10)), count=5, base_seed=7)
+        assert len(family) == 5
+        assert len({tuple(sorted(p.positions.items())) for p in family}) == 5
+
+    def test_grid_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            random_placement(list(range(10)), width=2, height=2)
+
+    def test_random_worse_than_linear_on_average(self, single_level_k8):
+        graph = interaction_graph(single_level_k8.circuit)
+        linear = linear_factory_placement(single_level_k8)
+        random_lengths = []
+        for seed in range(5):
+            placement = random_circuit_placement(single_level_k8.circuit, seed=seed)
+            random_lengths.append(total_edge_length(graph, placement.as_float_positions()))
+        linear_length = total_edge_length(graph, linear.as_float_positions())
+        assert min(random_lengths) > linear_length
+
+
+class TestGraphPartitionMapping:
+    def test_places_every_qubit(self, single_level_k4):
+        placement = graph_partition_placement(single_level_k4.circuit)
+        assert_places_all_qubits(placement, single_level_k4.circuit)
+        placement.validate()
+
+    def test_two_level_placement(self, two_level_cap4):
+        placement = graph_partition_placement(two_level_cap4.circuit, seed=1)
+        assert_places_all_qubits(placement, two_level_cap4.circuit)
+
+    def test_respects_explicit_dimensions(self, single_level_k4):
+        placement = graph_partition_placement(
+            single_level_k4.circuit, width=10, height=10
+        )
+        assert placement.width == 10 and placement.height == 10
+
+    def test_region_too_small_rejected(self, single_level_k4):
+        with pytest.raises(ValueError):
+            graph_partition_placement(single_level_k4.circuit, width=3, height=3)
+
+    def test_beats_random_on_edge_length(self, single_level_k8):
+        graph = interaction_graph(single_level_k8.circuit)
+        gp = graph_partition_placement(single_level_k8.circuit, seed=0)
+        rand = random_circuit_placement(single_level_k8.circuit, seed=0)
+        assert total_edge_length(graph, gp.as_float_positions()) < total_edge_length(
+            graph, rand.as_float_positions()
+        )
+
+    def test_accepts_prebuilt_graph(self, k4_interaction_graph, single_level_k4):
+        placement = graph_partition_placement(
+            k4_interaction_graph,
+            qubits=list(range(single_level_k4.circuit.num_qubits)),
+        )
+        assert placement.num_qubits == single_level_k4.circuit.num_qubits
+
+
+class TestForceDirected:
+    def test_dipole_poles_cover_every_vertex(self, k4_interaction_graph):
+        poles = assign_dipole_poles(k4_interaction_graph)
+        assert set(poles) == set(k4_interaction_graph.nodes())
+        assert set(poles.values()) <= {-1, 1}
+
+    def test_refinement_improves_random_start(self, single_level_k8):
+        graph = interaction_graph(single_level_k8.circuit)
+        initial = random_circuit_placement(single_level_k8.circuit, seed=3, slack=1.5)
+        refined = force_directed_refine(
+            graph, initial, ForceDirectedConfig(sweeps=25, seed=1)
+        )
+        before = mapping_metrics(graph, initial.as_float_positions())
+        after = mapping_metrics(graph, refined.as_float_positions())
+        assert after["edge_crossings"] < before["edge_crossings"]
+        assert after["average_edge_length"] < before["average_edge_length"]
+
+    def test_refinement_never_loses_qubits(self, single_level_k4, k4_random_placement):
+        graph = interaction_graph(single_level_k4.circuit)
+        refined = force_directed_refine(
+            graph, k4_random_placement, ForceDirectedConfig(sweeps=10, seed=0)
+        )
+        assert set(refined.positions) == set(k4_random_placement.positions)
+        refined.validate()
+
+    def test_input_placement_not_mutated(self, single_level_k4, k4_random_placement):
+        graph = interaction_graph(single_level_k4.circuit)
+        snapshot = dict(k4_random_placement.positions)
+        force_directed_refine(
+            graph, k4_random_placement, ForceDirectedConfig(sweeps=5, seed=0)
+        )
+        assert k4_random_placement.positions == snapshot
+
+    def test_force_directed_placement_from_scratch(self, single_level_k4):
+        placement = force_directed_placement(
+            single_level_k4.circuit, config=ForceDirectedConfig(sweeps=5, seed=0)
+        )
+        assert placement.num_qubits == single_level_k4.circuit.num_qubits
+
+    def test_ablation_switches_accepted(self, single_level_k4, k4_random_placement):
+        graph = interaction_graph(single_level_k4.circuit)
+        config = ForceDirectedConfig(
+            sweeps=5,
+            use_dipole=False,
+            use_edge_repulsion=False,
+            use_communities=False,
+            seed=0,
+        )
+        refined = force_directed_refine(graph, k4_random_placement, config)
+        refined.validate()
+
+    def test_deterministic_given_seed(self, single_level_k4, k4_random_placement):
+        graph = interaction_graph(single_level_k4.circuit)
+        config = ForceDirectedConfig(sweeps=8, seed=42)
+        first = force_directed_refine(graph, k4_random_placement, config)
+        second = force_directed_refine(graph, k4_random_placement, config)
+        assert first.positions == second.positions

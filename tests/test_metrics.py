@@ -1,0 +1,138 @@
+"""Unit tests for mapping metrics (repro.graphs.metrics)."""
+
+import networkx as nx
+import pytest
+
+from repro.graphs import (
+    average_edge_length,
+    average_edge_spacing,
+    count_edge_crossings,
+    edge_midpoint,
+    euclidean_distance,
+    manhattan_distance,
+    mapping_cost,
+    mapping_metrics,
+    pearson_correlation,
+    segments_intersect,
+    total_edge_length,
+)
+
+
+def square_graph():
+    """Four vertices on a unit square with the two diagonals as edges."""
+    graph = nx.Graph()
+    graph.add_edge(0, 2)
+    graph.add_edge(1, 3)
+    positions = {0: (0.0, 0.0), 1: (0.0, 1.0), 2: (1.0, 1.0), 3: (1.0, 0.0)}
+    return graph, positions
+
+
+class TestDistances:
+    def test_manhattan(self):
+        assert manhattan_distance((0, 0), (2, 3)) == 5
+
+    def test_euclidean(self):
+        assert euclidean_distance((0, 0), (3, 4)) == pytest.approx(5.0)
+
+    def test_midpoint(self):
+        assert edge_midpoint((0, 0), (2, 4)) == (1.0, 2.0)
+
+
+class TestEdgeLength:
+    def test_total_edge_length_weighted(self):
+        graph = nx.Graph()
+        graph.add_edge(0, 1, weight=3)
+        positions = {0: (0.0, 0.0), 1: (1.0, 1.0)}
+        assert total_edge_length(graph, positions) == 6.0
+        assert total_edge_length(graph, positions, weighted=False) == 2.0
+
+    def test_average_edge_length(self):
+        graph, positions = square_graph()
+        assert average_edge_length(graph, positions) == pytest.approx(2.0)
+
+    def test_average_edge_length_empty_graph(self):
+        assert average_edge_length(nx.Graph(), {}) == 0.0
+
+    def test_unplaced_endpoint_raises(self):
+        graph = nx.Graph()
+        graph.add_edge(0, 1)
+        with pytest.raises(KeyError):
+            count_edge_crossings(graph, {0: (0.0, 0.0)})
+
+
+class TestEdgeSpacing:
+    def test_spacing_of_parallel_edges(self):
+        graph = nx.Graph()
+        graph.add_edge(0, 1)
+        graph.add_edge(2, 3)
+        positions = {0: (0.0, 0.0), 1: (0.0, 2.0), 2: (3.0, 0.0), 3: (3.0, 2.0)}
+        # Midpoints are (0,1) and (3,1): spacing 3.
+        assert average_edge_spacing(graph, positions) == pytest.approx(3.0)
+
+    def test_spacing_needs_two_edges(self):
+        graph = nx.Graph()
+        graph.add_edge(0, 1)
+        assert average_edge_spacing(graph, {0: (0.0, 0.0), 1: (1.0, 0.0)}) == 0.0
+
+
+class TestCrossings:
+    def test_diagonals_cross(self):
+        graph, positions = square_graph()
+        assert count_edge_crossings(graph, positions) == 1
+
+    def test_shared_endpoint_is_not_a_crossing(self):
+        graph = nx.Graph()
+        graph.add_edge(0, 1)
+        graph.add_edge(1, 2)
+        positions = {0: (0.0, 0.0), 1: (1.0, 1.0), 2: (2.0, 0.0)}
+        assert count_edge_crossings(graph, positions) == 0
+
+    def test_parallel_edges_do_not_cross(self):
+        graph = nx.Graph()
+        graph.add_edge(0, 1)
+        graph.add_edge(2, 3)
+        positions = {0: (0.0, 0.0), 1: (0.0, 5.0), 2: (1.0, 0.0), 3: (1.0, 5.0)}
+        assert count_edge_crossings(graph, positions) == 0
+
+    def test_segments_intersect_basic(self):
+        assert segments_intersect((0, 0), (2, 2), (0, 2), (2, 0))
+        assert not segments_intersect((0, 0), (1, 0), (2, 0), (3, 0))
+
+    def test_collinear_overlap_counts(self):
+        assert segments_intersect((0, 0), (3, 0), (1, 0), (4, 0))
+
+    def test_shared_endpoint_excluded(self):
+        assert not segments_intersect((0, 0), (1, 1), (1, 1), (2, 0))
+
+
+class TestCostAndCorrelation:
+    def test_mapping_metrics_keys(self):
+        graph, positions = square_graph()
+        metrics = mapping_metrics(graph, positions)
+        assert set(metrics) == {
+            "edge_crossings",
+            "average_edge_length",
+            "average_edge_spacing",
+        }
+
+    def test_mapping_cost_penalises_crossings(self):
+        graph, crossing_positions = square_graph()
+        # Re-draw the same graph without a crossing.
+        flat_positions = {0: (0.0, 0.0), 2: (0.0, 1.0), 1: (1.0, 0.0), 3: (1.0, 1.0)}
+        assert mapping_cost(graph, crossing_positions) > mapping_cost(
+            graph, flat_positions
+        )
+
+    def test_pearson_perfect_correlation(self):
+        assert pearson_correlation([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+        assert pearson_correlation([1, 2, 3], [6, 4, 2]) == pytest.approx(-1.0)
+
+    def test_pearson_zero_variance(self):
+        assert pearson_correlation([1, 1, 1], [2, 4, 6]) == 0.0
+
+    def test_pearson_length_mismatch(self):
+        with pytest.raises(ValueError):
+            pearson_correlation([1, 2], [1, 2, 3])
+
+    def test_pearson_tiny_sample(self):
+        assert pearson_correlation([1], [2]) == 0.0

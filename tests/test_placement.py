@@ -1,0 +1,135 @@
+"""Unit tests for placement primitives (repro.mapping.placement)."""
+
+import pytest
+
+from repro.mapping import (
+    Placement,
+    grid_dimensions_for,
+    pack_placements,
+    row_major_placement,
+)
+
+
+class TestPlacement:
+    def test_basic_placement(self):
+        placement = Placement(width=3, height=2, positions={0: (0, 0), 1: (1, 2)})
+        assert placement.area == 6
+        assert placement.num_qubits == 2
+        assert placement[1] == (1, 2)
+        assert 0 in placement and 5 not in placement
+
+    def test_out_of_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Placement(width=2, height=2, positions={0: (2, 0)})
+
+    def test_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            Placement(width=2, height=2, positions={0: (0, 0), 1: (0, 0)})
+
+    def test_degenerate_grid_rejected(self):
+        with pytest.raises(ValueError):
+            Placement(width=0, height=3)
+
+    def test_place_and_move(self):
+        placement = Placement(width=3, height=3)
+        placement.place(0, (0, 0))
+        placement.place(1, (1, 1))
+        placement.move(0, (2, 2))
+        assert placement[0] == (2, 2)
+
+    def test_move_onto_occupied_swaps(self):
+        placement = Placement(width=3, height=3, positions={0: (0, 0), 1: (1, 1)})
+        placement.move(0, (1, 1))
+        assert placement[0] == (1, 1)
+        assert placement[1] == (0, 0)
+
+    def test_place_onto_occupied_raises(self):
+        placement = Placement(width=3, height=3, positions={0: (0, 0)})
+        with pytest.raises(ValueError):
+            placement.place(1, (0, 0))
+
+    def test_swap(self):
+        placement = Placement(width=2, height=2, positions={0: (0, 0), 1: (1, 1)})
+        placement.swap(0, 1)
+        assert placement[0] == (1, 1)
+
+    def test_free_cells(self):
+        placement = Placement(width=2, height=2, positions={0: (0, 0)})
+        assert (0, 0) not in placement.free_cells()
+        assert len(placement.free_cells()) == 3
+
+    def test_copy_is_independent(self):
+        placement = Placement(width=2, height=2, positions={0: (0, 0)})
+        clone = placement.copy()
+        clone.move(0, (1, 1))
+        assert placement[0] == (0, 0)
+
+    def test_translated(self):
+        placement = Placement(width=2, height=2, positions={0: (0, 0)})
+        shifted = placement.translated(3, 4)
+        assert shifted[0] == (3, 4)
+        assert shifted.height >= 4 and shifted.width >= 5
+
+    def test_as_float_positions(self):
+        placement = Placement(width=2, height=2, positions={0: (1, 0)})
+        assert placement.as_float_positions() == {0: (1.0, 0.0)}
+
+    def test_occupied_cells_inverse(self):
+        placement = Placement(width=2, height=2, positions={5: (0, 1)})
+        assert placement.occupied_cells() == {(0, 1): 5}
+
+
+class TestGridDimensions:
+    def test_dimensions_hold_all_qubits(self):
+        for count in (1, 5, 20, 53, 100):
+            height, width = grid_dimensions_for(count)
+            assert height * width >= count
+
+    def test_slack_increases_area(self):
+        tight = grid_dimensions_for(50, slack=1.0)
+        loose = grid_dimensions_for(50, slack=2.0)
+        assert loose[0] * loose[1] > tight[0] * tight[1]
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            grid_dimensions_for(0)
+        with pytest.raises(ValueError):
+            grid_dimensions_for(5, slack=0.5)
+
+
+class TestRowMajor:
+    def test_row_major_order(self):
+        placement = row_major_placement([10, 11, 12, 13], width=2, height=2)
+        assert placement[10] == (0, 0)
+        assert placement[11] == (0, 1)
+        assert placement[12] == (1, 0)
+        assert placement[13] == (1, 1)
+
+    def test_auto_dimensions(self):
+        placement = row_major_placement(list(range(30)))
+        assert placement.num_qubits == 30
+
+    def test_too_many_qubits_rejected(self):
+        with pytest.raises(ValueError):
+            row_major_placement([0, 1, 2, 3, 4], width=2, height=2)
+
+
+class TestPackPlacements:
+    def test_pack_two_blocks(self):
+        first = Placement(width=2, height=2, positions={0: (0, 0), 1: (1, 1)})
+        second = Placement(width=2, height=2, positions={2: (0, 0), 3: (0, 1)})
+        combined, origins = pack_placements([first, second], columns=2, gap=1)
+        assert combined.num_qubits == 4
+        assert origins[0] == (0, 0)
+        assert origins[1] == (0, 3)
+        assert combined[2] == (0, 3)
+
+    def test_pack_rejects_shared_qubits(self):
+        first = Placement(width=1, height=1, positions={0: (0, 0)})
+        second = Placement(width=1, height=1, positions={0: (0, 0)})
+        with pytest.raises(ValueError):
+            pack_placements([first, second])
+
+    def test_pack_requires_blocks(self):
+        with pytest.raises(ValueError):
+            pack_placements([])

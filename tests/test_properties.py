@@ -1,0 +1,228 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import (
+    Circuit,
+    build_dependency_dag,
+    cnot,
+    critical_path_length,
+    emit_scaffold,
+    h,
+    inject_t,
+    meas_x,
+    parse_flat_assembly,
+)
+from repro.distillation import (
+    BravyiHaahSpec,
+    FactorySpec,
+    bravyi_haah_output_error,
+    build_bravyi_haah_circuit,
+    build_factory,
+    module_gate_count,
+    multi_level_output_errors,
+    raw_state_usage,
+    surface_code_logical_error,
+)
+from repro.graphs import count_edge_crossings, interaction_graph, pearson_correlation
+from repro.mapping import Placement, random_placement, row_major_placement
+from repro.routing import Mesh, rectilinear_candidates, simulate
+
+# Shared strategy: small Bravyi-Haah capacities keep the tests fast while
+# exercising every structural branch of the generators.
+capacities = st.integers(min_value=1, max_value=10)
+small_errors = st.floats(min_value=1e-6, max_value=5e-2, allow_nan=False)
+
+
+# ----------------------------------------------------------------------
+# Distillation generators
+# ----------------------------------------------------------------------
+@given(k=capacities)
+@settings(max_examples=20, deadline=None)
+def test_bravyi_haah_gate_count_formula(k):
+    circuit = build_bravyi_haah_circuit(k)
+    assert len(circuit) == module_gate_count(k)
+    assert circuit.num_qubits == 5 * k + 13
+
+
+@given(k=capacities)
+@settings(max_examples=20, deadline=None)
+def test_bravyi_haah_consumes_every_raw_state_once(k):
+    circuit = build_bravyi_haah_circuit(k)
+    assert set(raw_state_usage(circuit)) == {1}
+
+
+@given(k=st.integers(min_value=1, max_value=4), levels=st.integers(min_value=1, max_value=2))
+@settings(max_examples=12, deadline=None)
+def test_factory_output_count_is_capacity(k, levels):
+    factory = build_factory(FactorySpec(k=k, levels=levels))
+    assert len(factory.output_qubits) == k**levels
+
+
+@given(k=st.integers(min_value=2, max_value=4))
+@settings(max_examples=8, deadline=None)
+def test_factory_correlated_error_constraint(k):
+    factory = build_factory(FactorySpec(k=k, levels=2))
+    producer_of = {}
+    for module in factory.rounds[0]:
+        for qubit in module.out_qubits:
+            producer_of[qubit] = module.module_index
+    for module in factory.rounds[1]:
+        producers = [producer_of[q] for q in module.raw_qubits]
+        assert len(set(producers)) == len(producers)
+
+
+# ----------------------------------------------------------------------
+# Error model
+# ----------------------------------------------------------------------
+@given(k=capacities, error=small_errors)
+@settings(max_examples=40, deadline=None)
+def test_distillation_improves_below_threshold(k, error):
+    # The protocol improves fidelity whenever eps < 1 / (1 + 3k); above that
+    # pseudo-threshold the quadratic formula no longer guarantees a gain.
+    output = bravyi_haah_output_error(k, error)
+    if error < 0.5 / (1 + 3 * k):
+        assert output < error
+    assert output == (1 + 3 * k) * error**2
+
+
+@given(k=capacities, error=small_errors, levels=st.integers(min_value=1, max_value=4))
+@settings(max_examples=40, deadline=None)
+def test_multi_level_errors_monotonically_decrease(k, error, levels):
+    errors = multi_level_output_errors(k, levels, error)
+    previous = error
+    for value in errors:
+        assert value <= previous * (1 + 3 * k)
+        previous = value
+
+
+@given(
+    distance=st.integers(min_value=3, max_value=25).filter(lambda d: d % 2 == 1),
+    error=st.floats(min_value=1e-6, max_value=5e-3),
+)
+@settings(max_examples=40, deadline=None)
+def test_surface_code_error_decreases_with_distance(distance, error):
+    assert surface_code_logical_error(distance + 2, error) <= surface_code_logical_error(
+        distance, error
+    )
+
+
+# ----------------------------------------------------------------------
+# Circuits: dependency DAG and Scaffold round-trip
+# ----------------------------------------------------------------------
+@st.composite
+def random_gate_lists(draw):
+    num_qubits = draw(st.integers(min_value=2, max_value=8))
+    gates = []
+    for _ in range(draw(st.integers(min_value=1, max_value=25))):
+        kind = draw(st.sampled_from(["h", "cnot", "inject", "meas"]))
+        a = draw(st.integers(min_value=0, max_value=num_qubits - 1))
+        if kind == "h":
+            gates.append(h(a))
+        elif kind == "meas":
+            gates.append(meas_x(a))
+        else:
+            b = draw(
+                st.integers(min_value=0, max_value=num_qubits - 1).filter(
+                    lambda q: q != a
+                )
+            )
+            gates.append(cnot(a, b) if kind == "cnot" else inject_t(a, b))
+    return num_qubits, gates
+
+
+@given(data=random_gate_lists())
+@settings(max_examples=30, deadline=None)
+def test_dependency_dag_is_acyclic_and_ordered(data):
+    _num_qubits, gates = data
+    dag = build_dependency_dag(gates)
+    for index, preds in enumerate(dag.predecessors):
+        assert all(p < index for p in preds)
+
+
+@given(data=random_gate_lists())
+@settings(max_examples=30, deadline=None)
+def test_critical_path_bounds(data):
+    _num_qubits, gates = data
+    critical = critical_path_length(gates)
+    serial = sum(gate.duration() for gate in gates)
+    longest_single = max(gate.duration() for gate in gates)
+    assert longest_single <= critical <= serial
+
+
+@given(data=random_gate_lists())
+@settings(max_examples=30, deadline=None)
+def test_scaffold_roundtrip_preserves_gates(data):
+    num_qubits, gates = data
+    circuit = Circuit("prop")
+    circuit.add_register("q", num_qubits)
+    circuit.extend(gates)
+    parsed = parse_flat_assembly(emit_scaffold(circuit))
+    assert [g.kind for g in parsed] == [g.kind for g in circuit]
+    assert [g.qubits for g in parsed] == [g.qubits for g in circuit]
+
+
+# ----------------------------------------------------------------------
+# Placement and routing invariants
+# ----------------------------------------------------------------------
+@given(
+    count=st.integers(min_value=1, max_value=40),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=30, deadline=None)
+def test_random_placement_is_injective(count, seed):
+    placement = random_placement(list(range(count)), seed=seed)
+    assert len(set(placement.positions.values())) == count
+    placement.validate()
+
+
+@given(
+    source=st.tuples(st.integers(0, 5), st.integers(0, 5)),
+    target=st.tuples(st.integers(0, 5), st.integers(0, 5)),
+)
+@settings(max_examples=50, deadline=None)
+def test_rectilinear_candidates_are_connected_paths(source, target):
+    if source == target:
+        return
+    mesh = Mesh.from_placement({0: source, 1: target}, width=6, height=6)
+    for path in rectilinear_candidates(mesh, mesh.qubit_cell(0), mesh.qubit_cell(1)):
+        assert path[0] == mesh.qubit_cell(0)
+        assert path[-1] == mesh.qubit_cell(1)
+        for a, b in zip(path, path[1:]):
+            assert abs(a[0] - b[0]) + abs(a[1] - b[1]) == 1
+        assert all(mesh.in_bounds(cell) for cell in path)
+
+
+@given(data=random_gate_lists(), seed=st.integers(min_value=0, max_value=50))
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_simulated_latency_never_below_critical_path(data, seed):
+    num_qubits, gates = data
+    placement = random_placement(list(range(num_qubits)), seed=seed)
+    result = simulate(gates, placement)
+    assert result.latency >= critical_path_length(gates)
+    assert result.volume == result.latency * placement.area
+
+
+@given(
+    xs=st.lists(st.floats(min_value=-100, max_value=100), min_size=3, max_size=20),
+    scale=st.floats(min_value=0.1, max_value=5.0),
+    offset=st.floats(min_value=-10, max_value=10),
+)
+@settings(max_examples=40, deadline=None)
+def test_pearson_correlation_of_affine_transform_is_one(xs, scale, offset):
+    if len(set(xs)) < 2:
+        return
+    ys = [scale * x + offset for x in xs]
+    assert abs(pearson_correlation(xs, ys) - 1.0) < 1e-6
+
+
+@given(count=st.integers(min_value=2, max_value=30))
+@settings(max_examples=20, deadline=None)
+def test_row_major_placement_has_no_crossings_for_path_graph(count):
+    # A path graph placed in row-major order on a single row never crosses.
+    import networkx as nx
+
+    graph = nx.path_graph(count)
+    placement = row_major_placement(list(range(count)), width=count, height=1)
+    assert count_edge_crossings(graph, placement.as_float_positions()) == 0

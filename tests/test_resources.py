@@ -1,0 +1,84 @@
+"""Unit tests for resource accounting (repro.distillation.resources)."""
+
+import pytest
+
+from repro.distillation import (
+    ErrorBudget,
+    FactorySpec,
+    balanced_code_distances,
+    factory_resources,
+    logical_area,
+    round_module_counts,
+    space_time_volume,
+)
+
+
+class TestBalancedInvestment:
+    def test_distances_increase_with_round(self):
+        spec = FactorySpec(k=4, levels=2)
+        distances = balanced_code_distances(spec)
+        assert len(distances) == 2
+        assert distances[1] >= distances[0]
+
+    def test_distances_are_odd(self):
+        spec = FactorySpec(k=2, levels=3)
+        assert all(d % 2 == 1 for d in balanced_code_distances(spec))
+
+    def test_lower_injection_error_needs_larger_distance(self):
+        spec = FactorySpec(k=4, levels=1)
+        noisy = balanced_code_distances(spec, ErrorBudget(injection_error=1e-2))
+        clean = balanced_code_distances(spec, ErrorBudget(injection_error=1e-3))
+        assert clean[0] >= noisy[0]
+
+
+class TestFactoryResources:
+    def test_round_module_counts(self):
+        spec = FactorySpec(k=4, levels=2)
+        assert round_module_counts(spec) == [20, 4]
+
+    def test_logical_qubits_per_round(self):
+        spec = FactorySpec(k=4, levels=2)
+        resources = factory_resources(spec)
+        assert resources.rounds[0].logical_qubits == 20 * 33
+        assert resources.rounds[1].logical_qubits == 4 * 33
+
+    def test_physical_qubits_scale_with_distance_squared(self):
+        spec = FactorySpec(k=4, levels=2)
+        resources = factory_resources(spec)
+        for round_resources in resources.rounds:
+            assert round_resources.physical_qubits == (
+                round_resources.logical_qubits * round_resources.code_distance**2
+            )
+
+    def test_peak_footprints(self):
+        spec = FactorySpec(k=4, levels=2)
+        resources = factory_resources(spec)
+        assert resources.max_logical_qubits == max(
+            r.logical_qubits for r in resources.rounds
+        )
+        assert resources.max_physical_qubits == max(
+            r.physical_qubits for r in resources.rounds
+        )
+
+    def test_final_output_error_improves_on_injection(self):
+        budget = ErrorBudget(injection_error=1e-2)
+        resources = factory_resources(FactorySpec(k=4, levels=2), budget)
+        assert resources.final_output_error < budget.injection_error
+
+
+class TestVolumeHelpers:
+    def test_space_time_volume(self):
+        assert space_time_volume(10, 20) == 200
+        assert space_time_volume(0, 5) == 0
+
+    def test_space_time_volume_rejects_negative(self):
+        with pytest.raises(ValueError):
+            space_time_volume(-1, 5)
+
+    def test_logical_area_no_reuse_counts_all_qubits(self, two_level_cap4):
+        assert logical_area(two_level_cap4) == two_level_cap4.num_qubits
+
+    def test_logical_area_reuse_is_peak_round(self, two_level_cap4_reuse):
+        area = logical_area(two_level_cap4_reuse)
+        assert area <= two_level_cap4_reuse.num_qubits
+        assert area >= len(two_level_cap4_reuse.round_qubits(1))

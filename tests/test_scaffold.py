@@ -1,0 +1,112 @@
+"""Unit tests for the Scaffold-style emitter/parser (repro.circuits.scaffold)."""
+
+import pytest
+
+from repro.circuits import (
+    Circuit,
+    GateKind,
+    barrier,
+    cnot,
+    cxx,
+    emit_scaffold,
+    h,
+    inject_t,
+    meas_x,
+    parse_flat_assembly,
+    roundtrip,
+)
+
+
+def sample_circuit():
+    circuit = Circuit("sample")
+    raw = circuit.add_register("raw_states", 4)
+    anc = circuit.add_register("anc", 3)
+    circuit.append(h(anc[0]))
+    circuit.append(cnot(anc[0], anc[1]))
+    circuit.append(inject_t(raw[0], anc[2]))
+    circuit.append(cxx(anc[0], [anc[1], anc[2]]))
+    circuit.append(meas_x(anc[1]))
+    circuit.append(barrier(tag="end"))
+    return circuit
+
+
+class TestEmission:
+    def test_emits_register_declarations(self):
+        text = emit_scaffold(sample_circuit())
+        assert "qbit raw_states[4];" in text
+        assert "qbit anc[3];" in text
+
+    def test_emits_symbolic_operands(self):
+        text = emit_scaffold(sample_circuit())
+        assert "CNOT ( anc[0] , anc[1] );" in text
+        assert "injectT ( raw_states[0] , anc[2] );" in text
+
+    def test_header_contains_counts(self):
+        circuit = sample_circuit()
+        text = emit_scaffold(circuit)
+        assert f"qubits: {circuit.num_qubits}" in text
+
+    def test_header_can_be_suppressed(self):
+        text = emit_scaffold(sample_circuit(), include_header=False)
+        assert not text.startswith("//")
+
+    def test_tags_become_comments(self):
+        text = emit_scaffold(sample_circuit())
+        assert "// end" in text
+
+
+class TestParsing:
+    def test_roundtrip_preserves_gates(self):
+        circuit = sample_circuit()
+        parsed = roundtrip(circuit)
+        assert len(parsed) == len(circuit)
+        assert [g.kind for g in parsed] == [g.kind for g in circuit]
+        assert [g.qubits for g in parsed] == [g.qubits for g in circuit]
+
+    def test_roundtrip_preserves_registers(self):
+        parsed = roundtrip(sample_circuit())
+        assert parsed.register("raw_states").size == 4
+        assert parsed.register("anc").size == 3
+
+    def test_parse_flat_integer_operands(self):
+        circuit = parse_flat_assembly("qbit q[3];\nCNOT ( 0 , 2 );\n")
+        assert circuit[0].qubits == (0, 2)
+
+    def test_parse_ignores_comments_and_blank_lines(self):
+        text = "// comment\n\nqbit q[2];\nH ( q[0] );\n"
+        circuit = parse_flat_assembly(text)
+        assert len(circuit) == 1
+
+    def test_parse_unknown_mnemonic_raises(self):
+        with pytest.raises(ValueError):
+            parse_flat_assembly("qbit q[1];\nFROB ( q[0] );\n")
+
+    def test_parse_unknown_register_raises(self):
+        with pytest.raises(ValueError):
+            parse_flat_assembly("qbit q[1];\nH ( other[0] );\n")
+
+    def test_parse_register_overflow_raises(self):
+        with pytest.raises(ValueError):
+            parse_flat_assembly("qbit q[1];\nH ( q[3] );\n")
+
+    def test_parse_bad_line_raises(self):
+        with pytest.raises(ValueError):
+            parse_flat_assembly("qbit q[1];\nthis is not a gate\n")
+
+    def test_parse_bad_register_declaration_raises(self):
+        with pytest.raises(ValueError):
+            parse_flat_assembly("qbit q;\n")
+
+
+class TestFactoryRoundtrip:
+    def test_factory_circuit_roundtrips(self, single_level_k4):
+        circuit = single_level_k4.circuit
+        parsed = roundtrip(circuit)
+        assert len(parsed) == len(circuit)
+        assert [g.kind for g in parsed] == [g.kind for g in circuit]
+        assert parsed.num_qubits == circuit.num_qubits
+
+    def test_two_level_circuit_roundtrips(self, two_level_cap4):
+        circuit = two_level_cap4.circuit
+        parsed = roundtrip(circuit)
+        assert [g.qubits for g in parsed] == [g.qubits for g in circuit]

@@ -1,0 +1,181 @@
+"""Unit tests for the cycle-accurate braid simulator (repro.routing.simulator)."""
+
+import pytest
+
+from repro.circuits import (
+    Circuit,
+    barrier,
+    cnot,
+    critical_path_length,
+    cxx,
+    h,
+    inject_t,
+    meas_x,
+)
+from repro.circuits.gates import DEFAULT_DURATIONS, GateKind
+from repro.mapping import Placement, linear_factory_placement, random_circuit_placement
+from repro.routing import SimulatorConfig, simulate, simulate_latency
+
+
+def line_placement(num_qubits, width=None):
+    width = width or num_qubits
+    return Placement(
+        width=width,
+        height=(num_qubits + width - 1) // width,
+        positions={q: (q // width, q % width) for q in range(num_qubits)},
+    )
+
+
+class TestBasicSemantics:
+    def test_empty_circuit(self):
+        result = simulate([], line_placement(1))
+        assert result.latency == 0
+        assert result.volume == 0
+
+    def test_single_gate_latency_is_duration(self):
+        latency = simulate_latency([cnot(0, 1)], line_placement(2))
+        assert latency == DEFAULT_DURATIONS[GateKind.CNOT]
+
+    def test_dependent_gates_serialise(self):
+        gates = [cnot(0, 1), cnot(1, 2)]
+        latency = simulate_latency(gates, line_placement(3))
+        assert latency == 2 * DEFAULT_DURATIONS[GateKind.CNOT]
+
+    def test_independent_distant_gates_run_in_parallel(self):
+        placement = Placement(
+            width=8,
+            height=3,
+            positions={0: (0, 0), 1: (0, 7), 2: (2, 0), 3: (2, 7)},
+        )
+        latency = simulate_latency([cnot(0, 1), cnot(2, 3)], placement)
+        assert latency == DEFAULT_DURATIONS[GateKind.CNOT]
+
+    def test_latency_never_below_critical_path(self, single_level_k4):
+        placement = random_circuit_placement(single_level_k4.circuit, seed=2)
+        latency = simulate_latency(single_level_k4.circuit, placement)
+        assert latency >= critical_path_length(single_level_k4.circuit)
+
+    def test_unplaced_qubit_rejected(self):
+        with pytest.raises(ValueError):
+            simulate([cnot(0, 5)], line_placement(2))
+
+    def test_custom_durations(self):
+        config = SimulatorConfig(durations={**DEFAULT_DURATIONS, GateKind.CNOT: 9})
+        assert simulate_latency([cnot(0, 1)], line_placement(2), config) == 9
+
+    def test_max_cycles_guard(self):
+        config = SimulatorConfig(max_cycles=0)
+        gates = [cnot(0, 1), cnot(1, 2)]
+        with pytest.raises(RuntimeError):
+            simulate(gates, line_placement(3), config)
+
+
+class TestCongestion:
+    def crossing_gates_and_placement(self):
+        # Two braids in the same tile row with interleaved endpoints: their
+        # preferred corridors (the channel row above the tiles) overlap, so
+        # with a single route candidate one of them must stall.
+        placement = Placement(
+            width=6,
+            height=1,
+            positions={0: (0, 0), 1: (0, 3), 2: (0, 1), 3: (0, 4)},
+        )
+        return [cnot(0, 1), cnot(2, 3)], placement
+
+    def test_conflicting_braids_stall(self):
+        gates, placement = self.crossing_gates_and_placement()
+        config = SimulatorConfig(max_candidates=1)
+        result = simulate(gates, placement, config)
+        assert result.latency > DEFAULT_DURATIONS[GateKind.CNOT]
+        assert result.stall_events > 0
+
+    def test_more_candidates_reduce_stalls(self):
+        gates, placement = self.crossing_gates_and_placement()
+        strict = simulate(gates, placement, SimulatorConfig(max_candidates=1))
+        loose = simulate(gates, placement, SimulatorConfig(max_candidates=8))
+        assert loose.latency <= strict.latency
+
+    def test_stall_cycles_accounting(self):
+        gates, placement = self.crossing_gates_and_placement()
+        result = simulate(gates, placement, SimulatorConfig(max_candidates=1))
+        assert result.stall_cycles >= result.latency - 2 * DEFAULT_DURATIONS[GateKind.CNOT]
+
+    def test_random_mapping_never_faster_than_linear(self, single_level_k8):
+        linear = linear_factory_placement(single_level_k8)
+        random_place = random_circuit_placement(single_level_k8.circuit, seed=1)
+        linear_latency = simulate_latency(single_level_k8.circuit, linear)
+        random_latency = simulate_latency(single_level_k8.circuit, random_place)
+        assert random_latency >= linear_latency
+
+
+class TestGateKinds:
+    def test_single_qubit_gates_do_not_consume_channels(self):
+        gates = [h(0), h(1), h(2)]
+        result = simulate(gates, line_placement(3))
+        assert result.braided_gates == 0
+        assert result.latency == DEFAULT_DURATIONS[GateKind.H]
+
+    def test_cxx_counts_as_one_braid(self):
+        gates = [cxx(0, [1, 2, 3])]
+        result = simulate(gates, line_placement(4))
+        assert result.braided_gates == 1
+        assert result.max_concurrent_braids == 1
+
+    def test_barrier_synchronises(self):
+        gates = [cnot(0, 1), barrier(), cnot(2, 3)]
+        placement = Placement(
+            width=8,
+            height=3,
+            positions={0: (0, 0), 1: (0, 7), 2: (2, 0), 3: (2, 7)},
+        )
+        latency = simulate_latency(gates, placement)
+        without_barrier = simulate_latency([cnot(0, 1), cnot(2, 3)], placement)
+        assert latency > without_barrier
+
+    def test_measurement_and_injection(self):
+        gates = [inject_t(0, 1), meas_x(1)]
+        latency = simulate_latency(gates, line_placement(2))
+        expected = DEFAULT_DURATIONS[GateKind.INJECT_T] + DEFAULT_DURATIONS[GateKind.MEAS_X]
+        assert latency == expected
+
+    def test_hop_lengthens_braid_footprint(self):
+        placement = Placement(
+            width=6, height=6, positions={0: (0, 0), 1: (0, 5)}
+        )
+        direct = simulate([cnot(0, 1)], placement)
+        via_hop = simulate(
+            [cnot(0, 1)], placement, SimulatorConfig(hops={0: (5, 2)})
+        )
+        assert via_hop.total_braid_cells > direct.total_braid_cells
+
+
+class TestResultFields:
+    def test_gate_times_recorded(self, single_level_k4, k4_linear_placement):
+        result = simulate(single_level_k4.circuit, k4_linear_placement)
+        assert len(result.gate_start) == len(single_level_k4.circuit)
+        assert all(start >= 0 for start in result.gate_start)
+        assert all(end > start for start, end in zip(result.gate_start, result.gate_end))
+        assert result.latency == max(result.gate_end)
+
+    def test_volume_is_area_times_latency(self, single_level_k4, k4_linear_placement):
+        result = simulate(single_level_k4.circuit, k4_linear_placement)
+        assert result.volume == result.area * result.latency
+
+    def test_average_braid_length_positive(self, single_level_k4, k4_linear_placement):
+        result = simulate(single_level_k4.circuit, k4_linear_placement)
+        assert result.average_braid_length > 0
+
+    def test_deterministic(self, single_level_k4, k4_random_placement):
+        first = simulate(single_level_k4.circuit, k4_random_placement)
+        second = simulate(single_level_k4.circuit, k4_random_placement)
+        assert first.latency == second.latency
+        assert first.gate_start == second.gate_start
+
+    def test_gate_start_respects_dependencies(self, single_level_k4, k4_linear_placement):
+        from repro.circuits import build_dependency_dag
+
+        result = simulate(single_level_k4.circuit, k4_linear_placement)
+        dag = build_dependency_dag(single_level_k4.circuit.gates)
+        for index, preds in enumerate(dag.predecessors):
+            for pred in preds:
+                assert result.gate_start[index] >= result.gate_end[pred]

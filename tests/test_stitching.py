@@ -1,0 +1,158 @@
+"""Unit tests for the hierarchical stitching mapper (repro.mapping.stitching)."""
+
+import pytest
+
+from repro.distillation import FactorySpec, ReusePolicy, validate_port_map
+from repro.mapping import (
+    StitchingConfig,
+    hierarchical_stitching,
+    optimize_permutation_hops,
+    permutation_gate_indices,
+    stitched_mapping_for_factory,
+)
+from repro.routing import SimulatorConfig, simulate
+
+
+@pytest.fixture(scope="module")
+def stitched_cap4():
+    return hierarchical_stitching(
+        FactorySpec.from_capacity(4, 2), config=StitchingConfig(seed=0)
+    )
+
+
+class TestStitchedMapping:
+    def test_every_qubit_placed(self, stitched_cap4):
+        circuit = stitched_cap4.factory.circuit
+        for qubit in range(circuit.num_qubits):
+            assert qubit in stitched_cap4.placement
+        stitched_cap4.placement.validate()
+
+    def test_port_maps_are_valid(self, stitched_cap4):
+        spec = stitched_cap4.factory.spec
+        assert len(stitched_cap4.port_maps) == spec.levels - 1
+        validate_port_map(spec, 1, stitched_cap4.port_maps[0])
+
+    def test_hops_reference_permutation_gates(self, stitched_cap4):
+        permutation = set(permutation_gate_indices(stitched_cap4.factory))
+        assert set(stitched_cap4.hops) <= permutation
+        assert stitched_cap4.hops  # annealed midpoint mode produces hops
+
+    def test_hops_are_within_grid(self, stitched_cap4):
+        placement = stitched_cap4.placement
+        for hop in stitched_cap4.hops.values():
+            assert 0 <= hop[0] < placement.height
+            assert 0 <= hop[1] < placement.width
+
+    def test_simulation_runs_with_hops(self, stitched_cap4):
+        config = SimulatorConfig(hops=stitched_cap4.hops)
+        result = simulate(stitched_cap4.factory.circuit, stitched_cap4.placement, config)
+        assert result.latency > 0
+
+    def test_later_round_modules_are_central(self, stitched_cap4):
+        # The round-2 modules should sit closer to the grid centre than the
+        # average round-1 module (the Fig. 8 arrangement).
+        placement = stitched_cap4.placement
+        factory = stitched_cap4.factory
+        centre = ((placement.height - 1) / 2.0, (placement.width - 1) / 2.0)
+
+        def mean_distance(modules):
+            distances = []
+            for module in modules:
+                for qubit in module.anc_qubits:
+                    row, col = placement.positions[qubit]
+                    distances.append(abs(row - centre[0]) + abs(col - centre[1]))
+            return sum(distances) / len(distances)
+
+        assert mean_distance(factory.rounds[1]) < mean_distance(factory.rounds[0])
+
+
+class TestPermutationGateIndices:
+    def test_single_level_has_no_permutation_gates(self, single_level_k4):
+        assert permutation_gate_indices(single_level_k4) == []
+
+    def test_count_matches_permutation_edges(self, two_level_cap4):
+        # Each forwarded output is injected (T then T-dagger is not applied to
+        # forwarded outputs; each is consumed by exactly one injection pair
+        # slot), so there is at least one permutation braid per edge.
+        indices = permutation_gate_indices(two_level_cap4)
+        assert len(indices) >= len(two_level_cap4.permutation_edges)
+
+    def test_indices_point_at_injections(self, two_level_cap4):
+        from repro.circuits import GateKind
+
+        for index in permutation_gate_indices(two_level_cap4):
+            assert two_level_cap4.circuit[index].kind in (
+                GateKind.INJECT_T,
+                GateKind.INJECT_TDAG,
+            )
+
+
+class TestHopModes:
+    @pytest.mark.parametrize(
+        "mode", ["none", "random", "annealed_random", "annealed_midpoint"]
+    )
+    def test_hop_modes_produce_valid_hops(self, two_level_cap4, mode):
+        from repro.mapping import linear_factory_placement
+
+        placement = linear_factory_placement(two_level_cap4)
+        hops = optimize_permutation_hops(
+            two_level_cap4,
+            placement,
+            StitchingConfig(hop_mode=mode, hop_sweeps=1, seed=0),
+        )
+        if mode == "none":
+            assert hops == {}
+        else:
+            assert hops
+            for hop in hops.values():
+                assert placement.in_bounds(hop)
+
+    def test_unknown_module_mapper_rejected(self):
+        with pytest.raises(ValueError):
+            hierarchical_stitching(
+                FactorySpec.from_capacity(4, 2),
+                config=StitchingConfig(module_mapper="bogus"),
+            )
+
+
+class TestStitchingVariants:
+    def test_graph_partition_module_mapper(self):
+        stitched = hierarchical_stitching(
+            FactorySpec.from_capacity(4, 2),
+            config=StitchingConfig(module_mapper="graph_partition", hop_sweeps=1, seed=0),
+        )
+        circuit = stitched.factory.circuit
+        for qubit in range(circuit.num_qubits):
+            assert qubit in stitched.placement
+
+    def test_reuse_policy_supported(self):
+        stitched = hierarchical_stitching(
+            FactorySpec.from_capacity(4, 2),
+            reuse_policy=ReusePolicy.REUSE,
+            config=StitchingConfig(hop_sweeps=1, seed=0),
+        )
+        circuit = stitched.factory.circuit
+        for qubit in range(circuit.num_qubits):
+            assert qubit in stitched.placement
+
+    def test_stitched_mapping_for_existing_factory(self, two_level_cap4):
+        stitched = stitched_mapping_for_factory(
+            two_level_cap4, StitchingConfig(hop_sweeps=1, seed=0)
+        )
+        assert stitched.factory is two_level_cap4
+        for qubit in range(two_level_cap4.circuit.num_qubits):
+            assert qubit in stitched.placement
+
+    def test_port_reassignment_can_be_disabled(self):
+        stitched = hierarchical_stitching(
+            FactorySpec.from_capacity(4, 2),
+            config=StitchingConfig(reassign_ports=False, hop_sweeps=1, seed=0),
+        )
+        assert stitched.port_maps == []
+
+    def test_single_level_stitching_works(self):
+        stitched = hierarchical_stitching(
+            FactorySpec(k=4, levels=1), config=StitchingConfig(seed=0)
+        )
+        assert stitched.hops == {}
+        assert stitched.placement.num_qubits == stitched.factory.circuit.num_qubits
