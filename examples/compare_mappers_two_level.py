@@ -16,7 +16,7 @@ Run with::
 
 import sys
 
-from repro.analysis import evaluate_factory_mapping
+from repro.api import EvaluationRequest, Pipeline
 from repro.scheduling import lower_bound_summary
 from repro.distillation import FactorySpec
 
@@ -36,9 +36,12 @@ def main() -> None:
     print("-" * len(header))
 
     methods = ("linear", "force_directed", "graph_partition", "hierarchical_stitching")
+    pipeline = Pipeline()  # one factory build, shared by every mapper
     results = {}
     for method in methods:
-        evaluation = evaluate_factory_mapping(method, capacity, levels=2)
+        evaluation = pipeline.evaluate(
+            EvaluationRequest(method=method, capacity=capacity, levels=2)
+        )
         results[method] = evaluation
         print(
             f"{method:26s}{evaluation.latency:>10d}{evaluation.area:>10d}"

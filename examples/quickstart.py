@@ -1,60 +1,82 @@
 #!/usr/bin/env python
-"""Quickstart: build a Bravyi-Haah factory, map it, and simulate the braids.
+"""Quickstart: the pluggable evaluation API on a single-level factory.
 
-This example walks through the core loop of the toolchain on a single-level
-factory with capacity 8 (the circuit of Fig. 5 in the paper):
+This example walks the core loop of the toolchain through `repro.api`:
 
-1. generate the distillation circuit,
-2. inspect its structure (gate counts, interaction graph, critical path),
-3. place the logical qubits with the linear hand-optimized layout,
-4. run the cycle-accurate braid simulator,
-5. report latency, area and space-time volume.
+1. inspect the registered mapping procedures,
+2. evaluate one (method, capacity) configuration with the pipeline,
+3. register a tiny custom mapper and sweep it against a built-in,
+4. round-trip a result through JSON.
 
 Run with::
 
     python examples/quickstart.py
 """
 
-from repro.circuits import critical_path_length, emit_scaffold
-from repro.distillation import build_single_level_factory
-from repro.graphs import interaction_graph, is_planar
-from repro.mapping import linear_factory_placement
-from repro.analysis import evaluate_mapping
+import json
+
+from repro.api import (
+    EvaluationRequest,
+    FactoryEvaluation,
+    Mapper,
+    Pipeline,
+    available_mappers,
+    register_mapper,
+    to_json,
+)
+from repro.mapping import Placement, grid_dimensions_for
 
 
 def main() -> None:
-    # 1. Build the distillation circuit: 3k+8 raw states -> k magic states.
+    # 1. The mapper registry: the paper's five procedures ship pre-registered.
+    print("Registered mappers:", ", ".join(available_mappers()))
+
+    # 2. One evaluation = one request through the pipeline.  The pipeline
+    #    builds the factory circuit (cached across evaluations), maps it and
+    #    runs the cycle-accurate braid simulator.
+    pipeline = Pipeline()
     capacity = 8
-    factory = build_single_level_factory(capacity)
-    circuit = factory.circuit
-    print(f"Bravyi-Haah factory, capacity {capacity}")
-    print(f"  logical qubits : {circuit.num_qubits}")
-    print(f"  gates          : {len(circuit)}")
-    print(f"  T-type gates   : {circuit.t_count}")
-    print(f"  braided gates  : {circuit.braided_gate_count}")
+    point = pipeline.evaluate(EvaluationRequest(method="linear", capacity=capacity))
+    print(f"\nLinear mapping, capacity {capacity}:")
+    print(f"  simulated latency : {point.latency} cycles "
+          f"(lower bound {point.critical_latency})")
+    print(f"  area              : {point.area} logical qubits "
+          f"(lower bound {point.critical_area})")
+    print(f"  space-time volume : {point.volume} qubit-cycles "
+          f"({point.volume_over_critical:.2f}x the critical volume)")
 
-    # 2. Analyse the schedule and its interaction graph.
-    graph = interaction_graph(circuit)
-    print(f"  interaction graph: {graph.number_of_nodes()} vertices, "
-          f"{graph.number_of_edges()} edges, planar={is_planar(graph)}")
-    print(f"  critical path  : {critical_path_length(circuit)} cycles")
+    # 3. A custom mapper plugs into the same pipeline (and into
+    #    capacity_sweep, the experiments and the CLI) by registering a name.
+    @register_mapper
+    class SnakeMapper(Mapper):
+        """Row-major snake layout — a deliberately naive baseline."""
 
-    # 3. Map the qubits with the linear (Fowler-style) layout.
-    placement = linear_factory_placement(factory)
-    print(f"  placement grid : {placement.height} x {placement.width} tiles")
+        name = "snake"
 
-    # 4/5. Simulate the braids and report the resource costs.
-    result = evaluate_mapping(circuit, placement)
-    print(f"  simulated latency : {result.latency} cycles")
-    print(f"  area              : {result.area} logical qubits")
-    print(f"  space-time volume : {result.volume} qubit-cycles")
-    print(f"  stall cycles      : {result.stall_cycles}")
+        def place(self, factory, *, seed=0, context=None):
+            qubits = list(range(factory.circuit.num_qubits))
+            height, width = grid_dimensions_for(len(qubits))
+            placement = Placement(width=width, height=height)
+            for index, qubit in enumerate(qubits):
+                row, col = divmod(index, width)
+                placement.place(qubit, (row, width - 1 - col if row % 2 else col))
+            return placement
 
-    # Bonus: the Scaffold-style listing of the first few gates.
-    listing = emit_scaffold(circuit).splitlines()
-    print("\nFirst lines of the Scaffold-style listing:")
-    for line in listing[:12]:
-        print(f"  {line}")
+    print("\nmethod          latency      area    volume")
+    for method in ("linear", "snake"):
+        result = pipeline.evaluate(
+            EvaluationRequest(method=method, capacity=capacity)
+        )
+        print(f"{method:12s}{result.latency:>10d}{result.area:>10d}"
+              f"{result.volume:>10d}")
+    print(f"(factory builds: {pipeline.stats.factory_builds}, "
+          f"cache hits: {pipeline.stats.cache_hits} — the snake sweep reused "
+          f"the built circuit)")
+
+    # 4. Results are JSON round-trippable for dashboards and downstream tools.
+    text = to_json(point)
+    restored = FactoryEvaluation.from_dict(json.loads(text))
+    print(f"\nJSON round-trip intact: {restored == point}")
 
 
 if __name__ == "__main__":

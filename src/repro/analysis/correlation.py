@@ -17,8 +17,9 @@ correlation coefficients, reproducing the bottom row of Fig. 6.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
+from ..api.results import filter_fields
 from ..circuits.circuit import Circuit
 from ..graphs.interaction import interaction_graph
 from ..graphs.metrics import (
@@ -41,6 +42,21 @@ class MappingSample:
     average_edge_spacing: float
     latency: int
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict of the sample."""
+        return {
+            "seed": self.seed,
+            "edge_crossings": self.edge_crossings,
+            "average_edge_length": self.average_edge_length,
+            "average_edge_spacing": self.average_edge_spacing,
+            "latency": self.latency,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "MappingSample":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**filter_fields(cls, data))
+
 
 @dataclass(frozen=True)
 class CorrelationStudy:
@@ -58,6 +74,24 @@ class CorrelationStudy:
             "edge_length_r": self.length_r,
             "edge_spacing_r": self.spacing_r,
         }
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict: per-sample data plus the three r-values."""
+        return {
+            "samples": [sample.to_dict() for sample in self.samples],
+            "crossings_r": self.crossings_r,
+            "length_r": self.length_r,
+            "spacing_r": self.spacing_r,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CorrelationStudy":
+        """Inverse of :meth:`to_dict`."""
+        payload = dict(filter_fields(cls, data))
+        payload["samples"] = [
+            MappingSample.from_dict(sample) for sample in payload.get("samples", [])
+        ]
+        return cls(**payload)
 
 
 def collect_samples(

@@ -1,34 +1,28 @@
 """Capacity sweeps driving every mapper through the build-map-simulate flow.
 
 This is the evaluation harness shared by the figures and tables of the
-paper's Section VIII: given a factory configuration (per-module capacity,
-number of levels, qubit-reuse policy) and a mapping method, it builds the
-factory circuit, produces the placement, runs the braid simulator and
-reports latency, area and space-time volume together with the theoretical
-lower bounds.
+paper's Section VIII.  The heavy lifting now lives in :mod:`repro.api`:
+mapping procedures are looked up in the pluggable mapper registry and runs
+go through :class:`repro.api.Pipeline`, which caches built factory circuits
+across the mappers of a sweep.  :func:`evaluate_factory_mapping` and
+:func:`capacity_sweep` are kept here as thin, backward-compatible delegates
+so existing callers (experiments, benchmarks, notebooks) keep working
+unchanged; new code should prefer :mod:`repro.api` directly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Sequence
 
-from ..distillation.block_code import FactorySpec, ReusePolicy, build_factory
-from ..graphs.interaction import interaction_graph
-from ..mapping.force_directed import ForceDirectedConfig, force_directed_refine
-from ..mapping.graph_partition import graph_partition_placement
-from ..mapping.linear import linear_factory_placement
-from ..mapping.random_map import random_circuit_placement
-from ..mapping.stitching import StitchingConfig, hierarchical_stitching
-from ..routing.simulator import SimulatorConfig
-from ..scheduling.critical_path import (
-    factory_area_lower_bound,
-    factory_latency_lower_bound,
-)
-from .volume import EvaluationResult, evaluate_mapping
+# Re-exported for backward compatibility: these names historically lived in
+# this module and are imported from here throughout the test-suite.
+from ..api.pipeline import capacity_sweep, evaluate_factory_mapping  # noqa: F401
+from ..api.results import FactoryEvaluation  # noqa: F401
 
-#: Mapping methods understood by the sweep harness, in the order the paper
-#: introduces them.
+#: Mapping methods shipped with the toolchain, in the order the paper
+#: introduces them.  The authoritative list is the mapper registry
+#: (:func:`repro.api.available_mappers`), which also includes any
+#: third-party registrations.
 MAPPING_METHODS = (
     "random",
     "linear",
@@ -46,140 +40,6 @@ METHOD_LABELS = {
     "hierarchical_stitching": "HS",
     "critical": "Critical",
 }
-
-
-@dataclass(frozen=True)
-class FactoryEvaluation:
-    """One (method, capacity, levels, reuse) evaluation data point."""
-
-    method: str
-    capacity: int
-    levels: int
-    reuse: bool
-    latency: int
-    area: int
-    volume: int
-    critical_latency: int
-    critical_area: int
-    stall_cycles: int
-
-    @property
-    def critical_volume(self) -> int:
-        """Lower-bound volume (critical latency times minimum area)."""
-        return self.critical_latency * self.critical_area
-
-    @property
-    def volume_over_critical(self) -> float:
-        """How far above the lower bound this configuration landed."""
-        if self.critical_volume == 0:
-            return float("inf")
-        return self.volume / self.critical_volume
-
-
-def _reuse_policy(reuse: bool) -> ReusePolicy:
-    return ReusePolicy.REUSE if reuse else ReusePolicy.NO_REUSE
-
-
-def evaluate_factory_mapping(
-    method: str,
-    capacity: int,
-    levels: int = 1,
-    reuse: bool = False,
-    seed: int = 0,
-    fd_config: Optional[ForceDirectedConfig] = None,
-    stitch_config: Optional[StitchingConfig] = None,
-    sim_config: Optional[SimulatorConfig] = None,
-) -> FactoryEvaluation:
-    """Build, map and simulate one factory configuration.
-
-    ``capacity`` is the total output capacity of the factory (``k`` for a
-    single-level factory, ``k**2`` for a two-level one, matching the x-axes
-    of Fig. 7 and Fig. 10).
-    """
-    if method not in MAPPING_METHODS:
-        raise ValueError(
-            f"unknown mapping method {method!r}; expected one of {MAPPING_METHODS}"
-        )
-    spec = FactorySpec.from_capacity(capacity, levels)
-    reuse_policy = _reuse_policy(reuse)
-    sim_config = sim_config or SimulatorConfig()
-
-    if method == "hierarchical_stitching":
-        stitched = hierarchical_stitching(
-            spec, reuse_policy=reuse_policy, config=stitch_config
-        )
-        hop_config = replace(sim_config, hops=stitched.hops)
-        evaluation = evaluate_mapping(
-            stitched.factory.circuit, stitched.placement, hop_config
-        )
-    else:
-        # Barriers model the end-of-round checkpoints of the block-code
-        # protocol (Section II-G); every mapper is evaluated on the same
-        # barriered schedule so the comparison isolates mapping quality.
-        factory = build_factory(
-            spec, reuse_policy=reuse_policy, barriers_between_rounds=True
-        )
-        if method == "random":
-            placement = random_circuit_placement(factory.circuit, seed=seed)
-        elif method == "linear":
-            placement = linear_factory_placement(factory)
-        elif method == "force_directed":
-            initial = linear_factory_placement(factory)
-            graph = interaction_graph(factory.circuit)
-            placement = force_directed_refine(
-                graph, initial, fd_config or ForceDirectedConfig(seed=seed)
-            )
-        elif method == "graph_partition":
-            placement = graph_partition_placement(factory.circuit, seed=seed)
-        else:  # pragma: no cover - guarded above
-            raise AssertionError(method)
-        evaluation = evaluate_mapping(factory.circuit, placement, sim_config)
-
-    return FactoryEvaluation(
-        method=method,
-        capacity=capacity,
-        levels=levels,
-        reuse=reuse,
-        latency=evaluation.latency,
-        area=evaluation.area,
-        volume=evaluation.volume,
-        critical_latency=factory_latency_lower_bound(spec, dict(sim_config.durations)),
-        critical_area=factory_area_lower_bound(spec),
-        stall_cycles=evaluation.stall_cycles,
-    )
-
-
-def capacity_sweep(
-    methods: Sequence[str],
-    capacities: Sequence[int],
-    levels: int = 1,
-    reuse: bool = False,
-    seed: int = 0,
-    fd_config: Optional[ForceDirectedConfig] = None,
-    stitch_config: Optional[StitchingConfig] = None,
-    sim_config: Optional[SimulatorConfig] = None,
-) -> List[FactoryEvaluation]:
-    """Evaluate every (method, capacity) combination.
-
-    Results are returned in (capacity-major, method-minor) order so tables
-    can be assembled by simple grouping.
-    """
-    results: List[FactoryEvaluation] = []
-    for capacity in capacities:
-        for method in methods:
-            results.append(
-                evaluate_factory_mapping(
-                    method,
-                    capacity,
-                    levels=levels,
-                    reuse=reuse,
-                    seed=seed,
-                    fd_config=fd_config,
-                    stitch_config=stitch_config,
-                    sim_config=sim_config,
-                )
-            )
-    return results
 
 
 def best_volume_by_method(

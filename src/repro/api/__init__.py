@@ -1,0 +1,88 @@
+"""Pluggable evaluation API: mapper registry, pipeline, experiment registry.
+
+This package is the extension surface of the toolchain.  Third-party code
+adds mapping procedures with :func:`register_mapper` and new paper-style
+studies with :func:`register_experiment`; everything registered becomes
+available to :class:`Pipeline`, :func:`capacity_sweep` and the ``repro-msfu``
+command line (including ``--json`` machine-readable output) without touching
+the analysis layer.
+
+The three core abstractions:
+
+* :class:`Mapper` — a named qubit-mapping procedure
+  (``place(factory, *, seed, context)``), looked up by name in a registry;
+* :class:`EvaluationRequest` / :class:`Pipeline` — the unified
+  build -> map -> simulate run model, caching built factory circuits so a
+  sweep over many mappers constructs each configuration exactly once;
+* :class:`ExperimentSpec` / :class:`ParamSpec` — declarative experiments
+  whose typed parameters drive the auto-generated CLI options.
+"""
+
+from .experiments import (
+    PARAM_KINDS,
+    SEED_PARAM,
+    ExperimentSpec,
+    ParamSpec,
+    available_experiments,
+    experiment_registry,
+    get_experiment,
+    parse_int_list,
+    register_experiment,
+    run_experiment,
+    unregister_experiment,
+)
+from .mappers import (
+    FunctionMapper,
+    Mapper,
+    MapperContext,
+    MappingOutcome,
+    available_mappers,
+    get_mapper,
+    mapper_registry,
+    register_mapper,
+    unregister_mapper,
+)
+from .pipeline import (
+    EvaluationRequest,
+    Pipeline,
+    PipelineStats,
+    capacity_sweep,
+    default_pipeline,
+    evaluate_factory_mapping,
+)
+from .registry import Registry, RegistryError
+from .results import FactoryEvaluation, from_json, to_json
+
+__all__ = [
+    "PARAM_KINDS",
+    "SEED_PARAM",
+    "ExperimentSpec",
+    "ParamSpec",
+    "available_experiments",
+    "experiment_registry",
+    "get_experiment",
+    "parse_int_list",
+    "register_experiment",
+    "run_experiment",
+    "unregister_experiment",
+    "FunctionMapper",
+    "Mapper",
+    "MapperContext",
+    "MappingOutcome",
+    "available_mappers",
+    "get_mapper",
+    "mapper_registry",
+    "register_mapper",
+    "unregister_mapper",
+    "EvaluationRequest",
+    "Pipeline",
+    "PipelineStats",
+    "capacity_sweep",
+    "default_pipeline",
+    "evaluate_factory_mapping",
+    "Registry",
+    "RegistryError",
+    "FactoryEvaluation",
+    "from_json",
+    "to_json",
+]

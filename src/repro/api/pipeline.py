@@ -1,0 +1,349 @@
+"""The unified build -> map -> simulate evaluation pipeline.
+
+:class:`Pipeline` is the one evaluation path behind every figure, table,
+sweep and CLI run.  It resolves a mapper from the registry, builds the
+factory circuit (caching it so a sweep over many mappers builds each
+``(capacity, levels, reuse)`` configuration exactly once — factory
+construction dominates the two-level benches), runs the braid simulator and
+reports the :class:`~repro.api.results.FactoryEvaluation` data point.
+
+:class:`EvaluationRequest` is the serializable description of one such run;
+:func:`capacity_sweep` and :func:`evaluate_factory_mapping` are the
+functional conveniences the legacy :mod:`repro.analysis.sweeps` API now
+delegates to.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..circuits.gates import GateKind
+from ..distillation.block_code import (
+    Factory,
+    FactorySpec,
+    ReusePolicy,
+    build_factory,
+)
+from ..mapping.force_directed import ForceDirectedConfig
+from ..mapping.stitching import StitchedMapping, StitchingConfig
+from ..routing.simulator import SimulatorConfig
+from ..scheduling.critical_path import (
+    factory_area_lower_bound,
+    factory_latency_lower_bound,
+)
+from .mappers import MapperContext, get_mapper
+from .results import FactoryEvaluation, encode_value, filter_fields
+
+
+def _reuse_policy(reuse: bool) -> ReusePolicy:
+    return ReusePolicy.REUSE if reuse else ReusePolicy.NO_REUSE
+
+
+# ----------------------------------------------------------------------
+# Request model
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class EvaluationRequest:
+    """Everything needed to evaluate one factory configuration.
+
+    ``capacity`` is the total output capacity of the factory (``k`` for a
+    single-level factory, ``k**2`` for a two-level one, matching the x-axes
+    of Fig. 7 and Fig. 10).  ``options`` is a free-form bag forwarded to the
+    mapper via :class:`~repro.api.mappers.MapperContext` for third-party
+    procedures with their own knobs.
+    """
+
+    method: str
+    capacity: int
+    levels: int = 1
+    reuse: bool = False
+    seed: int = 0
+    fd_config: Optional[ForceDirectedConfig] = None
+    stitch_config: Optional[StitchingConfig] = None
+    sim_config: Optional[SimulatorConfig] = None
+    options: Mapping[str, Any] = field(default_factory=dict)
+
+    def context(self) -> MapperContext:
+        """The mapper-facing view of this request."""
+        return MapperContext(
+            fd_config=self.fd_config,
+            stitch_config=self.stitch_config,
+            options=dict(self.options),
+        )
+
+    def spec(self) -> FactorySpec:
+        """The factory spec this request evaluates."""
+        return FactorySpec.from_capacity(self.capacity, self.levels)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe encoding (configs become plain dicts)."""
+        data: Dict[str, Any] = {
+            "method": self.method,
+            "capacity": self.capacity,
+            "levels": self.levels,
+            "reuse": self.reuse,
+            "seed": self.seed,
+            "fd_config": encode_value(self.fd_config),
+            "stitch_config": encode_value(self.stitch_config),
+            "sim_config": _encode_sim_config(self.sim_config),
+            "options": encode_value(dict(self.options)),
+        }
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "EvaluationRequest":
+        """Inverse of :meth:`to_dict`."""
+        payload = dict(filter_fields(cls, data))
+        if payload.get("fd_config"):
+            payload["fd_config"] = ForceDirectedConfig(**payload["fd_config"])
+        else:
+            payload["fd_config"] = None
+        if payload.get("stitch_config"):
+            payload["stitch_config"] = StitchingConfig(**payload["stitch_config"])
+        else:
+            payload["stitch_config"] = None
+        payload["sim_config"] = _decode_sim_config(payload.get("sim_config"))
+        payload["options"] = dict(payload.get("options") or {})
+        return cls(**payload)
+
+
+def _encode_sim_config(config: Optional[SimulatorConfig]) -> Optional[Dict[str, Any]]:
+    if config is None:
+        return None
+    return {
+        "durations": {kind.value: int(v) for kind, v in config.durations.items()},
+        "allow_detour": config.allow_detour,
+        "detour_slack": config.detour_slack,
+        "max_candidates": config.max_candidates,
+        "hops": {str(index): list(cell) for index, cell in config.hops.items()},
+        "max_cycles": config.max_cycles,
+    }
+
+
+def _decode_sim_config(data: Optional[Mapping[str, Any]]) -> Optional[SimulatorConfig]:
+    if not data:
+        return None
+    payload = dict(data)
+    payload["durations"] = {
+        GateKind(kind): int(v) for kind, v in payload.get("durations", {}).items()
+    }
+    payload["hops"] = {
+        int(index): tuple(cell) for index, cell in payload.get("hops", {}).items()
+    }
+    return SimulatorConfig(**payload)
+
+
+# ----------------------------------------------------------------------
+# Pipeline
+# ----------------------------------------------------------------------
+@dataclass
+class PipelineStats:
+    """Counters exposed for tests and capacity planning."""
+
+    factory_builds: int = 0
+    cache_hits: int = 0
+    evaluations: int = 0
+
+
+class Pipeline:
+    """Build -> map -> simulate, with factory-circuit caching.
+
+    Parameters
+    ----------
+    sim_config:
+        Default simulator configuration for every evaluation (a request's
+        own ``sim_config`` takes precedence).
+    cache_size:
+        Maximum number of built factories kept alive (LRU).  Two-level
+        factories are large, so the cache is bounded.
+    """
+
+    def __init__(
+        self,
+        sim_config: Optional[SimulatorConfig] = None,
+        cache_size: int = 8,
+    ) -> None:
+        if cache_size < 1:
+            raise ValueError(f"cache_size must be >= 1, got {cache_size}")
+        self.sim_config = sim_config
+        self.cache_size = cache_size
+        self.stats = PipelineStats()
+        self._factories: "OrderedDict[Tuple[int, int, ReusePolicy], Factory]" = (
+            OrderedDict()
+        )
+
+    # ------------------------------------------------------------------
+    # Factory cache
+    # ------------------------------------------------------------------
+    def factory(self, capacity: int, levels: int = 1, reuse: bool = False) -> Factory:
+        """The (cached) base factory for a configuration.
+
+        Factories are always built with barriers between rounds — every
+        mapper is evaluated on the same barriered schedule so the comparison
+        isolates mapping quality (Section V-A).  Callers must treat the
+        returned factory as read-only.
+        """
+        spec = FactorySpec.from_capacity(capacity, levels)
+        key = (spec.k, spec.levels, _reuse_policy(reuse))
+        cached = self._factories.get(key)
+        if cached is not None:
+            self._factories.move_to_end(key)
+            self.stats.cache_hits += 1
+            return cached
+        built = build_factory(
+            spec, reuse_policy=key[2], barriers_between_rounds=True
+        )
+        self.stats.factory_builds += 1
+        self._factories[key] = built
+        while len(self._factories) > self.cache_size:
+            self._factories.popitem(last=False)
+        return built
+
+    def clear_cache(self) -> None:
+        """Drop every cached factory."""
+        self._factories.clear()
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, request: EvaluationRequest) -> FactoryEvaluation:
+        """Run one request end to end and return its data point."""
+        # Resolve the mapper first: an unknown name should fail before any
+        # factory is built, with a message listing the registered mappers.
+        mapper = get_mapper(request.method)
+        spec = request.spec()
+        sim_config = request.sim_config or self.sim_config or SimulatorConfig()
+        factory = self.factory(request.capacity, request.levels, request.reuse)
+
+        outcome = mapper.place(factory, seed=request.seed, context=request.context())
+
+        # Imported lazily: repro.analysis imports this module at package
+        # initialisation, so a top-level import would be circular.
+        from ..analysis.volume import evaluate_mapping
+
+        if isinstance(outcome, StitchedMapping):
+            hop_config = replace(sim_config, hops=outcome.hops)
+            evaluation = evaluate_mapping(
+                outcome.factory.circuit, outcome.placement, hop_config
+            )
+        else:
+            evaluation = evaluate_mapping(factory.circuit, outcome, sim_config)
+
+        self.stats.evaluations += 1
+        return FactoryEvaluation(
+            method=request.method,
+            capacity=request.capacity,
+            levels=request.levels,
+            reuse=request.reuse,
+            latency=evaluation.latency,
+            area=evaluation.area,
+            volume=evaluation.volume,
+            critical_latency=factory_latency_lower_bound(
+                spec, dict(sim_config.durations)
+            ),
+            critical_area=factory_area_lower_bound(spec),
+            stall_cycles=evaluation.stall_cycles,
+        )
+
+    def run(self, requests: Iterable[EvaluationRequest]) -> List[FactoryEvaluation]:
+        """Evaluate many requests, sharing the factory cache."""
+        return [self.evaluate(request) for request in requests]
+
+    def sweep(
+        self,
+        methods: Sequence[str],
+        capacities: Sequence[int],
+        levels: int = 1,
+        reuse: bool = False,
+        seed: int = 0,
+        fd_config: Optional[ForceDirectedConfig] = None,
+        stitch_config: Optional[StitchingConfig] = None,
+        sim_config: Optional[SimulatorConfig] = None,
+    ) -> List[FactoryEvaluation]:
+        """Evaluate every (method, capacity) combination.
+
+        Results are returned in (capacity-major, method-minor) order so
+        tables can be assembled by simple grouping; each capacity's factory
+        is built once and shared by every method.
+        """
+        requests = [
+            EvaluationRequest(
+                method=method,
+                capacity=capacity,
+                levels=levels,
+                reuse=reuse,
+                seed=seed,
+                fd_config=fd_config,
+                stitch_config=stitch_config,
+                sim_config=sim_config,
+            )
+            for capacity in capacities
+            for method in methods
+        ]
+        return self.run(requests)
+
+
+# ----------------------------------------------------------------------
+# Functional conveniences (the legacy analysis API delegates here)
+# ----------------------------------------------------------------------
+#: Shared pipeline behind the module-level convenience functions, so repeat
+#: calls for the same configuration reuse the built factory.
+_default_pipeline = Pipeline()
+
+
+def default_pipeline() -> Pipeline:
+    """The process-wide pipeline used by the convenience functions."""
+    return _default_pipeline
+
+
+def evaluate_factory_mapping(
+    method: str,
+    capacity: int,
+    levels: int = 1,
+    reuse: bool = False,
+    seed: int = 0,
+    fd_config: Optional[ForceDirectedConfig] = None,
+    stitch_config: Optional[StitchingConfig] = None,
+    sim_config: Optional[SimulatorConfig] = None,
+) -> FactoryEvaluation:
+    """Build, map and simulate one factory configuration."""
+    return _default_pipeline.evaluate(
+        EvaluationRequest(
+            method=method,
+            capacity=capacity,
+            levels=levels,
+            reuse=reuse,
+            seed=seed,
+            fd_config=fd_config,
+            stitch_config=stitch_config,
+            sim_config=sim_config,
+        )
+    )
+
+
+def capacity_sweep(
+    methods: Sequence[str],
+    capacities: Sequence[int],
+    levels: int = 1,
+    reuse: bool = False,
+    seed: int = 0,
+    fd_config: Optional[ForceDirectedConfig] = None,
+    stitch_config: Optional[StitchingConfig] = None,
+    sim_config: Optional[SimulatorConfig] = None,
+) -> List[FactoryEvaluation]:
+    """Evaluate every (method, capacity) combination on the shared pipeline."""
+    return _default_pipeline.sweep(
+        methods,
+        capacities,
+        levels=levels,
+        reuse=reuse,
+        seed=seed,
+        fd_config=fd_config,
+        stitch_config=stitch_config,
+        sim_config=sim_config,
+    )

@@ -1,0 +1,88 @@
+"""Generic name-based registries backing the pluggable API surface.
+
+Both the mapper registry (:mod:`repro.api.mappers`) and the experiment
+registry (:mod:`repro.api.experiments`) are instances of the same small
+:class:`Registry` class: an ordered name -> object table with decorator-style
+registration and error messages that list what *is* registered, so a typo'd
+name tells the caller which spellings would have worked.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, Iterator, List, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+class RegistryError(ValueError):
+    """Raised for unknown names or conflicting registrations."""
+
+
+class Registry(Generic[T]):
+    """An ordered mapping from names to registered objects.
+
+    Parameters
+    ----------
+    kind:
+        Human-readable noun used in error messages ("mapper", "experiment").
+    """
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._entries: Dict[str, T] = {}
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(self, name: str, obj: T, *, overwrite: bool = False) -> T:
+        """Register ``obj`` under ``name``; returns ``obj`` for chaining."""
+        if not name or not isinstance(name, str):
+            raise RegistryError(f"{self.kind} name must be a non-empty string")
+        if name in self._entries and not overwrite:
+            raise RegistryError(
+                f"{self.kind} {name!r} is already registered; "
+                f"pass overwrite=True to replace it"
+            )
+        self._entries[name] = obj
+        return obj
+
+    def unregister(self, name: str) -> T:
+        """Remove and return the entry for ``name``."""
+        if name not in self._entries:
+            raise RegistryError(self._unknown_message(name))
+        return self._entries.pop(name)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> T:
+        """The object registered under ``name``.
+
+        Raises :class:`RegistryError` (a :class:`ValueError`) whose message
+        lists every registered name.
+        """
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise RegistryError(self._unknown_message(name)) from None
+
+    def names(self) -> List[str]:
+        """Registered names in registration order."""
+        return list(self._entries)
+
+    def items(self) -> List[Tuple[str, T]]:
+        """(name, object) pairs in registration order."""
+        return list(self._entries.items())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _unknown_message(self, name: str) -> str:
+        known = ", ".join(sorted(self._entries)) or "<none>"
+        return f"unknown {self.kind} {name!r}; registered {self.kind}s: {known}"

@@ -1,4 +1,9 @@
-"""Command-line interface: run any reproduced experiment from the shell.
+"""Command-line interface: run any registered experiment from the shell.
+
+The per-experiment options are generated from each experiment's declared
+:class:`~repro.api.experiments.ParamSpec` list, so experiments registered
+with :func:`repro.api.register_experiment` — including third-party ones —
+show up here automatically with their own ``--help``.
 
 Examples
 --------
@@ -10,29 +15,66 @@ Run the Fig. 6 correlation study with 40 random mappings::
 
     repro-msfu run fig6 --num-mappings 40
 
-Run the two-level Table I block over the full paper capacity range::
+Run the two-level Table I block over the full paper capacity range, as
+machine-readable JSON written to a file::
 
-    repro-msfu run table1-level2 --capacities 4,16,36,64,100
+    repro-msfu run table1-level2 --capacities 4,16,36,64,100 --json --output table1.json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
-from .experiments import EXPERIMENTS
+from .api.experiments import (
+    ExperimentSpec,
+    available_experiments,
+    get_experiment,
+    parse_int_list,
+)
 
 
 def _parse_capacities(text: str) -> List[int]:
     """Parse a comma-separated capacity list such as ``"4,16,36"``."""
     try:
-        return [int(token) for token in text.split(",") if token.strip()]
+        return parse_int_list(text)
     except ValueError as error:
-        raise argparse.ArgumentTypeError(
-            f"capacities must be comma-separated integers, got {text!r}"
-        ) from error
+        raise argparse.ArgumentTypeError(str(error)) from error
+
+
+_KIND_PARSERS = {
+    "int": int,
+    "float": float,
+    "str": str,
+    "int_list": _parse_capacities,
+}
+
+
+def _add_param_options(parser: argparse.ArgumentParser, spec: ExperimentSpec) -> None:
+    """Generate one ``--option`` per declared experiment parameter."""
+    for param in spec.params:
+        if param.kind == "flag":
+            parser.add_argument(
+                param.option,
+                dest=param.name,
+                action="store_true",
+                default=None,
+                help=param.help or None,
+            )
+            continue
+        help_text = param.help or param.name.replace("_", " ")
+        if param.default is not None:
+            help_text += f" (default: {param.default})"
+        parser.add_argument(
+            param.option,
+            dest=param.name,
+            type=_KIND_PARSERS[param.kind],
+            default=None,
+            help=help_text,
+        )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -46,64 +88,137 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    subparsers.add_parser("list", help="list the available experiments")
+    list_parser = subparsers.add_parser("list", help="list the available experiments")
+    list_parser.add_argument(
+        "--json", action="store_true", help="emit the listing as JSON"
+    )
 
     run_parser = subparsers.add_parser("run", help="run one experiment")
-    run_parser.add_argument(
-        "experiment",
-        choices=sorted(EXPERIMENTS.keys()),
+    experiment_parsers = run_parser.add_subparsers(
+        dest="experiment",
+        required=True,
+        metavar="experiment",
         help="experiment identifier (see 'list')",
     )
-    run_parser.add_argument(
-        "--capacities",
-        type=_parse_capacities,
-        default=None,
-        help="comma-separated factory capacities to sweep (experiment-specific default)",
-    )
-    run_parser.add_argument(
-        "--num-mappings",
-        type=int,
-        default=None,
-        help="number of random mappings (fig6 only)",
-    )
-    run_parser.add_argument("--seed", type=int, default=0, help="random seed")
+    for name in sorted(available_experiments()):
+        spec = get_experiment(name)
+        experiment_parser = experiment_parsers.add_parser(
+            name, help=spec.description or None, description=spec.description or None
+        )
+        _add_param_options(experiment_parser, spec)
+        experiment_parser.add_argument(
+            "--json",
+            action="store_true",
+            help="emit the structured result as JSON instead of a table",
+        )
+        experiment_parser.add_argument(
+            "--output",
+            metavar="FILE",
+            default=None,
+            help="write the result to FILE instead of stdout",
+        )
     return parser
 
 
 def run_experiment(name: str, **kwargs) -> str:
-    """Run an experiment by name and return its formatted result."""
-    runner, formatter = EXPERIMENTS[name]
-    filtered = {key: value for key, value in kwargs.items() if value is not None}
-    result = runner(**filtered)
-    return formatter(result)
+    """Run an experiment by name and return its formatted result.
+
+    Backward-compatible helper: new code should use
+    :func:`repro.api.run_experiment`, which returns the structured result
+    object instead of pre-rendered text.
+    """
+    spec = get_experiment(name)
+    return spec.format(spec.run(**kwargs))
+
+
+def _experiment_kwargs(spec: ExperimentSpec, args: argparse.Namespace) -> Dict[str, Any]:
+    """Collect the declared parameters the user actually set."""
+    kwargs: Dict[str, Any] = {}
+    for param in spec.params:
+        value = getattr(args, param.name, None)
+        if value is not None:
+            kwargs[param.name] = value
+    return kwargs
+
+
+def _render(name: str, result: Any, spec: ExperimentSpec, as_json: bool, elapsed: float) -> str:
+    if not as_json:
+        return spec.format(result)
+    payload = {
+        "experiment": name,
+        "elapsed_seconds": round(elapsed, 3),
+        "result": result.to_dict() if hasattr(result, "to_dict") else result,
+    }
+    return json.dumps(payload, indent=2)
+
+
+def _normalize_run_argv(argv: Sequence[str]) -> List[str]:
+    """Hoist the experiment name directly after ``run``.
+
+    The old flat parser accepted ``run --seed 1 fig6``; subparsers require
+    the experiment name first.  If the token after ``run`` is an option,
+    move the first token naming a registered experiment up front so both
+    orderings keep working.
+    """
+    tokens = list(argv)
+    try:
+        run_index = tokens.index("run")
+    except ValueError:
+        return tokens
+    rest = tokens[run_index + 1 :]
+    if not rest or not rest[0].startswith("-"):
+        return tokens
+    known = set(available_experiments())
+    for index, token in enumerate(rest):
+        if token in known:
+            rest.pop(index)
+            return tokens[: run_index + 1] + [token] + rest
+    return tokens
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for the ``repro-msfu`` console script."""
     parser = build_parser()
-    args = parser.parse_args(argv)
+    args = parser.parse_args(_normalize_run_argv(argv if argv is not None else sys.argv[1:]))
 
     if args.command == "list":
-        print("Available experiments:")
-        for name in sorted(EXPERIMENTS):
-            print(f"  {name}")
+        names = sorted(available_experiments())
+        if args.json:
+            listing = [
+                {"name": name, "description": get_experiment(name).description}
+                for name in names
+            ]
+            print(json.dumps(listing, indent=2))
+        else:
+            print("Available experiments:")
+            for name in names:
+                description = get_experiment(name).description
+                suffix = f"  — {description}" if description else ""
+                print(f"  {name}{suffix}")
         return 0
 
-    kwargs = {"seed": args.seed}
-    if args.capacities is not None:
-        kwargs["capacities"] = args.capacities
-    if args.num_mappings is not None:
-        kwargs["num_mappings"] = args.num_mappings
-    if args.experiment == "fig6":
-        kwargs.pop("capacities", None)
-    else:
-        kwargs.pop("num_mappings", None)
+    spec = get_experiment(args.experiment)
+    kwargs = _experiment_kwargs(spec, args)
 
     started = time.time()
-    output = run_experiment(args.experiment, **kwargs)
+    result = spec.run(**kwargs)
     elapsed = time.time() - started
-    print(output)
-    print(f"\n[{args.experiment} completed in {elapsed:.1f}s]")
+    rendered = _render(args.experiment, result, spec, args.json, elapsed)
+
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+        print(
+            f"[{args.experiment} completed in {elapsed:.1f}s -> {args.output}]",
+            file=sys.stderr,
+        )
+        return 0
+
+    print(rendered)
+    if not args.json:
+        # Keep stdout machine-readable under --json: the trailer would break
+        # `repro-msfu run ... --json | python -m json.tool` style pipelines.
+        print(f"\n[{args.experiment} completed in {elapsed:.1f}s]")
     return 0
 
 

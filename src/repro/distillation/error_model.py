@@ -53,12 +53,19 @@ def required_code_distance(
 
 
 def bravyi_haah_output_error(k: int, input_error: float) -> float:
-    """Output error of one Bravyi-Haah ``(3k+8) -> k`` round: ``(1+3k) eps^2``."""
+    """Output error of one Bravyi-Haah ``(3k+8) -> k`` round: ``(1+3k) eps^2``.
+
+    The quadratic formula is a leading-order expression; above the protocol's
+    pseudo-threshold (``eps > 1/(1+3k)``) it *grows* per round and, iterated,
+    diverges past 1 — but an error rate is a probability, so the result is
+    clamped to 1.  Below threshold (every regime the paper evaluates) the
+    clamp never engages and the closed form is returned exactly.
+    """
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
     if input_error < 0:
         raise ValueError(f"input error must be non-negative, got {input_error}")
-    return (1 + 3 * k) * input_error**2
+    return min(1.0, (1 + 3 * k) * input_error**2)
 
 
 def bravyi_haah_success_probability(k: int, input_error: float) -> float:

@@ -1,11 +1,18 @@
 """One module per reproduced paper artifact (figures and tables).
 
 Every experiment module exposes a ``run(...)`` function returning a
-structured result object and a ``format_result(result)`` helper producing a
-printable table.  The :data:`EXPERIMENTS` registry maps experiment names (as
-accepted by the command-line interface) to runner callables.
+structured result object (with ``to_dict()``/``from_dict`` JSON
+round-tripping) and a ``format_result(result)`` helper producing a printable
+table.  Experiments are registered declaratively with
+:func:`repro.api.register_experiment`, which also drives the auto-generated
+command-line options; :data:`EXPERIMENTS` is a backward-compatible live view
+of that registry mapping experiment names to ``(runner, formatter)`` pairs.
 """
 
+from typing import Callable, Iterator, Mapping, Tuple
+
+from ..api.experiments import available_experiments, get_experiment
+from ..api.registry import RegistryError
 from . import (
     fig6_correlation,
     fig7_scaling,
@@ -15,24 +22,36 @@ from . import (
     table1_volumes,
 )
 
+
+class _ExperimentsView(Mapping):
+    """Dict-like view of the experiment registry.
+
+    Historically this package exported a literal ``{name: (runner,
+    formatter)}`` dict; the view preserves that interface while delegating to
+    the registry, so third-party registrations show up here too.
+    """
+
+    def __getitem__(self, name: str) -> Tuple[Callable, Callable]:
+        try:
+            spec = get_experiment(name)
+        except RegistryError:
+            # Preserve dict semantics: Mapping.get/__contains__ only swallow
+            # KeyError, and legacy callers expect a plain-dict lookup here.
+            raise KeyError(name) from None
+        return (spec.run, spec.format)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(available_experiments())
+
+    def __len__(self) -> int:
+        return len(available_experiments())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<EXPERIMENTS registry view: {', '.join(sorted(self))}>"
+
+
 #: Registry of runnable experiments: name -> (runner, formatter).
-EXPERIMENTS = {
-    "fig6": (fig6_correlation.run, fig6_correlation.format_result),
-    "fig7a": (fig7_scaling.run_single_level, fig7_scaling.format_result),
-    "fig7b": (fig7_scaling.run_two_level, fig7_scaling.format_result),
-    "fig9ab": (fig9_reuse.run, fig9_reuse.format_result),
-    "fig9cd": (fig9_permutation.run, fig9_permutation.format_result),
-    "fig10-single": (fig10_resources.run_single_level, fig10_resources.format_result),
-    "fig10-two": (fig10_resources.run_two_level, fig10_resources.format_result),
-    "table1-level1": (
-        lambda **kwargs: table1_volumes.run(levels=1, **kwargs),
-        table1_volumes.format_result,
-    ),
-    "table1-level2": (
-        lambda **kwargs: table1_volumes.run(levels=2, **kwargs),
-        table1_volumes.format_result,
-    ),
-}
+EXPERIMENTS = _ExperimentsView()
 
 __all__ = [
     "EXPERIMENTS",

@@ -17,9 +17,11 @@ this experiment reproduces:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 from ..analysis.sweeps import FactoryEvaluation, capacity_sweep
+from ..api.experiments import SEED_PARAM, ParamSpec, register_experiment
+from ..api.results import evaluation_series_from_dict, evaluation_series_to_dict
 from ..mapping.force_directed import ForceDirectedConfig
 from ..mapping.stitching import StitchingConfig
 from ..routing.simulator import SimulatorConfig
@@ -71,6 +73,16 @@ class Fig10Result:
         if best_volume == 0:
             return float("inf")
         return baseline_volume / best_volume
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict of the per-configuration evaluations."""
+        return evaluation_series_to_dict(self.levels, self.evaluations)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Fig10Result":
+        """Inverse of :meth:`to_dict`."""
+        levels, evaluations = evaluation_series_from_dict(data)
+        return cls(levels=levels, evaluations=evaluations)
 
 
 def run_single_level(
@@ -130,3 +142,23 @@ def format_result(result: Fig10Result) -> str:
                 cells.append(("-" if entry is None else f"{entry}").rjust(12))
             lines.append("".join(cells))
     return "\n".join(lines)
+
+
+_CAPACITIES_PARAM = ParamSpec(
+    "capacities", "int_list", help="comma-separated factory capacities to sweep"
+)
+
+register_experiment(
+    "fig10-single",
+    run_single_level,
+    formatter=format_result,
+    params=(_CAPACITIES_PARAM, SEED_PARAM),
+    description="Fig. 10a/10b/10e: single-level latency/area/volume sweeps",
+)
+register_experiment(
+    "fig10-two",
+    run_two_level,
+    formatter=format_result,
+    params=(_CAPACITIES_PARAM, SEED_PARAM),
+    description="Fig. 10c/10d/10f: two-level latency/area/volume sweeps",
+)

@@ -22,9 +22,10 @@ three.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Any, Dict, Mapping, Optional
 
 from ..analysis.correlation import CorrelationStudy, correlation_study
+from ..api.experiments import SEED_PARAM, ParamSpec, register_experiment
 from ..distillation.block_code import build_single_level_factory
 from ..routing.simulator import SimulatorConfig
 
@@ -46,6 +47,18 @@ class Fig6Result:
     def measured(self) -> Dict[str, float]:
         """The measured r-values keyed like :data:`PAPER_R_VALUES`."""
         return self.study.as_dict()
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict: measured study plus the paper's reference values."""
+        return {"study": self.study.to_dict(), "paper": dict(self.paper)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Fig6Result":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            study=CorrelationStudy.from_dict(data["study"]),
+            paper=dict(data["paper"]),
+        )
 
 
 def run(
@@ -88,3 +101,16 @@ def format_result(result: Fig6Result) -> str:
             f"{label:26s}{result.paper[key]:>10.3f}{measured[key]:>12.3f}"
         )
     return "\n".join(lines)
+
+
+register_experiment(
+    "fig6",
+    run,
+    formatter=format_result,
+    params=(
+        ParamSpec("capacity", "int", default=8, help="single-level factory capacity"),
+        ParamSpec("num_mappings", "int", default=30, help="random mappings sampled"),
+        SEED_PARAM,
+    ),
+    description="Fig. 6: mapping-metric vs latency correlation study",
+)

@@ -17,9 +17,11 @@ The qualitative claims this experiment checks:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 from ..analysis.sweeps import FactoryEvaluation, capacity_sweep
+from ..api.experiments import SEED_PARAM, ParamSpec, register_experiment
+from ..api.results import evaluation_series_from_dict, evaluation_series_to_dict
 from ..mapping.force_directed import ForceDirectedConfig
 from ..routing.simulator import SimulatorConfig
 
@@ -49,6 +51,16 @@ class Fig7Result:
             )
             table["lower_bound"][evaluation.capacity] = evaluation.critical_latency
         return table
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict of the per-configuration evaluations."""
+        return evaluation_series_to_dict(self.levels, self.evaluations)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Fig7Result":
+        """Inverse of :meth:`to_dict`."""
+        levels, evaluations = evaluation_series_from_dict(data)
+        return cls(levels=levels, evaluations=evaluations)
 
 
 def run_single_level(
@@ -103,3 +115,23 @@ def format_result(result: Fig7Result) -> str:
             row.append(("-" if value is None else str(value)).rjust(10))
         lines.append("".join(row))
     return "\n".join(lines)
+
+
+_CAPACITIES_PARAM = ParamSpec(
+    "capacities", "int_list", help="comma-separated factory capacities to sweep"
+)
+
+register_experiment(
+    "fig7a",
+    run_single_level,
+    formatter=format_result,
+    params=(_CAPACITIES_PARAM, SEED_PARAM),
+    description="Fig. 7a: single-level FD/GP latency vs the lower bound",
+)
+register_experiment(
+    "fig7b",
+    run_two_level,
+    formatter=format_result,
+    params=(_CAPACITIES_PARAM, SEED_PARAM),
+    description="Fig. 7b: two-level FD/GP latency vs the lower bound",
+)

@@ -20,8 +20,10 @@ pure random hops help little.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
+from ..api.experiments import SEED_PARAM, ParamSpec, register_experiment
+from ..api.results import filter_fields
 from ..distillation.block_code import FactorySpec, ReusePolicy
 from ..mapping.stitching import (
     StitchingConfig,
@@ -51,6 +53,20 @@ class PermutationLatency:
     latency: int
     braids: int
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict of the measurement."""
+        return {
+            "capacity": self.capacity,
+            "hop_mode": self.hop_mode,
+            "latency": self.latency,
+            "braids": self.braids,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PermutationLatency":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**filter_fields(cls, data))
+
 
 @dataclass(frozen=True)
 class Fig9PermutationResult:
@@ -75,6 +91,19 @@ class Fig9PermutationResult:
         if optimized == 0:
             return float("inf")
         return baseline / optimized
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict of every measurement."""
+        return {"measurements": [m.to_dict() for m in self.measurements]}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Fig9PermutationResult":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            measurements=[
+                PermutationLatency.from_dict(m) for m in data.get("measurements", [])
+            ]
+        )
 
 
 def _permutation_subcircuit(factory, placement, hops):
@@ -144,3 +173,17 @@ def format_result(result: Fig9PermutationResult) -> str:
             row.append(("-" if value is None else str(value)).rjust(10))
         lines.append("".join(row))
     return "\n".join(lines)
+
+
+register_experiment(
+    "fig9cd",
+    run,
+    formatter=format_result,
+    params=(
+        ParamSpec(
+            "capacities", "int_list", help="comma-separated two-level capacities"
+        ),
+        SEED_PARAM,
+    ),
+    description="Fig. 9c/9d: permutation-step latency under hop policies",
+)

@@ -16,9 +16,11 @@ The paper's qualitative findings, which this experiment checks:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..analysis.sweeps import evaluate_factory_mapping
+from ..api.experiments import SEED_PARAM, ParamSpec, register_experiment
+from ..api.results import filter_fields
 from ..mapping.force_directed import ForceDirectedConfig
 from ..routing.simulator import SimulatorConfig
 
@@ -45,6 +47,21 @@ class ReuseComparison:
             return 0.0
         return (self.volume_no_reuse - self.volume_reuse) / self.volume_no_reuse
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict of the comparison plus the derived differential."""
+        return {
+            "method": self.method,
+            "capacity": self.capacity,
+            "volume_no_reuse": self.volume_no_reuse,
+            "volume_reuse": self.volume_reuse,
+            "differential": self.differential,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ReuseComparison":
+        """Inverse of :meth:`to_dict` (derived keys are ignored)."""
+        return cls(**filter_fields(cls, data))
+
 
 @dataclass(frozen=True)
 class Fig9ReuseResult:
@@ -57,6 +74,19 @@ class Fig9ReuseResult:
         for comparison in self.comparisons:
             table.setdefault(comparison.method, {})[comparison.capacity] = comparison
         return table
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict of every reuse comparison."""
+        return {"comparisons": [c.to_dict() for c in self.comparisons]}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Fig9ReuseResult":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            comparisons=[
+                ReuseComparison.from_dict(c) for c in data.get("comparisons", [])
+            ]
+        )
 
 
 def run(
@@ -116,3 +146,17 @@ def format_result(result: Fig9ReuseResult) -> str:
             )
         lines.append("".join(cells))
     return "\n".join(lines)
+
+
+register_experiment(
+    "fig9ab",
+    run,
+    formatter=format_result,
+    params=(
+        ParamSpec(
+            "capacities", "int_list", help="comma-separated two-level capacities"
+        ),
+        SEED_PARAM,
+    ),
+    description="Fig. 9a/9b: qubit reuse vs renaming volume differentials",
+)

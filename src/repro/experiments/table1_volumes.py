@@ -17,10 +17,13 @@ critical bound.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 from ..analysis.sweeps import FactoryEvaluation, evaluate_factory_mapping
+from ..api.experiments import SEED_PARAM, ParamSpec, register_experiment
+from ..api.results import int_keyed, str_keyed
 from ..distillation.block_code import FactorySpec
 from ..mapping.force_directed import ForceDirectedConfig
 from ..mapping.stitching import StitchingConfig
@@ -77,6 +80,31 @@ class Table1Result:
 
     def rows(self) -> Sequence[str]:
         return [row for row in ROW_ORDER if row in self.volumes]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict (capacity keys stringified for JSON objects)."""
+        return {
+            "levels": self.levels,
+            "volumes": {
+                row: str_keyed(by_capacity)
+                for row, by_capacity in self.volumes.items()
+            },
+            "evaluations": [e.to_dict() for e in self.evaluations],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Table1Result":
+        """Inverse of :meth:`to_dict` (capacity keys back to ints)."""
+        return cls(
+            levels=int(data["levels"]),
+            volumes={
+                row: int_keyed(by_capacity)
+                for row, by_capacity in data.get("volumes", {}).items()
+            },
+            evaluations=[
+                FactoryEvaluation.from_dict(e) for e in data.get("evaluations", [])
+            ],
+        )
 
 
 def _row_evaluation(
@@ -178,3 +206,23 @@ def format_result(result: Table1Result) -> str:
             cells.append(("-" if value is None else f"{value:.3g}").rjust(12))
         lines.append("".join(cells))
     return "\n".join(lines)
+
+
+_CAPACITIES_PARAM = ParamSpec(
+    "capacities", "int_list", help="comma-separated factory capacities to sweep"
+)
+
+register_experiment(
+    "table1-level1",
+    functools.partial(run, levels=1),
+    formatter=format_result,
+    params=(_CAPACITIES_PARAM, SEED_PARAM),
+    description="Table I: single-level quantum volumes by procedure",
+)
+register_experiment(
+    "table1-level2",
+    functools.partial(run, levels=2),
+    formatter=format_result,
+    params=(_CAPACITIES_PARAM, SEED_PARAM),
+    description="Table I: two-level quantum volumes by procedure",
+)

@@ -211,4 +211,10 @@ def pearson_correlation(xs: Sequence[float], ys: Sequence[float]) -> float:
     var_y = sum((y - mean_y) ** 2 for y in ys)
     if var_x <= 0 or var_y <= 0:
         return 0.0
-    return cov / math.sqrt(var_x * var_y)
+    # Multiply the square roots rather than square-rooting the product:
+    # var_x * var_y underflows to 0.0 for near-denormal variances, which
+    # would divide by zero despite the positive-variance guard above.
+    denominator = math.sqrt(var_x) * math.sqrt(var_y)
+    if denominator == 0.0:
+        return 0.0
+    return cov / denominator

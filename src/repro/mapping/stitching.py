@@ -442,6 +442,7 @@ def hierarchical_stitching(
     spec: FactorySpec,
     reuse_policy: ReusePolicy = ReusePolicy.NO_REUSE,
     config: Optional[StitchingConfig] = None,
+    factory: Optional[Factory] = None,
 ) -> StitchedMapping:
     """Run the full hierarchical stitching procedure for a factory spec.
 
@@ -449,11 +450,28 @@ def hierarchical_stitching(
     per-round planarity), embeds and arranges the module blocks, reassigns
     output ports, rebuilds the factory circuit with the chosen port maps and
     finally optimises the permutation-braid hops.
+
+    An already-built ``factory`` (same spec/reuse, built with barriers) may
+    be supplied to skip the initial construction — the evaluation pipeline
+    uses this to share one base factory across every mapper in a sweep.  The
+    given factory is only read; port reassignment still produces a rebuilt
+    copy.
     """
     config = config or StitchingConfig()
-    factory = build_factory(
-        spec, reuse_policy=reuse_policy, barriers_between_rounds=True
-    )
+    if factory is not None:
+        if (
+            factory.spec != spec
+            or factory.reuse_policy is not reuse_policy
+            or not factory.barriers_between_rounds
+        ):
+            raise ValueError(
+                "supplied factory does not match the requested spec/reuse "
+                "(it must be built with barriers_between_rounds=True)"
+            )
+    else:
+        factory = build_factory(
+            spec, reuse_policy=reuse_policy, barriers_between_rounds=True
+        )
 
     blocks: Dict[Tuple[int, int], Placement] = {}
     for module in factory.modules():

@@ -1,0 +1,311 @@
+"""Tests for the pluggable API: registries, pipeline caching, JSON CLI."""
+
+import json
+
+import pytest
+
+import repro.api.pipeline as pipeline_module
+from repro.api import (
+    EvaluationRequest,
+    FactoryEvaluation,
+    Mapper,
+    ParamSpec,
+    Pipeline,
+    RegistryError,
+    available_experiments,
+    available_mappers,
+    capacity_sweep,
+    get_experiment,
+    get_mapper,
+    register_experiment,
+    register_mapper,
+    to_json,
+    unregister_experiment,
+    unregister_mapper,
+)
+from repro.cli import build_parser, main
+from repro.mapping import Placement, grid_dimensions_for
+from repro.mapping.stitching import StitchedMapping
+
+
+class SnakeMapper(Mapper):
+    """Row-major snake layout used as the custom-mapper fixture."""
+
+    name = "snake"
+
+    def place(self, factory, *, seed=0, context=None):
+        qubits = list(range(factory.circuit.num_qubits))
+        height, width = grid_dimensions_for(len(qubits))
+        placement = Placement(width=width, height=height)
+        for index, qubit in enumerate(qubits):
+            row, col = divmod(index, width)
+            placement.place(qubit, (row, width - 1 - col if row % 2 else col))
+        return placement
+
+
+@pytest.fixture
+def snake_mapper():
+    register_mapper(SnakeMapper)
+    yield "snake"
+    unregister_mapper("snake")
+
+
+class TestMapperRegistry:
+    def test_builtins_registered(self):
+        assert set(available_mappers()) >= {
+            "random",
+            "linear",
+            "force_directed",
+            "graph_partition",
+            "hierarchical_stitching",
+        }
+
+    def test_unknown_mapper_error_lists_names(self):
+        with pytest.raises(ValueError) as excinfo:
+            get_mapper("does_not_exist")
+        message = str(excinfo.value)
+        assert "does_not_exist" in message
+        assert "linear" in message and "hierarchical_stitching" in message
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(RegistryError):
+            register_mapper(SnakeMapper, name="linear")
+
+    def test_failed_registration_leaves_instance_untouched(self):
+        instance = SnakeMapper()
+        with pytest.raises(RegistryError):
+            register_mapper(instance, name="linear")
+        assert instance.name == "snake"
+
+    def test_experiments_view_keeps_dict_semantics(self):
+        from repro.experiments import EXPERIMENTS
+
+        assert "nope" not in EXPERIMENTS
+        assert EXPERIMENTS.get("nope") is None
+        with pytest.raises(KeyError):
+            EXPERIMENTS["nope"]
+
+    def test_function_mapper_registration(self):
+        @register_mapper(name="reversed_rows")
+        def reversed_rows(factory, *, seed=0, context=None):
+            qubits = list(reversed(range(factory.circuit.num_qubits)))
+            height, width = grid_dimensions_for(len(qubits))
+            placement = Placement(width=width, height=height)
+            for index, qubit in enumerate(qubits):
+                placement.place(qubit, (index // width, index % width))
+            return placement
+
+        try:
+            evaluation = Pipeline().evaluate(
+                EvaluationRequest(method="reversed_rows", capacity=2)
+            )
+            assert evaluation.latency > 0
+        finally:
+            unregister_mapper("reversed_rows")
+
+
+class TestCustomMapperEndToEnd:
+    def test_pipeline_evaluates_custom_mapper(self, snake_mapper):
+        evaluation = Pipeline().evaluate(
+            EvaluationRequest(method=snake_mapper, capacity=4)
+        )
+        assert evaluation.method == "snake"
+        assert evaluation.latency >= evaluation.critical_latency
+        assert evaluation.volume == evaluation.latency * evaluation.area
+
+    def test_capacity_sweep_picks_up_custom_mapper(self, snake_mapper):
+        results = capacity_sweep(["linear", snake_mapper], [2, 4], levels=1)
+        assert [(r.method, r.capacity) for r in results] == [
+            ("linear", 2),
+            ("snake", 2),
+            ("linear", 4),
+            ("snake", 4),
+        ]
+
+
+class TestPipelineCaching:
+    def test_sweep_builds_each_configuration_once(self, monkeypatch):
+        builds = []
+        real_build = pipeline_module.build_factory
+
+        def counting_build(spec, **kwargs):
+            builds.append((spec.k, spec.levels, kwargs.get("reuse_policy")))
+            return real_build(spec, **kwargs)
+
+        monkeypatch.setattr(pipeline_module, "build_factory", counting_build)
+        pipeline = Pipeline()
+        methods = [
+            "random",
+            "linear",
+            "force_directed",
+            "graph_partition",
+            "hierarchical_stitching",
+        ]
+        pipeline.sweep(methods, [4], levels=2)
+        # One base factory for all five mappers (hierarchical stitching's
+        # port-reassignment rebuild goes through repro.mapping.stitching,
+        # not the pipeline's builder).
+        assert len(builds) == 1
+        assert pipeline.stats.factory_builds == 1
+        assert pipeline.stats.cache_hits == len(methods) - 1
+
+        pipeline.sweep(methods, [4], levels=2, reuse=True)
+        assert pipeline.stats.factory_builds == 2  # reuse=True is a new config
+
+    def test_cache_is_lru_bounded(self):
+        pipeline = Pipeline(cache_size=1)
+        pipeline.factory(2, 1)
+        pipeline.factory(4, 1)
+        pipeline.factory(2, 1)
+        assert pipeline.stats.factory_builds == 3
+        assert pipeline.stats.cache_hits == 0
+
+    def test_stitched_mapping_used_for_hierarchical(self):
+        pipeline = Pipeline()
+        factory = pipeline.factory(4, levels=2)
+        outcome = get_mapper("hierarchical_stitching").place(factory, seed=0)
+        assert isinstance(outcome, StitchedMapping)
+        # The stitched factory is a port-reassigned rebuild, not the shared
+        # base instance (which must stay read-only).
+        assert outcome.factory is not factory
+
+
+class TestResultsSerialization:
+    def test_factory_evaluation_round_trip(self):
+        evaluation = Pipeline().evaluate(
+            EvaluationRequest(method="linear", capacity=2)
+        )
+        restored = FactoryEvaluation.from_dict(json.loads(to_json(evaluation)))
+        assert restored == evaluation
+
+    def test_evaluation_request_round_trip(self):
+        from repro.mapping.force_directed import ForceDirectedConfig
+        from repro.routing import SimulatorConfig
+
+        request = EvaluationRequest(
+            method="force_directed",
+            capacity=4,
+            levels=2,
+            reuse=True,
+            seed=7,
+            fd_config=ForceDirectedConfig(sweeps=5, seed=7),
+            sim_config=SimulatorConfig(max_candidates=1),
+            options={"note": "round-trip"},
+        )
+        restored = EvaluationRequest.from_dict(json.loads(json.dumps(request.to_dict())))
+        assert restored.method == request.method
+        assert restored.fd_config == request.fd_config
+        assert restored.sim_config == request.sim_config
+        assert restored.options == {"note": "round-trip"}
+
+    def test_experiment_results_round_trip(self):
+        from repro.experiments import fig7_scaling, table1_volumes
+
+        fig7 = fig7_scaling.run_single_level(capacities=[2])
+        assert fig7_scaling.Fig7Result.from_dict(
+            json.loads(to_json(fig7))
+        ).series() == fig7.series()
+
+        table1 = table1_volumes.run(levels=1, capacities=[2])
+        restored = table1_volumes.Table1Result.from_dict(
+            json.loads(to_json(table1))
+        )
+        assert restored.volumes == table1.volumes
+        assert restored.evaluations == table1.evaluations
+
+
+class TestExperimentRegistry:
+    def test_unknown_experiment_error_lists_names(self):
+        with pytest.raises(ValueError) as excinfo:
+            get_experiment("nope")
+        assert "fig6" in str(excinfo.value)
+
+    def test_register_experiment_decorator_and_cli(self, capsys):
+        @register_experiment(
+            "mini-study",
+            params=(ParamSpec("capacity", "int", default=2, help="factory size"),),
+            formatter=lambda result: f"mini volume={result['volume']}",
+            description="tiny registration test",
+        )
+        def run_mini(capacity=2, seed=0):
+            point = Pipeline().evaluate(
+                EvaluationRequest(method="linear", capacity=capacity, seed=seed)
+            )
+            return {"volume": point.volume}
+
+        try:
+            assert "mini-study" in available_experiments()
+            assert main(["run", "mini-study", "--capacity", "2"]) == 0
+            assert "mini volume=" in capsys.readouterr().out
+        finally:
+            unregister_experiment("mini-study")
+
+    def test_param_spec_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            ParamSpec("x", "complex")
+
+
+class TestCliJson:
+    def test_run_json_round_trips(self, capsys):
+        assert main(["run", "table1-level1", "--capacities", "2", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["experiment"] == "table1-level1"
+        volumes = payload["result"]["volumes"]
+        assert "critical" in volumes and "random" in volumes
+        from repro.experiments.table1_volumes import Table1Result
+
+        restored = Table1Result.from_dict(payload["result"])
+        assert restored.volumes["random"][2] > 0
+
+    def test_list_json(self, capsys):
+        assert main(["list", "--json"]) == 0
+        listing = json.loads(capsys.readouterr().out)
+        assert {entry["name"] for entry in listing} >= {"fig6", "table1-level1"}
+
+    def test_output_file(self, tmp_path, capsys):
+        target = tmp_path / "result.json"
+        assert (
+            main(
+                ["run", "fig7a", "--capacities", "2", "--json", "--output", str(target)]
+            )
+            == 0
+        )
+        assert capsys.readouterr().out == ""
+        payload = json.loads(target.read_text())
+        assert payload["experiment"] == "fig7a"
+
+    def test_options_before_experiment_name_still_work(self, capsys):
+        # The pre-subparser CLI accepted `run --seed 1 fig6`; keep it valid.
+        assert main(["run", "--num-mappings", "4", "fig6"]) == 0
+        assert "Fig. 6" in capsys.readouterr().out
+
+    def test_unregister_builtin_as_first_registry_operation(self):
+        # Must load the built-ins lazily like the lookup functions do; run in
+        # a fresh interpreter so it really is the first registry operation.
+        import os
+        import subprocess
+        import sys
+
+        import repro
+
+        src_dir = os.path.dirname(os.path.dirname(repro.__file__))
+        code = (
+            "from repro.api import unregister_experiment, available_experiments\n"
+            "unregister_experiment('fig6')\n"
+            "assert 'fig6' not in available_experiments()\n"
+            "print('ok')\n"
+        )
+        env = dict(os.environ, PYTHONPATH=src_dir)
+        proc = subprocess.run(
+            [sys.executable, "-c", code], capture_output=True, text=True, env=env
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.strip() == "ok"
+
+    def test_per_experiment_options_are_scoped(self):
+        parser = build_parser()
+        # --num-mappings belongs to fig6, not fig7a.
+        with pytest.raises(SystemExit):
+            parser.parse_args(["run", "fig7a", "--num-mappings", "4"])
+        args = parser.parse_args(["run", "fig6", "--num-mappings", "4"])
+        assert args.num_mappings == 4
