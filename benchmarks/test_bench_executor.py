@@ -1,0 +1,87 @@
+"""Benchmark: the parallel sweep executor versus serial execution.
+
+Reruns the Fig. 7 scaling sweep (force-directed and graph-partitioning
+mappers over single- and two-level factories) as one explicit
+:class:`~repro.api.executor.SweepPlan`, serially and across a 4-worker
+process pool.  The contract checked here:
+
+* parallel results are **byte-identical** to serial results (always
+  asserted, on any machine);
+* with at least 4 CPUs, the 4-worker run is at least 2x faster than the
+  serial run (skipped on smaller machines, where the wall-clock comparison
+  is meaningless).
+
+The speedup sweep replicates the grid over several seeds so no single
+evaluation dominates the critical path — mirroring how the paper's data is
+gathered over repeated randomized runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from conftest import run_once, single_level_capacities, two_level_capacities
+from repro.api import SweepExecutor, SweepPlan
+
+FIG7_METHODS = ("force_directed", "graph_partition")
+
+
+def fig7_plan(seeds=(0,)) -> SweepPlan:
+    """The Fig. 7 scaling sweep (both levels) as one explicit plan."""
+    single = SweepPlan.from_grid(
+        methods=FIG7_METHODS,
+        capacities=single_level_capacities(),
+        levels=1,
+        seeds=seeds,
+    )
+    two = SweepPlan.from_grid(
+        methods=FIG7_METHODS,
+        capacities=two_level_capacities(),
+        levels=2,
+        seeds=seeds,
+    )
+    return SweepPlan.from_requests(list(single) + list(two))
+
+
+def test_bench_fig7_sweep_serial(benchmark):
+    """Timing baseline: the full Fig. 7 plan on one worker."""
+    result = run_once(benchmark, SweepExecutor(workers=1).run, fig7_plan())
+    assert len(result.evaluations) == len(fig7_plan())
+
+
+def test_fig7_parallel_results_identical():
+    """4-worker execution must be byte-identical to serial execution."""
+    plan = fig7_plan()
+    serial = SweepExecutor(workers=1).run(plan)
+    parallel = SweepExecutor(workers=4).run(plan)
+    assert json.dumps(parallel.to_dict(), sort_keys=True) == json.dumps(
+        serial.to_dict(), sort_keys=True
+    )
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 4,
+    reason="speedup measurement needs >= 4 CPUs",
+)
+def test_fig7_parallel_speedup_at_least_2x():
+    """A 4-worker Fig. 7 sweep is >= 2x faster than serial, same results."""
+    plan = fig7_plan(seeds=(0, 1, 2, 3))
+
+    started = time.perf_counter()
+    serial = SweepExecutor(workers=1).run(plan)
+    serial_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    parallel = SweepExecutor(workers=4).run(plan)
+    parallel_seconds = time.perf_counter() - started
+
+    assert parallel.to_dict() == serial.to_dict()
+    speedup = serial_seconds / parallel_seconds
+    assert speedup >= 2.0, (
+        f"4-worker sweep only {speedup:.2f}x faster "
+        f"({serial_seconds:.1f}s serial vs {parallel_seconds:.1f}s parallel)"
+    )

@@ -26,6 +26,13 @@ The public API is organised around three pluggable abstractions in
   via :func:`repro.api.register_experiment` with typed parameter specs;
   the ``repro-msfu`` command line generates its options from those specs
   and emits machine-readable output with ``--json``.
+* **Sweep execution** — :class:`repro.api.SweepPlan` expands a parameter
+  grid into independent requests and :class:`repro.api.SweepExecutor`
+  schedules them serially or across worker processes with deterministic,
+  byte-identical results; simulations are memoized
+  (:class:`repro.routing.SimulationCache`) so repeated sweep points never
+  re-simulate, and ``repro-msfu bench`` records the performance trajectory
+  as ``BENCH_*.json``.
 
 A custom mapper end to end::
 

@@ -4,7 +4,11 @@ This is the evaluation harness shared by the figures and tables of the
 paper's Section VIII.  The heavy lifting now lives in :mod:`repro.api`:
 mapping procedures are looked up in the pluggable mapper registry and runs
 go through :class:`repro.api.Pipeline`, which caches built factory circuits
-across the mappers of a sweep.  :func:`evaluate_factory_mapping` and
+across the mappers of a sweep and memoizes simulation results.  Sweeps can
+run in parallel: :func:`capacity_sweep` takes ``workers=N``, and
+:class:`SweepPlan` / :class:`SweepExecutor` / :func:`run_sweep` (re-exported
+from :mod:`repro.api.executor`) expose the full plan-based execution model
+with deterministic result ordering.  :func:`evaluate_factory_mapping` and
 :func:`capacity_sweep` are kept here as thin, backward-compatible delegates
 so existing callers (experiments, benchmarks, notebooks) keep working
 unchanged; new code should prefer :mod:`repro.api` directly.
@@ -16,6 +20,12 @@ from typing import Dict, Iterable, List, Sequence
 
 # Re-exported for backward compatibility: these names historically lived in
 # this module and are imported from here throughout the test-suite.
+from ..api.executor import (  # noqa: F401
+    SweepExecutor,
+    SweepPlan,
+    SweepRunResult,
+    run_sweep,
+)
 from ..api.pipeline import capacity_sweep, evaluate_factory_mapping  # noqa: F401
 from ..api.results import FactoryEvaluation  # noqa: F401
 

@@ -18,7 +18,12 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from ..mapping.placement import Placement
-from ..routing.simulator import SimulationResult, SimulatorConfig, simulate
+from ..routing.simulator import (
+    SimulationCache,
+    SimulationResult,
+    SimulatorConfig,
+    simulate,
+)
 
 
 def occupied_bounding_box(placement: Placement) -> Dict[str, int]:
@@ -77,9 +82,18 @@ def evaluate_mapping(
     circuit_or_gates,
     placement: Placement,
     config: Optional[SimulatorConfig] = None,
+    cache: Optional[SimulationCache] = None,
 ) -> EvaluationResult:
-    """Simulate a circuit on a placement and report latency/area/volume."""
-    result: SimulationResult = simulate(circuit_or_gates, placement, config)
+    """Simulate a circuit on a placement and report latency/area/volume.
+
+    With ``cache`` given, the simulation is memoized through it (the
+    simulator is deterministic, so this never changes results — repeated
+    sweep points just skip the re-simulation).
+    """
+    if cache is not None:
+        result: SimulationResult = cache.simulate(circuit_or_gates, placement, config)
+    else:
+        result = simulate(circuit_or_gates, placement, config)
     return EvaluationResult(
         latency=result.latency,
         area=mapping_area(placement),

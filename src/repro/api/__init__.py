@@ -7,20 +7,34 @@ available to :class:`Pipeline`, :func:`capacity_sweep` and the ``repro-msfu``
 command line (including ``--json`` machine-readable output) without touching
 the analysis layer.
 
-The three core abstractions:
+The core abstractions:
 
 * :class:`Mapper` — a named qubit-mapping procedure
   (``place(factory, *, seed, context)``), looked up by name in a registry;
 * :class:`EvaluationRequest` / :class:`Pipeline` — the unified
   build -> map -> simulate run model, caching built factory circuits so a
-  sweep over many mappers constructs each configuration exactly once;
+  sweep over many mappers constructs each configuration exactly once, and
+  memoizing simulation results so repeated sweep points never re-simulate;
+* :class:`SweepPlan` / :class:`SweepExecutor` — explicit sweep plans
+  (parameter grids expanded into independent requests) scheduled serially
+  or across worker processes with deterministic result ordering;
 * :class:`ExperimentSpec` / :class:`ParamSpec` — declarative experiments
   whose typed parameters drive the auto-generated CLI options.
 """
 
+from .executor import (
+    ExecutorStats,
+    SweepExecutor,
+    SweepPlan,
+    SweepRunResult,
+    recommended_workers,
+    run_sweep,
+    take_last_run_stats,
+)
 from .experiments import (
     PARAM_KINDS,
     SEED_PARAM,
+    WORKERS_PARAM,
     ExperimentSpec,
     ParamSpec,
     available_experiments,
@@ -54,8 +68,16 @@ from .registry import Registry, RegistryError
 from .results import FactoryEvaluation, from_json, to_json
 
 __all__ = [
+    "ExecutorStats",
+    "SweepExecutor",
+    "SweepPlan",
+    "SweepRunResult",
+    "recommended_workers",
+    "run_sweep",
+    "take_last_run_stats",
     "PARAM_KINDS",
     "SEED_PARAM",
+    "WORKERS_PARAM",
     "ExperimentSpec",
     "ParamSpec",
     "available_experiments",

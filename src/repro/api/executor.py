@@ -1,0 +1,450 @@
+"""Parallel sweep execution: explicit plans scheduled across worker processes.
+
+The paper's evaluation (Figs. 6-10, Table I) is a large family of
+independent (mapper, capacity, levels, reuse) simulation points.  This
+module treats such a sweep as an explicit, serializable **plan** rather than
+an implicit loop:
+
+* :class:`SweepPlan` — an ordered tuple of
+  :class:`~repro.api.pipeline.EvaluationRequest`s, typically expanded from a
+  parameter grid with :meth:`SweepPlan.from_grid`;
+* :class:`SweepExecutor` — runs a plan either serially (``workers=1``, the
+  fallback) or across a :class:`concurrent.futures.ProcessPoolExecutor`,
+  with **deterministic result ordering** (results always come back in plan
+  order, whatever the completion order) and request-level deduplication
+  (identical requests are evaluated once — evaluation is deterministic in
+  the request, so duplicates are pure cache hits);
+* :class:`SweepRunResult` — the evaluations in plan order plus an
+  :class:`ExecutorStats` accounting of wall time and cache behaviour.
+  ``to_dict()`` intentionally covers only the deterministic evaluations, so
+  serialized results are byte-identical across worker counts.
+
+Below the executor, every worker's :class:`~repro.api.pipeline.Pipeline`
+memoizes :class:`~repro.routing.simulator.SimulationResult`s keyed by
+(circuit fingerprint, placement, config) — see
+:class:`~repro.routing.simulator.SimulationCache` — so repeated sweep
+points never re-simulate even across distinct requests.
+
+.. code-block:: python
+
+    from repro.api import SweepExecutor, SweepPlan
+
+    plan = SweepPlan.from_grid(
+        methods=("force_directed", "graph_partition"),
+        capacities=(2, 4, 8, 16),
+        levels=(1, 2),
+    )
+    result = SweepExecutor(workers=4).run(plan)
+    for point in result.evaluations:   # plan order, identical to workers=1
+        print(point.method, point.capacity, point.volume)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..mapping.force_directed import ForceDirectedConfig
+from ..mapping.stitching import StitchingConfig
+from ..routing.simulator import SimulationCache, SimulatorConfig
+from .pipeline import EvaluationRequest, Pipeline, PipelineStats
+from .results import FactoryEvaluation
+
+
+def _as_tuple(value: Union[Any, Sequence[Any]]) -> Tuple[Any, ...]:
+    """Normalize a scalar-or-iterable grid axis to a materialized tuple."""
+    if isinstance(value, (str, bytes)):
+        return (value,)
+    try:
+        return tuple(value)
+    except TypeError:
+        return (value,)
+
+
+# ----------------------------------------------------------------------
+# The plan
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SweepPlan:
+    """An ordered, serializable collection of independent evaluation requests.
+
+    The plan order is the result order — executors must preserve it — so a
+    plan fully determines its sweep's output, independent of how (or how
+    parallel) it is executed.
+    """
+
+    requests: Tuple[EvaluationRequest, ...]
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def __iter__(self):
+        return iter(self.requests)
+
+    def __getitem__(self, index: int) -> EvaluationRequest:
+        return self.requests[index]
+
+    @classmethod
+    def from_requests(cls, requests: Iterable[EvaluationRequest]) -> "SweepPlan":
+        """Wrap an iterable of requests, preserving its order."""
+        return cls(requests=tuple(requests))
+
+    @classmethod
+    def from_grid(
+        cls,
+        methods: Sequence[str],
+        capacities: Sequence[int],
+        levels: Union[int, Sequence[int]] = 1,
+        reuse: Union[bool, Sequence[bool]] = False,
+        seeds: Sequence[int] = (0,),
+        fd_config: Optional[ForceDirectedConfig] = None,
+        stitch_config: Optional[StitchingConfig] = None,
+        sim_config: Optional[SimulatorConfig] = None,
+        options: Optional[Mapping[str, Any]] = None,
+    ) -> "SweepPlan":
+        """Expand a parameter grid into one request per combination.
+
+        Axes nest as (seed, levels, reuse, capacity, method), innermost
+        last, so a plain ``from_grid(methods, capacities)`` enumerates in
+        the same (capacity-major, method-minor) order as
+        :meth:`repro.api.Pipeline.sweep` and tables can be assembled by
+        simple grouping.
+        """
+        # Materialize every axis first: the nested comprehension iterates
+        # the inner axes once per outer combination, which would silently
+        # truncate the grid for one-shot iterators.
+        methods = _as_tuple(methods)
+        capacities = _as_tuple(capacities)
+        levels_axis = _as_tuple(levels)
+        reuse_axis = _as_tuple(reuse)
+        seeds_axis = _as_tuple(seeds)
+        requests = tuple(
+            EvaluationRequest(
+                method=method,
+                capacity=capacity,
+                levels=level,
+                reuse=reuse_flag,
+                seed=seed,
+                fd_config=fd_config,
+                stitch_config=stitch_config,
+                sim_config=sim_config,
+                options=dict(options or {}),
+            )
+            for seed in seeds_axis
+            for level in levels_axis
+            for reuse_flag in reuse_axis
+            for capacity in capacities
+            for method in methods
+        )
+        return cls(requests=requests)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe encoding of every request, in plan order."""
+        return {"requests": [request.to_dict() for request in self.requests]}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SweepPlan":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            requests=tuple(
+                EvaluationRequest.from_dict(item)
+                for item in data.get("requests", [])
+            )
+        )
+
+
+# ----------------------------------------------------------------------
+# Results and accounting
+# ----------------------------------------------------------------------
+@dataclass
+class ExecutorStats:
+    """Exact accounting of one executor run.
+
+    ``duplicate_hits`` counts plan entries answered by request-level
+    deduplication (identical request seen earlier in the plan);
+    ``sim_cache_hits`` counts simulations answered from the per-worker
+    :class:`~repro.routing.simulator.SimulationCache`; ``factory_builds`` /
+    ``factory_cache_hits`` count factory-circuit construction.  The
+    invariant ``requests == duplicate_hits + evaluations`` always holds.
+    """
+
+    requests: int = 0
+    evaluations: int = 0
+    duplicate_hits: int = 0
+    factory_builds: int = 0
+    factory_cache_hits: int = 0
+    sim_cache_hits: int = 0
+    workers: int = 1
+    wall_seconds: float = 0.0
+
+    def add_pipeline_delta(self, delta: PipelineStats) -> None:
+        """Fold one evaluation's pipeline counter delta into this record."""
+        self.evaluations += delta.evaluations
+        self.factory_builds += delta.factory_builds
+        self.factory_cache_hits += delta.cache_hits
+        self.sim_cache_hits += delta.sim_cache_hits
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict of every counter."""
+        return {
+            "requests": self.requests,
+            "evaluations": self.evaluations,
+            "duplicate_hits": self.duplicate_hits,
+            "factory_builds": self.factory_builds,
+            "factory_cache_hits": self.factory_cache_hits,
+            "sim_cache_hits": self.sim_cache_hits,
+            "workers": self.workers,
+            "wall_seconds": self.wall_seconds,
+        }
+
+
+@dataclass
+class SweepRunResult:
+    """The outcome of executing one :class:`SweepPlan`.
+
+    ``evaluations`` is in plan order.  ``stats`` describes *how* the run
+    went (wall time, worker count, cache hits) and is deliberately excluded
+    from :meth:`to_dict`: the serialized result of a plan is byte-identical
+    whether it ran on one worker or many.
+    """
+
+    evaluations: List[FactoryEvaluation]
+    stats: ExecutorStats = field(default_factory=ExecutorStats)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe encoding of the (deterministic) evaluations only."""
+        return {
+            "evaluations": [evaluation.to_dict() for evaluation in self.evaluations]
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SweepRunResult":
+        """Inverse of :meth:`to_dict` (stats are not round-tripped)."""
+        return cls(
+            evaluations=[
+                FactoryEvaluation.from_dict(item)
+                for item in data.get("evaluations", [])
+            ]
+        )
+
+
+# ----------------------------------------------------------------------
+# Worker-process plumbing
+# ----------------------------------------------------------------------
+# Each worker process holds one long-lived pipeline so the factory and
+# simulation caches amortize across every request the worker receives.
+_WORKER_PIPELINE: Optional[Pipeline] = None
+_WORKER_ARGS: Tuple = (None, 8, 512)
+
+
+def _worker_init(
+    sim_config: Optional[SimulatorConfig], cache_size: int, sim_cache_size: int
+) -> None:
+    """Process-pool initializer: remember the pipeline configuration."""
+    global _WORKER_ARGS, _WORKER_PIPELINE
+    _WORKER_ARGS = (sim_config, cache_size, sim_cache_size)
+    _WORKER_PIPELINE = None
+
+
+def _worker_pipeline() -> Pipeline:
+    """The worker's lazily created process-wide pipeline."""
+    global _WORKER_PIPELINE
+    if _WORKER_PIPELINE is None:
+        sim_config, cache_size, sim_cache_size = _WORKER_ARGS
+        _WORKER_PIPELINE = Pipeline(
+            sim_config=sim_config,
+            cache_size=cache_size,
+            sim_cache=SimulationCache(max_entries=sim_cache_size),
+        )
+    return _WORKER_PIPELINE
+
+
+def _worker_evaluate(
+    request: EvaluationRequest,
+) -> Tuple[FactoryEvaluation, PipelineStats]:
+    """Evaluate one request in a worker; returns the point and its stat delta."""
+    pipeline = _worker_pipeline()
+    before = pipeline.stats.snapshot()
+    evaluation = pipeline.evaluate(request)
+    return evaluation, pipeline.stats.delta(before)
+
+
+def _request_key(request: EvaluationRequest) -> str:
+    """Canonical dedup key: requests with equal keys evaluate identically."""
+    return json.dumps(request.to_dict(), sort_keys=True)
+
+
+# ----------------------------------------------------------------------
+# The executor
+# ----------------------------------------------------------------------
+class SweepExecutor:
+    """Schedules a :class:`SweepPlan` serially or across worker processes.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker processes.  ``1`` (the default) runs everything
+        serially in this process on a private long-lived pipeline — no
+        subprocess, no pickling.  Values above 1 use a
+        :class:`~concurrent.futures.ProcessPoolExecutor`; results and their
+        order are identical to the serial run (evaluation is deterministic
+        in the request and results are reassembled in plan order).
+    sim_config:
+        Default simulator configuration for every evaluation (a request's
+        own ``sim_config`` takes precedence), forwarded to each worker.
+    cache_size / sim_cache_size:
+        Per-worker factory-cache and simulation-cache bounds.
+
+    Notes
+    -----
+    Worker processes cache independently, so cross-request cache hits
+    depend on which worker a request lands on; request-level deduplication
+    happens in the parent and is scheduling-independent.  Use
+    :func:`take_last_run_stats` (or ``run(...).stats``) for the exact
+    accounting of a run.
+
+    Mappers are resolved by name *inside* each worker.  On platforms whose
+    process start method is ``fork`` (Linux, the default) workers inherit
+    every mapper registered in the parent; under ``spawn`` (Windows,
+    macOS defaults) a third-party mapper must be registered at import time
+    of its module — e.g. via a registration decorator at module top level —
+    so the re-imported worker sees it.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        sim_config: Optional[SimulatorConfig] = None,
+        cache_size: int = 8,
+        sim_cache_size: int = 512,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.sim_config = sim_config
+        self.cache_size = cache_size
+        self.sim_cache_size = sim_cache_size
+        self._pipeline: Optional[Pipeline] = None
+
+    # ------------------------------------------------------------------
+    # Serial fallback pipeline
+    # ------------------------------------------------------------------
+    def pipeline(self) -> Pipeline:
+        """The executor's own serial pipeline (persists across runs)."""
+        if self._pipeline is None:
+            self._pipeline = Pipeline(
+                sim_config=self.sim_config,
+                cache_size=self.cache_size,
+                sim_cache=SimulationCache(max_entries=self.sim_cache_size),
+            )
+        return self._pipeline
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(
+        self, plan: Union[SweepPlan, Iterable[EvaluationRequest]]
+    ) -> SweepRunResult:
+        """Execute every request of ``plan``; results come back in plan order.
+
+        Identical requests are evaluated once (the first occurrence) and
+        fanned out to every duplicate position — a pure optimization, since
+        evaluation is deterministic in the request.
+        """
+        if not isinstance(plan, SweepPlan):
+            plan = SweepPlan.from_requests(plan)
+        started = time.perf_counter()
+        stats = ExecutorStats(requests=len(plan), workers=self.workers)
+
+        # Deduplicate while preserving first-occurrence order.
+        unique: List[EvaluationRequest] = []
+        slot_of_key: Dict[str, int] = {}
+        slots: List[int] = []
+        for request in plan:
+            key = _request_key(request)
+            slot = slot_of_key.get(key)
+            if slot is None:
+                slot = len(unique)
+                slot_of_key[key] = slot
+                unique.append(request)
+            else:
+                stats.duplicate_hits += 1
+            slots.append(slot)
+
+        if self.workers == 1 or len(unique) <= 1:
+            unique_results = self._run_serial(unique, stats)
+        else:
+            unique_results = self._run_parallel(unique, stats)
+
+        evaluations = [unique_results[slot] for slot in slots]
+        stats.wall_seconds = time.perf_counter() - started
+        result = SweepRunResult(evaluations=evaluations, stats=stats)
+        global _LAST_RUN_STATS
+        _LAST_RUN_STATS = stats
+        return result
+
+    def _run_serial(
+        self, requests: Sequence[EvaluationRequest], stats: ExecutorStats
+    ) -> List[FactoryEvaluation]:
+        pipeline = self.pipeline()
+        results: List[FactoryEvaluation] = []
+        for request in requests:
+            before = pipeline.stats.snapshot()
+            results.append(pipeline.evaluate(request))
+            stats.add_pipeline_delta(pipeline.stats.delta(before))
+        return results
+
+    def _run_parallel(
+        self, requests: Sequence[EvaluationRequest], stats: ExecutorStats
+    ) -> List[FactoryEvaluation]:
+        workers = min(self.workers, len(requests))
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_worker_init,
+            initargs=(self.sim_config, self.cache_size, self.sim_cache_size),
+        ) as pool:
+            futures = [pool.submit(_worker_evaluate, request) for request in requests]
+            results: List[FactoryEvaluation] = []
+            # Collect in submission order: completion order does not matter,
+            # so the output is deterministic whatever the scheduling.
+            for future in futures:
+                evaluation, delta = future.result()
+                results.append(evaluation)
+                stats.add_pipeline_delta(delta)
+        return results
+
+
+#: Stats of the most recent ``SweepExecutor.run`` in this process — set even
+#: when the executor was created internally (e.g. by ``capacity_sweep`` with
+#: ``workers > 1``), so the ``repro-msfu bench`` command can report cache
+#: behaviour it could not otherwise observe.
+_LAST_RUN_STATS: Optional[ExecutorStats] = None
+
+
+def take_last_run_stats() -> Optional[ExecutorStats]:
+    """Pop the stats of the most recent executor run (``None`` if none ran)."""
+    global _LAST_RUN_STATS
+    stats = _LAST_RUN_STATS
+    _LAST_RUN_STATS = None
+    return stats
+
+
+def run_sweep(
+    plan: Union[SweepPlan, Iterable[EvaluationRequest]],
+    workers: int = 1,
+    sim_config: Optional[SimulatorConfig] = None,
+) -> SweepRunResult:
+    """One-shot convenience: execute a plan on a fresh :class:`SweepExecutor`."""
+    return SweepExecutor(workers=workers, sim_config=sim_config).run(plan)
+
+
+def recommended_workers() -> int:
+    """A sensible default worker count: the machine's CPU count, at least 1."""
+    return max(1, os.cpu_count() or 1)

@@ -96,6 +96,13 @@ class ParamSpec:
 #: The common trailing parameter shared by every built-in experiment.
 SEED_PARAM = ParamSpec("seed", "int", default=0, help="random seed")
 
+#: Worker-count parameter of the sweep-style experiments: ``1`` runs the
+#: sweep serially, higher values execute it across a process pool via
+#: :class:`repro.api.executor.SweepExecutor` (identical results, same order).
+WORKERS_PARAM = ParamSpec(
+    "workers", "int", default=1, help="worker processes for the sweep (1 = serial)"
+)
+
 
 @dataclass(frozen=True)
 class ExperimentSpec:

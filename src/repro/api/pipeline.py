@@ -15,6 +15,7 @@ delegates to.
 
 from __future__ import annotations
 
+import dataclasses
 from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
@@ -28,7 +29,7 @@ from ..distillation.block_code import (
 )
 from ..mapping.force_directed import ForceDirectedConfig
 from ..mapping.stitching import StitchedMapping, StitchingConfig
-from ..routing.simulator import SimulatorConfig
+from ..routing.simulator import SimulationCache, SimulatorConfig
 from ..scheduling.critical_path import (
     factory_area_lower_bound,
     factory_latency_lower_bound,
@@ -143,15 +144,35 @@ def _decode_sim_config(data: Optional[Mapping[str, Any]]) -> Optional[SimulatorC
 # ----------------------------------------------------------------------
 @dataclass
 class PipelineStats:
-    """Counters exposed for tests and capacity planning."""
+    """Counters exposed for tests, benchmarking and capacity planning.
+
+    ``factory_builds`` / ``cache_hits`` count factory-circuit construction
+    against the LRU factory cache; ``sim_cache_hits`` counts simulations
+    answered from the :class:`~repro.routing.simulator.SimulationCache`
+    without re-simulating.
+    """
 
     factory_builds: int = 0
     cache_hits: int = 0
     evaluations: int = 0
+    sim_cache_hits: int = 0
+
+    def snapshot(self) -> "PipelineStats":
+        """An independent copy (used for before/after deltas)."""
+        return dataclasses.replace(self)
+
+    def delta(self, earlier: "PipelineStats") -> "PipelineStats":
+        """Counter-wise difference ``self - earlier`` over every field."""
+        return PipelineStats(
+            **{
+                f.name: getattr(self, f.name) - getattr(earlier, f.name)
+                for f in dataclasses.fields(self)
+            }
+        )
 
 
 class Pipeline:
-    """Build -> map -> simulate, with factory-circuit caching.
+    """Build -> map -> simulate, with factory-circuit and simulation caching.
 
     Parameters
     ----------
@@ -161,17 +182,25 @@ class Pipeline:
     cache_size:
         Maximum number of built factories kept alive (LRU).  Two-level
         factories are large, so the cache is bounded.
+    sim_cache:
+        Memo of deterministic simulation results, so repeated sweep points
+        never re-simulate.  A fresh bounded cache is created when omitted;
+        pass ``None``-disabling is not supported because memoization never
+        changes results — share one cache between pipelines instead when
+        coordinating sweeps.
     """
 
     def __init__(
         self,
         sim_config: Optional[SimulatorConfig] = None,
         cache_size: int = 8,
+        sim_cache: Optional[SimulationCache] = None,
     ) -> None:
         if cache_size < 1:
             raise ValueError(f"cache_size must be >= 1, got {cache_size}")
         self.sim_config = sim_config
         self.cache_size = cache_size
+        self.sim_cache = sim_cache if sim_cache is not None else SimulationCache()
         self.stats = PipelineStats()
         self._factories: "OrderedDict[Tuple[int, int, ReusePolicy], Factory]" = (
             OrderedDict()
@@ -205,8 +234,9 @@ class Pipeline:
         return built
 
     def clear_cache(self) -> None:
-        """Drop every cached factory."""
+        """Drop every cached factory and memoized simulation result."""
         self._factories.clear()
+        self.sim_cache.clear()
 
     # ------------------------------------------------------------------
     # Evaluation
@@ -226,14 +256,21 @@ class Pipeline:
         # initialisation, so a top-level import would be circular.
         from ..analysis.volume import evaluate_mapping
 
+        hits_before = self.sim_cache.hits
         if isinstance(outcome, StitchedMapping):
             hop_config = replace(sim_config, hops=outcome.hops)
             evaluation = evaluate_mapping(
-                outcome.factory.circuit, outcome.placement, hop_config
+                outcome.factory.circuit,
+                outcome.placement,
+                hop_config,
+                cache=self.sim_cache,
             )
         else:
-            evaluation = evaluate_mapping(factory.circuit, outcome, sim_config)
+            evaluation = evaluate_mapping(
+                factory.circuit, outcome, sim_config, cache=self.sim_cache
+            )
 
+        self.stats.sim_cache_hits += self.sim_cache.hits - hits_before
         self.stats.evaluations += 1
         return FactoryEvaluation(
             method=request.method,
@@ -335,8 +372,34 @@ def capacity_sweep(
     fd_config: Optional[ForceDirectedConfig] = None,
     stitch_config: Optional[StitchingConfig] = None,
     sim_config: Optional[SimulatorConfig] = None,
+    workers: int = 1,
 ) -> List[FactoryEvaluation]:
-    """Evaluate every (method, capacity) combination on the shared pipeline."""
+    """Evaluate every (method, capacity) combination.
+
+    With ``workers=1`` (the default) the sweep runs serially on the shared
+    process-wide pipeline, reusing its factory and simulation caches across
+    calls.  With ``workers > 1`` it is executed by a
+    :class:`~repro.api.executor.SweepExecutor` across worker processes;
+    results are identical and returned in the same deterministic
+    (capacity-major, method-minor) order.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if workers > 1:
+        # Imported lazily: the executor module builds on this one.
+        from .executor import SweepExecutor, SweepPlan
+
+        plan = SweepPlan.from_grid(
+            methods=methods,
+            capacities=capacities,
+            levels=levels,
+            reuse=reuse,
+            seeds=(seed,),
+            fd_config=fd_config,
+            stitch_config=stitch_config,
+            sim_config=sim_config,
+        )
+        return SweepExecutor(workers=workers, sim_config=sim_config).run(plan).evaluations
     return _default_pipeline.sweep(
         methods,
         capacities,

@@ -19,22 +19,36 @@ Run the two-level Table I block over the full paper capacity range, as
 machine-readable JSON written to a file::
 
     repro-msfu run table1-level2 --capacities 4,16,36,64,100 --json --output table1.json
+
+Run the Fig. 7 scaling sweep across 4 worker processes::
+
+    repro-msfu run fig7b --workers 4
+
+Benchmark the experiment suite and record the perf trajectory point::
+
+    repro-msfu bench --workers 4 --output BENCH_fig7.json
+    repro-msfu bench --smoke           # reduced sweep, writes BENCH_<timestamp>.json
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
+import platform
 import sys
 import time
+from datetime import datetime, timezone
 from typing import Any, Dict, List, Optional, Sequence
 
+from .api.executor import take_last_run_stats
 from .api.experiments import (
     ExperimentSpec,
     available_experiments,
     get_experiment,
     parse_int_list,
 )
+from .api.pipeline import default_pipeline
 
 
 def _parse_capacities(text: str) -> List[int]:
@@ -117,7 +131,183 @@ def build_parser() -> argparse.ArgumentParser:
             default=None,
             help="write the result to FILE instead of stdout",
         )
+
+    bench_parser = subparsers.add_parser(
+        "bench",
+        help="benchmark experiments and write a BENCH_*.json perf record",
+        description=(
+            "Run a set of experiments under wall-clock timing and emit a "
+            "machine-readable BENCH_*.json record (per-experiment wall time, "
+            "simulated cycles, cache-hit accounting) that seeds the "
+            "performance trajectory of the repository."
+        ),
+    )
+    bench_parser.add_argument(
+        "--experiments",
+        metavar="NAMES",
+        default=",".join(DEFAULT_BENCH_EXPERIMENTS),
+        help=(
+            "comma-separated experiment names to benchmark "
+            f"(default: {','.join(DEFAULT_BENCH_EXPERIMENTS)})"
+        ),
+    )
+    bench_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for sweep experiments (1 = serial)",
+    )
+    bench_parser.add_argument(
+        "--seed", type=int, default=None, help="random seed forwarded to experiments"
+    )
+    bench_parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="use reduced parameter ranges so the whole bench finishes in seconds",
+    )
+    bench_parser.add_argument(
+        "--output",
+        metavar="FILE",
+        default=None,
+        help="record path (default: BENCH_<UTC timestamp>.json in the current directory)",
+    )
     return parser
+
+
+#: Experiments benchmarked by ``repro-msfu bench`` when none are named: the
+#: Fig. 7 scaling sweeps (the canonical parallel-execution workload) plus the
+#: single-level Table I block (a mapper-diverse, simulation-heavy sweep).
+DEFAULT_BENCH_EXPERIMENTS = ("fig7a", "fig7b", "table1-level1")
+
+#: Reduced ``--smoke`` parameter overrides per experiment, chosen so every
+#: entry completes in seconds.  Unknown experiments with a ``capacities``
+#: parameter fall back to ``[2, 4]``.
+SMOKE_OVERRIDES: Dict[str, Dict[str, Any]] = {
+    "fig7a": {"capacities": [2, 4]},
+    "fig7b": {"capacities": [4]},
+    "fig10-single": {"capacities": [2, 4]},
+    "fig10-two": {"capacities": [4]},
+    "table1-level1": {"capacities": [2]},
+    "table1-level2": {"capacities": [4]},
+    "fig6": {"num_mappings": 5},
+}
+
+
+def _bench_kwargs(spec: ExperimentSpec, args: argparse.Namespace) -> Dict[str, Any]:
+    """The kwargs one bench entry passes to its experiment runner."""
+    param_names = {param.name for param in spec.params}
+    kwargs: Dict[str, Any] = {}
+    if args.smoke:
+        overrides = SMOKE_OVERRIDES.get(spec.name)
+        if overrides is None and "capacities" in param_names:
+            overrides = {"capacities": [2, 4]}
+        for key, value in (overrides or {}).items():
+            if key in param_names:
+                kwargs[key] = value
+    if args.seed is not None and "seed" in param_names:
+        kwargs["seed"] = args.seed
+    if args.workers != 1 and "workers" in param_names:
+        kwargs["workers"] = args.workers
+    return kwargs
+
+
+def _bench_one(name: str, args: argparse.Namespace) -> Dict[str, Any]:
+    """Benchmark one experiment and return its JSON-safe record."""
+    spec = get_experiment(name)
+    kwargs = _bench_kwargs(spec, args)
+    pipeline = default_pipeline()
+    before = pipeline.stats.snapshot()
+    take_last_run_stats()  # discard stats of any earlier, unrelated run
+    started = time.perf_counter()
+    result = spec.run(**kwargs)
+    wall_seconds = time.perf_counter() - started
+
+    record: Dict[str, Any] = {
+        "experiment": name,
+        "params": {key: value for key, value in kwargs.items()},
+        "workers": kwargs.get("workers", 1),
+        "wall_seconds": round(wall_seconds, 4),
+        "sim_cycles": None,
+        "stall_cycles": None,
+        "evaluations": None,
+    }
+    evaluations = getattr(result, "evaluations", None)
+    if evaluations:
+        record["evaluations"] = len(evaluations)
+        record["sim_cycles"] = sum(e.latency for e in evaluations)
+        record["stall_cycles"] = sum(e.stall_cycles for e in evaluations)
+
+    executor_stats = take_last_run_stats()
+    if executor_stats is not None:
+        # The sweep ran through a SweepExecutor (workers > 1): report its
+        # exact per-run accounting, aggregated across worker processes.
+        record["cache"] = executor_stats.to_dict()
+    else:
+        delta = pipeline.stats.delta(before)
+        record["cache"] = {
+            "evaluations": delta.evaluations,
+            "factory_builds": delta.factory_builds,
+            "factory_cache_hits": delta.cache_hits,
+            "sim_cache_hits": delta.sim_cache_hits,
+            "workers": 1,
+        }
+    return record
+
+
+def run_bench(args: argparse.Namespace) -> int:
+    """The ``bench`` command: time experiments and write the perf record."""
+    names = [name.strip() for name in args.experiments.split(",") if name.strip()]
+    if args.workers < 1:
+        print(f"bench: --workers must be >= 1, got {args.workers}", file=sys.stderr)
+        return 2
+    known = set(available_experiments())
+    unknown = [name for name in names if name not in known]
+    if unknown:
+        print(
+            f"bench: unknown experiment(s) {', '.join(unknown)}; "
+            f"see 'repro-msfu list'",
+            file=sys.stderr,
+        )
+        return 2
+    records = []
+    for name in names:
+        print(f"[bench] {name} ...", file=sys.stderr)
+        record = _bench_one(name, args)
+        print(
+            f"[bench] {name}: {record['wall_seconds']:.2f}s"
+            + (
+                f", {record['sim_cycles']} simulated cycles"
+                if record["sim_cycles"] is not None
+                else ""
+            ),
+            file=sys.stderr,
+        )
+        records.append(record)
+
+    payload = {
+        "schema": "repro-msfu-bench/v1",
+        "created_utc": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "smoke": bool(args.smoke),
+        # What the user asked for; each experiment entry's own "workers"
+        # records what actually ran (experiments without a workers param
+        # always run serially).
+        "requested_workers": args.workers,
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "experiments": records,
+        "total_wall_seconds": round(
+            sum(record["wall_seconds"] for record in records), 4
+        ),
+    }
+    output = args.output or datetime.now(timezone.utc).strftime(
+        "BENCH_%Y%m%dT%H%M%SZ.json"
+    )
+    with open(output, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"[bench record -> {output}]", file=sys.stderr)
+    return 0
 
 
 def run_experiment(name: str, **kwargs) -> str:
@@ -196,6 +386,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 suffix = f"  — {description}" if description else ""
                 print(f"  {name}{suffix}")
         return 0
+
+    if args.command == "bench":
+        return run_bench(args)
 
     spec = get_experiment(args.experiment)
     kwargs = _experiment_kwargs(spec, args)

@@ -20,7 +20,12 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 from ..analysis.sweeps import FactoryEvaluation, capacity_sweep
-from ..api.experiments import SEED_PARAM, ParamSpec, register_experiment
+from ..api.experiments import (
+    SEED_PARAM,
+    WORKERS_PARAM,
+    ParamSpec,
+    register_experiment,
+)
 from ..api.results import evaluation_series_from_dict, evaluation_series_to_dict
 from ..mapping.force_directed import ForceDirectedConfig
 from ..mapping.stitching import StitchingConfig
@@ -90,6 +95,7 @@ def run_single_level(
     seed: int = 0,
     fd_config: Optional[ForceDirectedConfig] = None,
     sim_config: Optional[SimulatorConfig] = None,
+    workers: int = 1,
 ) -> Fig10Result:
     """Fig. 10a/10b/10e: single-level latency, area and volume sweeps."""
     capacities = tuple(capacities or DEFAULT_SINGLE_LEVEL_CAPACITIES)
@@ -100,6 +106,7 @@ def run_single_level(
         seed=seed,
         fd_config=fd_config,
         sim_config=sim_config,
+        workers=workers,
     )
     return Fig10Result(levels=1, evaluations=evaluations)
 
@@ -110,6 +117,7 @@ def run_two_level(
     fd_config: Optional[ForceDirectedConfig] = None,
     stitch_config: Optional[StitchingConfig] = None,
     sim_config: Optional[SimulatorConfig] = None,
+    workers: int = 1,
 ) -> Fig10Result:
     """Fig. 10c/10d/10f: two-level latency, area and volume sweeps."""
     capacities = tuple(capacities or DEFAULT_TWO_LEVEL_CAPACITIES)
@@ -121,6 +129,7 @@ def run_two_level(
         fd_config=fd_config,
         stitch_config=stitch_config,
         sim_config=sim_config,
+        workers=workers,
     )
     return Fig10Result(levels=2, evaluations=evaluations)
 
@@ -152,13 +161,13 @@ register_experiment(
     "fig10-single",
     run_single_level,
     formatter=format_result,
-    params=(_CAPACITIES_PARAM, SEED_PARAM),
+    params=(_CAPACITIES_PARAM, SEED_PARAM, WORKERS_PARAM),
     description="Fig. 10a/10b/10e: single-level latency/area/volume sweeps",
 )
 register_experiment(
     "fig10-two",
     run_two_level,
     formatter=format_result,
-    params=(_CAPACITIES_PARAM, SEED_PARAM),
+    params=(_CAPACITIES_PARAM, SEED_PARAM, WORKERS_PARAM),
     description="Fig. 10c/10d/10f: two-level latency/area/volume sweeps",
 )

@@ -20,7 +20,12 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 from ..analysis.sweeps import FactoryEvaluation, capacity_sweep
-from ..api.experiments import SEED_PARAM, ParamSpec, register_experiment
+from ..api.experiments import (
+    SEED_PARAM,
+    WORKERS_PARAM,
+    ParamSpec,
+    register_experiment,
+)
 from ..api.results import evaluation_series_from_dict, evaluation_series_to_dict
 from ..mapping.force_directed import ForceDirectedConfig
 from ..routing.simulator import SimulatorConfig
@@ -68,6 +73,7 @@ def run_single_level(
     seed: int = 0,
     fd_config: Optional[ForceDirectedConfig] = None,
     sim_config: Optional[SimulatorConfig] = None,
+    workers: int = 1,
 ) -> Fig7Result:
     """Fig. 7a: single-level factories, FD and GP versus the lower bound."""
     capacities = tuple(capacities or DEFAULT_SINGLE_LEVEL_CAPACITIES)
@@ -78,6 +84,7 @@ def run_single_level(
         seed=seed,
         fd_config=fd_config,
         sim_config=sim_config,
+        workers=workers,
     )
     return Fig7Result(levels=1, evaluations=evaluations)
 
@@ -87,6 +94,7 @@ def run_two_level(
     seed: int = 0,
     fd_config: Optional[ForceDirectedConfig] = None,
     sim_config: Optional[SimulatorConfig] = None,
+    workers: int = 1,
 ) -> Fig7Result:
     """Fig. 7b: two-level factories, FD and GP versus the lower bound."""
     capacities = tuple(capacities or DEFAULT_TWO_LEVEL_CAPACITIES)
@@ -97,6 +105,7 @@ def run_two_level(
         seed=seed,
         fd_config=fd_config,
         sim_config=sim_config,
+        workers=workers,
     )
     return Fig7Result(levels=2, evaluations=evaluations)
 
@@ -125,13 +134,13 @@ register_experiment(
     "fig7a",
     run_single_level,
     formatter=format_result,
-    params=(_CAPACITIES_PARAM, SEED_PARAM),
+    params=(_CAPACITIES_PARAM, SEED_PARAM, WORKERS_PARAM),
     description="Fig. 7a: single-level FD/GP latency vs the lower bound",
 )
 register_experiment(
     "fig7b",
     run_two_level,
     formatter=format_result,
-    params=(_CAPACITIES_PARAM, SEED_PARAM),
+    params=(_CAPACITIES_PARAM, SEED_PARAM, WORKERS_PARAM),
     description="Fig. 7b: two-level FD/GP latency vs the lower bound",
 )

@@ -22,7 +22,14 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 from ..analysis.sweeps import FactoryEvaluation, evaluate_factory_mapping
-from ..api.experiments import SEED_PARAM, ParamSpec, register_experiment
+from ..api.executor import SweepExecutor, SweepPlan
+from ..api.experiments import (
+    SEED_PARAM,
+    WORKERS_PARAM,
+    ParamSpec,
+    register_experiment,
+)
+from ..api.pipeline import EvaluationRequest
 from ..api.results import int_keyed, str_keyed
 from ..distillation.block_code import FactorySpec
 from ..mapping.force_directed import ForceDirectedConfig
@@ -107,7 +114,7 @@ class Table1Result:
         )
 
 
-def _row_evaluation(
+def _row_request(
     row: str,
     capacity: int,
     levels: int,
@@ -115,8 +122,8 @@ def _row_evaluation(
     fd_config: Optional[ForceDirectedConfig],
     stitch_config: Optional[StitchingConfig],
     sim_config: Optional[SimulatorConfig],
-) -> Optional[FactoryEvaluation]:
-    """Evaluate one Table I row entry; returns ``None`` for inapplicable cells."""
+) -> Optional[EvaluationRequest]:
+    """The evaluation request of one Table I cell; ``None`` for blank cells."""
     if row == "critical":
         return None
     if row == "random" and levels != 1:
@@ -134,12 +141,11 @@ def _row_evaluation(
         "graph_partition": "graph_partition",
         "hierarchical_stitching": "hierarchical_stitching",
     }[row]
-    reuse = row == "linear_reuse"
-    return evaluate_factory_mapping(
-        method,
-        capacity,
+    return EvaluationRequest(
+        method=method,
+        capacity=capacity,
         levels=levels,
-        reuse=reuse,
+        reuse=row == "linear_reuse",
         seed=seed,
         fd_config=fd_config,
         stitch_config=stitch_config,
@@ -154,10 +160,19 @@ def run(
     fd_config: Optional[ForceDirectedConfig] = None,
     stitch_config: Optional[StitchingConfig] = None,
     sim_config: Optional[SimulatorConfig] = None,
+    workers: int = 1,
 ) -> Table1Result:
-    """Regenerate one level-block of Table I."""
+    """Regenerate one level-block of Table I.
+
+    The table is expanded into an explicit request list first (one request
+    per non-blank cell); with ``workers > 1`` those requests run across a
+    :class:`~repro.api.executor.SweepExecutor` process pool, producing the
+    identical table in the identical order.
+    """
     if levels not in (1, 2):
         raise ValueError("Table I covers one- and two-level factories only")
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
     if capacities is None:
         capacities = (
             DEFAULT_LEVEL1_CAPACITIES if levels == 1 else DEFAULT_LEVEL2_CAPACITIES
@@ -166,7 +181,7 @@ def run(
     sim_config = sim_config or SimulatorConfig()
 
     volumes: Dict[str, Dict[int, float]] = {}
-    evaluations: List[FactoryEvaluation] = []
+    cells: List[tuple] = []
     for capacity in capacities:
         spec = FactorySpec.from_capacity(capacity, levels)
         critical = factory_latency_lower_bound(
@@ -174,15 +189,35 @@ def run(
         ) * factory_area_lower_bound(spec)
         volumes.setdefault("critical", {})[capacity] = float(critical)
         for row in ROW_ORDER:
-            if row == "critical":
-                continue
-            evaluation = _row_evaluation(
+            request = _row_request(
                 row, capacity, levels, seed, fd_config, stitch_config, sim_config
             )
-            if evaluation is None:
-                continue
-            volumes.setdefault(row, {})[capacity] = float(evaluation.volume)
-            evaluations.append(evaluation)
+            if request is not None:
+                cells.append((row, capacity, request))
+
+    if workers > 1:
+        plan = SweepPlan.from_requests(request for _, _, request in cells)
+        results = SweepExecutor(workers=workers, sim_config=sim_config).run(plan)
+        cell_evaluations = results.evaluations
+    else:
+        cell_evaluations = [
+            evaluate_factory_mapping(
+                request.method,
+                request.capacity,
+                levels=request.levels,
+                reuse=request.reuse,
+                seed=request.seed,
+                fd_config=request.fd_config,
+                stitch_config=request.stitch_config,
+                sim_config=request.sim_config,
+            )
+            for _, _, request in cells
+        ]
+
+    evaluations: List[FactoryEvaluation] = []
+    for (row, capacity, _), evaluation in zip(cells, cell_evaluations):
+        volumes.setdefault(row, {})[capacity] = float(evaluation.volume)
+        evaluations.append(evaluation)
     return Table1Result(levels=levels, volumes=volumes, evaluations=evaluations)
 
 
@@ -216,13 +251,13 @@ register_experiment(
     "table1-level1",
     functools.partial(run, levels=1),
     formatter=format_result,
-    params=(_CAPACITIES_PARAM, SEED_PARAM),
+    params=(_CAPACITIES_PARAM, SEED_PARAM, WORKERS_PARAM),
     description="Table I: single-level quantum volumes by procedure",
 )
 register_experiment(
     "table1-level2",
     functools.partial(run, levels=2),
     formatter=format_result,
-    params=(_CAPACITIES_PARAM, SEED_PARAM),
+    params=(_CAPACITIES_PARAM, SEED_PARAM, WORKERS_PARAM),
     description="Table I: two-level quantum volumes by procedure",
 )

@@ -1,14 +1,41 @@
-"""Surface-code braid routing substrate and cycle-accurate simulator."""
+"""Surface-code braid routing substrate and cycle-accurate simulator.
+
+This package is the evaluation substrate of the paper (Section VIII-A).  It
+models the 2-D surface-code architecture of Fig. 1 and executes gate-level
+schedules on it:
+
+* :class:`Mesh` — the doubled channel lattice derived from a qubit
+  placement: tiles at odd/odd lattice cells, routing channels everywhere a
+  coordinate is even;
+* :class:`BraidPath` — the spatial footprint of one braided operation (a
+  set of lattice cells); two braids conflict exactly when their footprints
+  intersect;
+* :class:`BraidRouter` — turns qubit pairs (or single-control multi-target
+  stars) into concrete braid paths avoiding the currently locked cells,
+  with the paper's **stall** baseline or the ablation's **detour** policy
+  (see the router docstring for the semantics of each);
+* :func:`simulate` — the event-driven, cycle-accurate simulator: gates
+  issue in program order as dependencies retire, braids lock their cells
+  for the gate duration, blocked braids stall until a completion frees
+  cells;
+* :class:`SimulationCache` / :func:`simulation_cache_key` — memoization of
+  deterministic simulation results keyed by (circuit fingerprint,
+  placement, simulator config), used by the evaluation pipeline so repeated
+  sweep points never re-simulate.
+"""
 
 from .braid import BraidPath
 from .mesh import Cell, LatticeCell, Mesh, is_channel_cell, lattice_to_tile, tile_to_lattice
 from .router import BraidRouter, bfs_detour, rectilinear_candidates
 from .simulator import (
     RoutingDeadlockError,
+    SimulationCache,
     SimulationResult,
     SimulatorConfig,
+    circuit_fingerprint,
     simulate,
     simulate_latency,
+    simulation_cache_key,
 )
 
 __all__ = [
@@ -23,8 +50,11 @@ __all__ = [
     "bfs_detour",
     "rectilinear_candidates",
     "RoutingDeadlockError",
+    "SimulationCache",
     "SimulationResult",
     "SimulatorConfig",
+    "circuit_fingerprint",
     "simulate",
     "simulate_latency",
+    "simulation_cache_key",
 ]

@@ -14,7 +14,17 @@ candidates are blocked.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import (
+    AbstractSet,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from .braid import BraidPath
 from .mesh import LatticeCell, Mesh
@@ -106,7 +116,7 @@ def bfs_detour(
     mesh: Mesh,
     source: LatticeCell,
     target: LatticeCell,
-    blocked: FrozenSet[LatticeCell],
+    blocked: AbstractSet[LatticeCell],
     max_length: Optional[int] = None,
 ) -> Optional[List[LatticeCell]]:
     """Shortest channel path avoiding ``blocked`` cells, or ``None``.
@@ -150,6 +160,32 @@ def bfs_detour(
 class BraidRouter:
     """Routes braids on a mesh, avoiding a set of currently locked cells.
 
+    The router is the simulator's answer to the question "can this braid run
+    *right now*?".  For every endpoint pair it considers up to
+    ``max_candidates`` rectilinear route shapes (see
+    :func:`rectilinear_candidates`) and returns the first one whose cells are
+    disjoint from the currently locked set.  What happens when every
+    candidate is blocked is the **stall-vs-detour** policy split:
+
+    * ``allow_detour=False`` (the paper's baseline) — the router returns
+      ``None`` and the simulator *stalls* the gate, retrying it after the
+      next braid completion.  Stalled cycles are charged to the mapping: a
+      good placement keeps contending braids apart.
+    * ``allow_detour=True`` (the routing ablation) — the router runs a BFS
+      over free channel cells and accepts any path at most
+      ``detour_slack`` times the best rectilinear length.  Detours trade
+      braid footprint (space) for immediacy (time).
+
+    Routing is deterministic: candidates are tried in a fixed order, so two
+    simulations of the same schedule on the same placement make identical
+    routing decisions.
+
+    The candidate shapes for an endpoint pair do not depend on which cells
+    are momentarily locked, so the router precomputes each pair's candidate
+    paths (with their cell sets) on first use and replays them on every
+    retry; a stalled gate's retries cost a few set-disjointness tests rather
+    than a path reconstruction.
+
     Parameters
     ----------
     mesh:
@@ -161,6 +197,12 @@ class BraidRouter:
         the routing ablation study.
     detour_slack:
         Maximum detour length as a multiple of the best rectilinear length.
+    max_candidates:
+        How many rectilinear route shapes a braid may choose from.  Small
+        values model the paper's stall-on-intersection semantics (a braid
+        whose natural corridor is busy waits); larger values give the router
+        freedom to steer around traffic and weaken the influence of the
+        mapping on latency.
     """
 
     def __init__(
@@ -173,12 +215,16 @@ class BraidRouter:
         self.mesh = mesh
         self.allow_detour = allow_detour
         self.detour_slack = detour_slack
-        #: How many rectilinear route shapes a braid may choose from.  Small
-        #: values model the paper's stall-on-intersection semantics (a braid
-        #: whose natural corridor is busy waits); larger values give the
-        #: router freedom to steer around traffic and weaken the influence of
-        #: the mapping on latency.
         self.max_candidates = max(1, max_candidates)
+        # Per-endpoint-pair route plans: the candidate paths (and their
+        # frozen cell sets, for O(1)-ish occupancy tests) plus the best
+        # candidate length used to cap detours.  Keyed by lattice cells, so
+        # the cache stays valid for the router's lifetime — candidate shapes
+        # depend only on the mesh geometry, never on the locked set.
+        self._pair_plans: Dict[
+            Tuple[LatticeCell, LatticeCell],
+            Tuple[Tuple[Tuple[List[LatticeCell], FrozenSet[LatticeCell]], ...], int],
+        ] = {}
 
     # ------------------------------------------------------------------
     # Two-endpoint braids
@@ -187,15 +233,17 @@ class BraidRouter:
         self,
         qubit_a: int,
         qubit_b: int,
-        locked: FrozenSet[LatticeCell],
+        locked: AbstractSet[LatticeCell],
         hop: Optional[LatticeCell] = None,
     ) -> Optional[BraidPath]:
         """Route a braid between two qubits, avoiding ``locked`` cells.
 
         With ``hop`` set, the braid is forced through the given intermediate
-        lattice cell (Valiant-style routing, Section VII-B.3).  Returns
-        ``None`` when no candidate avoids the locked cells (the caller then
-        stalls the gate).
+        lattice cell (Valiant-style routing, Section VII-B.3); the two legs
+        belong to the same braid and may share cells with each other.
+        Returns ``None`` when no candidate (and, with ``allow_detour``, no
+        acceptable detour) avoids the locked cells — the caller then stalls
+        the gate until a braid completion frees some cells.
         """
         source = self.mesh.qubit_cell(qubit_a)
         target = self.mesh.qubit_cell(qubit_b)
@@ -225,23 +273,46 @@ class BraidRouter:
         """
         source = self.mesh.qubit_cell(qubit_a)
         target = self.mesh.qubit_cell(qubit_b)
-        candidates = rectilinear_candidates(self.mesh, source, target)
-        return BraidPath.from_cells(candidates[0], endpoints=(source, target))
+        candidates, _ = self._pair_plan(source, target)
+        return BraidPath.from_cells(candidates[0][0], endpoints=(source, target))
+
+    def _pair_plan(
+        self, source: LatticeCell, target: LatticeCell
+    ) -> Tuple[Tuple[Tuple[List[LatticeCell], FrozenSet[LatticeCell]], ...], int]:
+        """The cached candidate routes for an endpoint pair.
+
+        Returns ``(candidates, best_length)`` where ``candidates`` is a tuple
+        of ``(path, cell_set)`` pairs, truncated to ``max_candidates``, and
+        ``best_length`` is the shortest candidate's cell count.  Callers must
+        treat the returned paths as read-only.
+        """
+        key = (source, target)
+        plan = self._pair_plans.get(key)
+        if plan is None:
+            candidates = rectilinear_candidates(self.mesh, source, target)
+            candidates = candidates[: self.max_candidates]
+            plan = (
+                tuple((path, frozenset(path)) for path in candidates),
+                min(len(path) for path in candidates),
+            )
+            self._pair_plans[key] = plan
+        return plan
 
     def _route_cells(
         self,
         source: LatticeCell,
         target: LatticeCell,
-        locked: FrozenSet[LatticeCell],
+        locked: AbstractSet[LatticeCell],
     ) -> Optional[List[LatticeCell]]:
         """Find a concrete cell path from ``source`` to ``target``."""
         if source == target:
             return [source]
-        candidates = rectilinear_candidates(self.mesh, source, target)
-        candidates = candidates[: self.max_candidates]
-        best_length = min(len(path) for path in candidates)
-        for path in candidates:
-            if locked.isdisjoint(path):
+        candidates, best_length = self._pair_plan(source, target)
+        if not locked:
+            # Early exit: nothing is in flight, the preferred shape wins.
+            return candidates[0][0]
+        for path, cells in candidates:
+            if cells.isdisjoint(locked):
                 return path
         if self.allow_detour:
             max_length = int(best_length * self.detour_slack) + 2
@@ -257,7 +328,7 @@ class BraidRouter:
         self,
         control: int,
         targets: Sequence[int],
-        locked: FrozenSet[LatticeCell],
+        locked: AbstractSet[LatticeCell],
     ) -> Optional[BraidPath]:
         """Route a single-control multi-target CNOT as a star of braids.
 

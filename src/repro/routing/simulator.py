@@ -23,7 +23,11 @@ retries rather than to the final cycle count.
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
 import heapq
+import weakref
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
 
@@ -50,6 +54,13 @@ class SimulatorConfig:
         stalling (off by default, matching the paper's stall-only baseline).
     detour_slack:
         Maximum detour length as a multiple of the shortest route.
+    max_candidates:
+        How many rectilinear route shapes each braid may choose from before
+        it stalls (or detours); forwarded to
+        :class:`~repro.routing.router.BraidRouter`.  The default of 2 models
+        the paper's stall-on-intersection semantics, where a braid whose
+        natural corridor is busy waits; larger values let braids steer
+        around traffic and weaken the mapping's influence on latency.
     hops:
         Optional map from gate index to an intermediate *tile* cell the braid
         must pass through (Valiant-style routing for permutation braids,
@@ -110,12 +121,38 @@ def simulate(
     placement: Placement,
     config: Optional[SimulatorConfig] = None,
 ) -> SimulationResult:
-    """Simulate a circuit on a placement and return timing/volume results.
+    """Simulate a schedule on a placement and return timing/volume results.
 
-    Every qubit referenced by the gate list must be placed.  Gates are issued
-    in program order among those whose dependencies are satisfied; braided
-    gates that cannot be routed without intersecting an in-flight braid are
-    stalled and retried after the next braid completion.
+    This is the cycle-accurate evaluation of Section VIII-A.  Every qubit
+    referenced by the gate list must be placed; the simulation is
+    deterministic, so the same (circuit, placement, config) triple always
+    produces the same :class:`SimulationResult` (which is what makes
+    :class:`SimulationCache` sound).
+
+    Execution model:
+
+    * gates become *ready* when every dependency (as computed by
+      :func:`~repro.circuits.dag.build_dependency_dag`; any shared qubit is
+      a true dependency) has completed;
+    * ready gates are issued in program order; non-braided gates always
+      start immediately;
+    * a braided gate asks the :class:`~repro.routing.router.BraidRouter` for
+      a path avoiding the cells locked by in-flight braids.  If no path
+      exists the gate **stalls** — it stays ready and is retried at the next
+      braid-completion event (with ``allow_detour`` the router may instead
+      accept a longer path through free channels, trading space for time;
+      see the router's stall-vs-detour notes);
+    * a routed braid locks its cells for the gate's duration and releases
+      them on completion.
+
+    Time jumps from one completion event to the next, so the cost is
+    proportional to the number of gates and stall retries rather than to the
+    final cycle count.  Stalled cycles (start minus ready time, summed over
+    gates) are reported as ``stall_cycles`` and charged to the mapping.
+
+    Raises :class:`RoutingDeadlockError` if ready braids cannot be routed on
+    an otherwise idle mesh, and :class:`RuntimeError` past
+    ``config.max_cycles``.
     """
     config = config or SimulatorConfig()
     gates = _gate_list(circuit_or_gates)
@@ -177,14 +214,16 @@ def simulate(
     max_concurrent_braids = 0
 
     def try_route(index: int, gate: Gate) -> Optional[BraidPath]:
-        """Attempt to route the braid of ``gate`` avoiding locked cells."""
-        locked_frozen = frozenset(locked)
+        """Attempt to route the braid of ``gate`` avoiding locked cells.
+
+        The live ``locked`` set is passed to the router directly (it only
+        reads it); copying it into a frozenset per attempt used to dominate
+        retry cost on congested meshes.
+        """
         if gate.kind is GateKind.CXX:
-            return router.route_star(gate.qubits[0], gate.qubits[1:], locked_frozen)
+            return router.route_star(gate.qubits[0], gate.qubits[1:], locked)
         hop = hop_cells.get(index)
-        return router.route_pair(
-            gate.qubits[0], gate.qubits[1], locked_frozen, hop=hop
-        )
+        return router.route_pair(gate.qubits[0], gate.qubits[1], locked, hop=hop)
 
     while completed < n:
         if now > config.max_cycles:
@@ -267,3 +306,145 @@ def simulate_latency(
 ) -> int:
     """Convenience wrapper returning only the circuit latency in cycles."""
     return simulate(circuit_or_gates, placement, config).latency
+
+
+# ----------------------------------------------------------------------
+# Simulation memoization
+# ----------------------------------------------------------------------
+#: Content fingerprints of circuits already hashed, keyed weakly by the
+#: circuit object so the memo dies with the circuit.  Guarded by the gate
+#: count: the evaluation pipeline treats circuits as immutable once built,
+#: but a circuit that grew since it was fingerprinted is re-hashed.
+_circuit_fingerprints: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def _gates_fingerprint(gates: Sequence[Gate]) -> str:
+    """Stable content hash of a gate sequence.
+
+    Hashes exactly the gate properties the simulator depends on (kind and
+    qubit operands, in order) with :func:`hashlib.blake2b`, so the digest is
+    identical across processes and interpreter runs — unlike built-in
+    ``hash()``, which is randomized per process for strings.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    for gate in gates:
+        h.update(gate.kind.value.encode())
+        h.update(b"(")
+        h.update(",".join(map(str, gate.qubits)).encode())
+        h.update(b")")
+    return h.hexdigest()
+
+
+def circuit_fingerprint(circuit_or_gates) -> str:
+    """Content hash of a circuit (or raw gate sequence) for cache keying.
+
+    :class:`~repro.circuits.circuit.Circuit` instances memoize their digest
+    (recomputed if the gate count changed since it was taken).
+    """
+    if isinstance(circuit_or_gates, Circuit):
+        cached = _circuit_fingerprints.get(circuit_or_gates)
+        if cached is not None and cached[0] == len(circuit_or_gates):
+            return cached[1]
+        digest = _gates_fingerprint(circuit_or_gates.gates)
+        _circuit_fingerprints[circuit_or_gates] = (len(circuit_or_gates), digest)
+        return digest
+    return _gates_fingerprint(tuple(circuit_or_gates))
+
+
+def _placement_key(placement: Placement) -> Tuple:
+    return (
+        placement.width,
+        placement.height,
+        tuple(sorted(placement.positions.items())),
+    )
+
+
+def _config_key(config: SimulatorConfig) -> Tuple:
+    """Hashable key covering *every* :class:`SimulatorConfig` field.
+
+    Derived from ``dataclasses.fields`` so a future config knob is included
+    automatically (an unhashable new field fails loudly here rather than
+    silently aliasing distinct configs in the cache); only the two mapping
+    fields need explicit normalization.
+    """
+    key = []
+    for f in dataclasses.fields(SimulatorConfig):
+        value = getattr(config, f.name)
+        if f.name == "durations":
+            value = tuple(sorted((kind.value, int(v)) for kind, v in value.items()))
+        elif f.name == "hops":
+            value = tuple(sorted((index, tuple(cell)) for index, cell in value.items()))
+        key.append((f.name, value))
+    return tuple(key)
+
+
+def simulation_cache_key(
+    circuit_or_gates,
+    placement: Placement,
+    config: Optional[SimulatorConfig] = None,
+) -> Tuple:
+    """The memoization key for one simulation: (circuit hash, placement, config).
+
+    Two simulations with equal keys are guaranteed to produce equal results
+    (the simulator is deterministic), which is what makes
+    :class:`SimulationCache` a pure optimization.
+    """
+    return (
+        circuit_fingerprint(circuit_or_gates),
+        _placement_key(placement),
+        _config_key(config or SimulatorConfig()),
+    )
+
+
+class SimulationCache:
+    """LRU memo of :class:`SimulationResult`s keyed by (circuit, placement, config).
+
+    Sweeps frequently revisit the same simulation point — the same factory
+    under the same mapping appears in multiple figures, in reuse/no-reuse
+    comparisons, and in repeated CLI runs within one process.  Routing
+    through a cache makes every repeat free.  Cached results must be treated
+    as read-only (they are shared between hits).
+
+    The cache is bounded (``max_entries``, LRU eviction) because results
+    hold per-gate timing lists.  ``hits`` / ``misses`` counters make cache
+    accounting exact for benchmarking.
+    """
+
+    def __init__(self, max_entries: int = 512) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[Tuple, SimulationResult]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop every cached result (the counters are kept)."""
+        self._entries.clear()
+
+    def simulate(
+        self,
+        circuit_or_gates,
+        placement: Placement,
+        config: Optional[SimulatorConfig] = None,
+    ) -> SimulationResult:
+        """Memoized :func:`simulate` — repeated sweep points never re-simulate."""
+        if not isinstance(circuit_or_gates, Circuit):
+            # Materialize one-shot iterables up front: fingerprinting reads
+            # the gates once and the simulation must read the same gates.
+            circuit_or_gates = tuple(circuit_or_gates)
+        key = simulation_cache_key(circuit_or_gates, placement, config)
+        cached = self._entries.get(key)
+        if cached is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return cached
+        result = simulate(circuit_or_gates, placement, config)
+        self.misses += 1
+        self._entries[key] = result
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+        return result

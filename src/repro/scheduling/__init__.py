@@ -1,4 +1,17 @@
-"""Schedule-level optimisations: barriers, qubit renaming, critical-path bounds."""
+"""Schedule-level optimisations: barriers, qubit renaming, critical-path bounds.
+
+Three aspects of Sections V and VIII of the paper live here:
+
+* :mod:`~repro.scheduling.schedule` — round barriers (abstract ``BARRIER``
+  pseudo-gates and their physical multi-target-CNOT expansion), ASAP list
+  scheduling and the limited gate-mobility transformations;
+* :mod:`~repro.scheduling.renaming` — the qubit reuse-versus-renaming
+  policy split (Section V-B): identifying sharing-after-measurement false
+  dependencies and rewriting a reusing circuit into its renamed form;
+* :mod:`~repro.scheduling.critical_path` — the "Theoretical Lower Bound"
+  curves: dependency critical-path latency, minimum factory area, and their
+  product, the volume floor no mapping can beat.
+"""
 
 from .critical_path import (
     circuit_lower_bound,

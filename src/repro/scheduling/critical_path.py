@@ -18,7 +18,15 @@ from ..distillation.block_code import Factory, FactorySpec, ReusePolicy, build_f
 
 
 def circuit_lower_bound(circuit_or_gates, durations: Optional[dict] = None) -> int:
-    """Critical-path latency (cycles) of any circuit."""
+    """Critical-path latency (cycles) of any circuit.
+
+    The longest chain of dependent gates, weighted by gate duration: the
+    fastest any mapping could possibly run the schedule, since dependent
+    gates can never overlap regardless of where their qubits sit.
+    ``durations`` defaults to the simulator's cycle model
+    (:data:`~repro.circuits.gates.DEFAULT_DURATIONS`), so the bound is
+    directly comparable to :func:`repro.routing.simulate` latencies.
+    """
     return critical_path_length(circuit_or_gates, durations)
 
 

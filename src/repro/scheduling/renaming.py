@@ -115,6 +115,14 @@ def rename_after_measurement(circuit: Circuit) -> Tuple[Circuit, Dict[int, List[
 
 
 def reuse_area_savings(circuit: Circuit) -> int:
-    """How many qubits the reuse policy saves over renaming for this circuit."""
+    """How many qubits the reuse policy saves over renaming for this circuit.
+
+    Computed constructively: rewrite the circuit with
+    :func:`rename_after_measurement` and count the fresh qubits the renamed
+    form needed.  This is the area side of the reuse trade-off — the
+    schedule side (the false dependencies reuse introduces) is what
+    :func:`count_false_dependencies` measures, and the two together explain
+    the paper's Fig. 9 reuse ablation.
+    """
     renamed, rename_log = rename_after_measurement(circuit)
     return renamed.num_qubits - circuit.num_qubits

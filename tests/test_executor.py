@@ -1,0 +1,383 @@
+"""Tests for the parallel sweep executor and simulation memoization.
+
+The contract under test: a :class:`~repro.api.executor.SweepPlan` fully
+determines its results — whatever the worker count — and the executor's
+cache accounting is exact.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import (
+    EvaluationRequest,
+    Pipeline,
+    SweepExecutor,
+    SweepPlan,
+    SweepRunResult,
+    capacity_sweep,
+    recommended_workers,
+    run_sweep,
+)
+from repro.api.pipeline import PipelineStats
+from repro.circuits.circuit import Circuit
+from repro.circuits.gates import cnot, prep
+from repro.mapping.placement import row_major_placement
+from repro.routing.router import BraidRouter
+from repro.routing.mesh import Mesh
+from repro.routing.simulator import (
+    SimulationCache,
+    SimulatorConfig,
+    circuit_fingerprint,
+    simulate,
+    simulation_cache_key,
+)
+
+METHODS = ("linear", "graph_partition")
+CAPACITIES = (2, 3)
+
+
+def small_plan() -> SweepPlan:
+    return SweepPlan.from_grid(methods=METHODS, capacities=CAPACITIES)
+
+
+# ----------------------------------------------------------------------
+# SweepPlan
+# ----------------------------------------------------------------------
+class TestSweepPlan:
+    def test_grid_expansion_order_matches_pipeline_sweep(self):
+        plan = small_plan()
+        combos = [(r.capacity, r.method) for r in plan]
+        assert combos == [
+            (capacity, method) for capacity in CAPACITIES for method in METHODS
+        ]
+
+    def test_grid_axes_expand(self):
+        plan = SweepPlan.from_grid(
+            methods=("linear",),
+            capacities=(2,),
+            levels=(1, 2),
+            reuse=(False, True),
+            seeds=(0, 1),
+        )
+        assert len(plan) == 8
+        assert {r.levels for r in plan} == {1, 2}
+        assert {r.reuse for r in plan} == {False, True}
+        assert {r.seed for r in plan} == {0, 1}
+
+    def test_grid_accepts_one_shot_iterators(self):
+        """Every axis is materialized before the nested expansion."""
+        plan = SweepPlan.from_grid(
+            methods=iter(METHODS),
+            capacities=iter(CAPACITIES),
+            levels=iter([1, 2]),
+            seeds=iter([0, 1]),
+        )
+        assert len(plan) == len(METHODS) * len(CAPACITIES) * 2 * 2
+        assert all(isinstance(r.levels, int) for r in plan)
+
+    def test_round_trip(self):
+        plan = SweepPlan.from_grid(
+            methods=METHODS,
+            capacities=CAPACITIES,
+            sim_config=SimulatorConfig(max_candidates=3),
+        )
+        restored = SweepPlan.from_dict(json.loads(json.dumps(plan.to_dict())))
+        assert restored == plan
+
+    def test_sequence_protocol(self):
+        plan = small_plan()
+        assert len(plan) == len(METHODS) * len(CAPACITIES)
+        assert plan[0].method == METHODS[0]
+        assert [r.method for r in plan][: len(METHODS)] == list(METHODS)
+
+
+# ----------------------------------------------------------------------
+# Executor determinism
+# ----------------------------------------------------------------------
+class TestExecutorDeterminism:
+    def test_serial_matches_pipeline_sweep(self):
+        serial = SweepExecutor(workers=1).run(small_plan())
+        reference = Pipeline().sweep(METHODS, CAPACITIES)
+        assert serial.evaluations == reference
+
+    def test_workers_1_vs_4_byte_identical(self):
+        """Same seed, 1 vs 4 workers: byte-identical serialized results."""
+        plan = small_plan()
+        serial = SweepExecutor(workers=1).run(plan)
+        parallel = SweepExecutor(workers=4).run(plan)
+        blob_1 = json.dumps(serial.to_dict(), sort_keys=True)
+        blob_4 = json.dumps(parallel.to_dict(), sort_keys=True)
+        assert blob_1 == blob_4
+
+    def test_capacity_sweep_workers_kwarg(self):
+        assert capacity_sweep(METHODS, CAPACITIES, workers=2) == capacity_sweep(
+            METHODS, CAPACITIES
+        )
+
+    def test_run_sweep_convenience(self):
+        result = run_sweep(small_plan(), workers=1)
+        assert isinstance(result, SweepRunResult)
+        assert len(result.evaluations) == len(small_plan())
+
+    def test_result_round_trip_drops_stats(self):
+        result = SweepExecutor(workers=1).run(small_plan())
+        restored = SweepRunResult.from_dict(json.loads(json.dumps(result.to_dict())))
+        assert restored.evaluations == result.evaluations
+        # Stats are run observability, not part of the deterministic result.
+        assert "stats" not in result.to_dict()
+        assert restored.stats.requests == 0
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            SweepExecutor(workers=0)
+        with pytest.raises(ValueError):
+            capacity_sweep(METHODS, (2,), workers=0)
+        with pytest.raises(ValueError):
+            from repro.experiments import table1_volumes
+
+            table1_volumes.run(levels=1, capacities=[2], workers=-1)
+
+    def test_recommended_workers_positive(self):
+        assert recommended_workers() >= 1
+
+
+# ----------------------------------------------------------------------
+# Cache accounting
+# ----------------------------------------------------------------------
+class TestCacheAccounting:
+    def test_duplicate_requests_are_deduplicated_exactly(self):
+        base = list(small_plan())
+        plan = SweepPlan.from_requests(base + [base[0], base[-1], base[0]])
+        result = SweepExecutor(workers=1).run(plan)
+        stats = result.stats
+        assert stats.requests == len(base) + 3
+        assert stats.duplicate_hits == 3
+        assert stats.evaluations == len(base)
+        assert stats.requests == stats.duplicate_hits + stats.evaluations
+        # Duplicates are fanned out to their plan positions.
+        assert result.evaluations[len(base)] == result.evaluations[0]
+        assert result.evaluations[len(base) + 1] == result.evaluations[len(base) - 1]
+        assert result.evaluations[len(base) + 2] == result.evaluations[0]
+
+    def test_repeat_run_hits_simulation_cache(self):
+        executor = SweepExecutor(workers=1)
+        first = executor.run(small_plan())
+        assert first.stats.sim_cache_hits == 0
+        assert first.stats.factory_builds == len(CAPACITIES)
+        second = executor.run(small_plan())
+        # Every point re-maps deterministically and every simulation is
+        # answered from the memo: same results, zero re-simulation.
+        assert second.stats.sim_cache_hits == second.stats.evaluations
+        assert second.stats.factory_builds == 0
+        assert second.evaluations == first.evaluations
+
+    def test_parallel_accounting_invariant(self):
+        plan = SweepPlan.from_requests(list(small_plan()) + [small_plan()[0]])
+        stats = SweepExecutor(workers=2).run(plan).stats
+        assert stats.requests == stats.duplicate_hits + stats.evaluations
+        assert stats.workers == 2
+        assert stats.wall_seconds > 0
+
+
+# ----------------------------------------------------------------------
+# Simulation memoization
+# ----------------------------------------------------------------------
+def tiny_circuit(tag: str = "tiny") -> Circuit:
+    circuit = Circuit(tag)
+    q = circuit.add_register("q", 4)
+    circuit.append(prep(q[0]))
+    circuit.append(cnot(q[0], q[1]))
+    circuit.append(cnot(q[2], q[3]))
+    circuit.append(cnot(q[0], q[3]))
+    return circuit
+
+
+class TestSimulationCache:
+    def test_memoized_simulate_matches_and_counts(self):
+        circuit = tiny_circuit()
+        placement = row_major_placement(list(range(4)))
+        cache = SimulationCache()
+        first = cache.simulate(circuit, placement)
+        second = cache.simulate(circuit, placement)
+        assert first is second
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert first.latency == simulate(circuit, placement).latency
+
+    def test_one_shot_gate_iterator_is_materialized(self):
+        """A generator of gates must not be consumed by fingerprinting."""
+        circuit = tiny_circuit()
+        placement = row_major_placement(list(range(4)))
+        cache = SimulationCache()
+        from_iterator = cache.simulate(iter(circuit.gates), placement)
+        reference = simulate(circuit, placement)
+        assert from_iterator.latency == reference.latency
+        # The cached entry must serve the equivalent list-based call too.
+        assert cache.simulate(list(circuit.gates), placement) is from_iterator
+
+    def test_key_distinguishes_config_and_placement(self):
+        circuit = tiny_circuit()
+        placement = row_major_placement(list(range(4)))
+        other_placement = row_major_placement([3, 2, 1, 0])
+        base = simulation_cache_key(circuit, placement)
+        assert simulation_cache_key(circuit, placement) == base
+        assert simulation_cache_key(circuit, other_placement) != base
+        assert (
+            simulation_cache_key(
+                circuit, placement, SimulatorConfig(max_candidates=5)
+            )
+            != base
+        )
+
+    def test_fingerprint_is_content_based(self):
+        assert circuit_fingerprint(tiny_circuit("a")) == circuit_fingerprint(
+            tiny_circuit("b")
+        )
+        changed = tiny_circuit()
+        changed.append(cnot(0, 2))
+        assert circuit_fingerprint(changed) != circuit_fingerprint(tiny_circuit())
+
+    def test_lru_bound(self):
+        cache = SimulationCache(max_entries=1)
+        circuit = tiny_circuit()
+        cache.simulate(circuit, row_major_placement(list(range(4))))
+        cache.simulate(circuit, row_major_placement([3, 2, 1, 0]))
+        assert len(cache) == 1
+        with pytest.raises(ValueError):
+            SimulationCache(max_entries=0)
+
+    def test_pipeline_counts_sim_cache_hits(self):
+        pipeline = Pipeline()
+        request = EvaluationRequest(method="linear", capacity=2)
+        first = pipeline.evaluate(request)
+        second = pipeline.evaluate(request)
+        assert second == first
+        assert pipeline.stats.sim_cache_hits == 1
+
+    def test_stats_snapshot_delta(self):
+        stats = PipelineStats(factory_builds=3, cache_hits=2, evaluations=5)
+        snap = stats.snapshot()
+        stats.factory_builds += 1
+        stats.sim_cache_hits += 4
+        delta = stats.delta(snap)
+        assert delta == PipelineStats(
+            factory_builds=1, cache_hits=0, evaluations=0, sim_cache_hits=4
+        )
+
+
+# ----------------------------------------------------------------------
+# Router fast path
+# ----------------------------------------------------------------------
+class TestRouterPlanCache:
+    def test_pair_plans_are_cached_and_stable(self):
+        placement = row_major_placement(list(range(4)))
+        mesh = Mesh.from_placement(
+            placement.positions, width=placement.width, height=placement.height
+        )
+        router = BraidRouter(mesh)
+        fresh = BraidRouter(mesh)
+        first = router.route_pair(0, 3, frozenset())
+        assert len(router._pair_plans) == 1
+        again = router.route_pair(0, 3, frozenset())
+        assert len(router._pair_plans) == 1
+        assert first.cells == again.cells
+        assert first.cells == fresh.route_pair(0, 3, frozenset()).cells
+
+    def test_blocked_first_candidate_falls_through(self):
+        placement = row_major_placement(list(range(4)))
+        mesh = Mesh.from_placement(
+            placement.positions, width=placement.width, height=placement.height
+        )
+        router = BraidRouter(mesh)
+        source = mesh.qubit_cell(0)
+        target = mesh.qubit_cell(3)
+        candidates, _ = router._pair_plan(source, target)
+        assert len(candidates) >= 2
+        first_cells, second_cells = candidates[0][1], candidates[1][1]
+        # Lock a cell unique to the preferred shape: the cached plan must
+        # fall through to the alternative candidate.
+        blocked_cell = next(iter(first_cells - second_cells))
+        alternative = router.route_pair(0, 3, frozenset({blocked_cell}))
+        assert alternative is not None
+        assert blocked_cell not in alternative.cells
+        assert alternative.cells == second_cells
+
+
+# ----------------------------------------------------------------------
+# Experiment runners and the bench command
+# ----------------------------------------------------------------------
+class TestWorkersIntegration:
+    def test_table1_workers_identical(self):
+        from repro.experiments import table1_volumes
+
+        serial = table1_volumes.run(levels=1, capacities=[2])
+        parallel = table1_volumes.run(levels=1, capacities=[2], workers=2)
+        assert parallel.to_dict() == serial.to_dict()
+
+    def test_fig7a_workers_identical(self):
+        from repro.experiments import fig7_scaling
+
+        serial = fig7_scaling.run_single_level(capacities=[2])
+        parallel = fig7_scaling.run_single_level(capacities=[2], workers=2)
+        assert parallel.to_dict() == serial.to_dict()
+
+    def test_sweep_experiments_declare_workers_param(self):
+        from repro.api import get_experiment
+
+        for name in ("fig7a", "fig7b", "fig10-single", "fig10-two",
+                     "table1-level1", "table1-level2"):
+            params = {param.name for param in get_experiment(name).params}
+            assert "workers" in params, name
+
+
+class TestBenchCommand:
+    def test_bench_smoke_writes_record(self, tmp_path, capsys):
+        from repro.cli import main
+
+        output = tmp_path / "BENCH_test.json"
+        code = main(
+            [
+                "bench",
+                "--smoke",
+                "--experiments",
+                "table1-level1",
+                "--output",
+                str(output),
+            ]
+        )
+        assert code == 0
+        record = json.loads(output.read_text())
+        assert record["schema"] == "repro-msfu-bench/v1"
+        assert record["smoke"] is True
+        [entry] = record["experiments"]
+        assert entry["experiment"] == "table1-level1"
+        assert entry["wall_seconds"] > 0
+        assert entry["sim_cycles"] > 0
+        assert entry["evaluations"] > 0
+        assert entry["cache"]["evaluations"] == entry["evaluations"]
+        assert record["total_wall_seconds"] >= entry["wall_seconds"]
+
+    def test_bench_workers_records_executor_stats(self, tmp_path):
+        from repro.cli import main
+
+        output = tmp_path / "BENCH_workers.json"
+        code = main(
+            [
+                "bench",
+                "--smoke",
+                "--workers",
+                "2",
+                "--experiments",
+                "fig7a",
+                "--output",
+                str(output),
+            ]
+        )
+        assert code == 0
+        record = json.loads(output.read_text())
+        [entry] = record["experiments"]
+        assert entry["workers"] == 2
+        assert entry["cache"]["workers"] == 2
+        assert entry["cache"]["requests"] == entry["evaluations"]
