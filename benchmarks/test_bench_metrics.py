@@ -1,0 +1,87 @@
+"""Benchmark guard: the bucketed metrics engine on the Fig. 7 factory graphs.
+
+The Fig. 7 sweep is the workload whose force-directed points now run
+entirely on the bucketed/incremental exact-metrics engine, so this module
+asserts the engine's ground truth at paper scale: on every factory graph of
+the sweep (single- and two-level, linear and randomized layouts) the
+bucketed crossing count must equal the brute-force ``_reference`` oracle,
+and the fast spacing metric must match the pairwise-loop oracle.
+
+It also times the bucketed counter against brute force on the largest
+two-level graph, printing the observed speedup (informational; the exact
+equality is the hard guard).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from conftest import full_sweep_enabled, single_level_capacities, two_level_capacities
+from repro.distillation import ReusePolicy, build_factory, FactorySpec
+from repro.graphs import (
+    average_edge_spacing,
+    average_edge_spacing_reference,
+    count_edge_crossings,
+    count_edge_crossings_reference,
+    interaction_graph,
+)
+from repro.mapping import linear_factory_placement, random_circuit_placement
+
+
+def _fig7_configs():
+    configs = [(capacity, 1) for capacity in single_level_capacities()]
+    configs += [(capacity, 2) for capacity in two_level_capacities()]
+    return configs
+
+
+def _factory_graph(capacity, levels):
+    factory = build_factory(
+        FactorySpec.from_capacity(capacity, levels),
+        reuse_policy=ReusePolicy.NO_REUSE,
+        barriers_between_rounds=True,
+    )
+    return factory, interaction_graph(factory.circuit)
+
+
+@pytest.mark.parametrize("capacity,levels", _fig7_configs())
+def test_bucketed_crossings_equal_brute_force(capacity, levels):
+    """Exact equality on linear and randomized layouts of every fig7 graph."""
+    factory, graph = _factory_graph(capacity, levels)
+    layouts = [linear_factory_placement(factory)]
+    # Randomized layouts are the least compact geometry the engine sees
+    # (they dominate the Fig. 6 study); one seed suffices under the full
+    # sweep, where the large graphs make the oracle expensive.
+    seeds = (0,) if full_sweep_enabled() else (0, 1)
+    for seed in seeds:
+        layouts.append(random_circuit_placement(factory.circuit, seed=seed))
+    for layout in layouts:
+        positions = layout.as_float_positions()
+        assert count_edge_crossings(graph, positions) == (
+            count_edge_crossings_reference(graph, positions)
+        )
+        assert average_edge_spacing(graph, positions) == pytest.approx(
+            average_edge_spacing_reference(graph, positions), rel=1e-9
+        )
+
+
+def test_bench_bucketed_crossing_speedup(benchmark):
+    """Time the bucketed counter on the largest two-level fig7 graph."""
+    capacity = max(two_level_capacities())
+    factory, graph = _factory_graph(capacity, 2)
+    positions = linear_factory_placement(factory).as_float_positions()
+
+    started = time.perf_counter()
+    reference = count_edge_crossings_reference(graph, positions)
+    reference_seconds = time.perf_counter() - started
+
+    bucketed = benchmark(count_edge_crossings, graph, positions)
+    assert bucketed == reference
+    bucketed_seconds = benchmark.stats.stats.mean
+    print(
+        f"\n[bench] crossing count, L2 K={capacity} "
+        f"({graph.number_of_edges()} edges): bucketed {bucketed_seconds * 1000:.1f}ms "
+        f"vs brute force {reference_seconds * 1000:.1f}ms "
+        f"({reference_seconds / bucketed_seconds:.1f}x)"
+    )

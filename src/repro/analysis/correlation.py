@@ -22,12 +22,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence
 from ..api.results import filter_fields
 from ..circuits.circuit import Circuit
 from ..graphs.interaction import interaction_graph
-from ..graphs.metrics import (
-    average_edge_length,
-    average_edge_spacing,
-    count_edge_crossings,
-    pearson_correlation,
-)
+from ..graphs.metrics import mapping_metrics, pearson_correlation
 from ..mapping.random_map import random_placements
 from ..routing.simulator import SimulatorConfig, simulate
 
@@ -113,17 +108,17 @@ def collect_samples(
     )
     samples: List[MappingSample] = []
     for index, placement in enumerate(placements):
-        positions = placement.as_float_positions()
-        crossings = count_edge_crossings(graph, positions)
-        length = average_edge_length(graph, positions)
-        spacing = average_edge_spacing(graph, positions)
+        # One pass through the exact metrics engine (bucketed crossing
+        # pruning, vectorized spacing sums); the randomized mappings here
+        # are the least compact layouts the engine sees.
+        metrics = mapping_metrics(graph, placement.as_float_positions())
         result = simulate(circuit, placement, config)
         samples.append(
             MappingSample(
                 seed=seed + index,
-                edge_crossings=float(crossings),
-                average_edge_length=length,
-                average_edge_spacing=spacing,
+                edge_crossings=metrics["edge_crossings"],
+                average_edge_length=metrics["average_edge_length"],
+                average_edge_spacing=metrics["average_edge_spacing"],
                 latency=result.latency,
             )
         )

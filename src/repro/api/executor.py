@@ -181,6 +181,8 @@ class ExecutorStats:
     factory_builds: int = 0
     factory_cache_hits: int = 0
     sim_cache_hits: int = 0
+    fd_sweeps: int = 0
+    fd_moves_accepted: int = 0
     workers: int = 1
     wall_seconds: float = 0.0
 
@@ -190,6 +192,8 @@ class ExecutorStats:
         self.factory_builds += delta.factory_builds
         self.factory_cache_hits += delta.cache_hits
         self.sim_cache_hits += delta.sim_cache_hits
+        self.fd_sweeps += delta.fd_sweeps
+        self.fd_moves_accepted += delta.fd_moves_accepted
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-safe dict of every counter."""
@@ -200,6 +204,8 @@ class ExecutorStats:
             "factory_builds": self.factory_builds,
             "factory_cache_hits": self.factory_cache_hits,
             "sim_cache_hits": self.sim_cache_hits,
+            "fd_sweeps": self.fd_sweeps,
+            "fd_moves_accepted": self.fd_moves_accepted,
             "workers": self.workers,
             "wall_seconds": self.wall_seconds,
         }

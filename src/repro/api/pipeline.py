@@ -27,7 +27,11 @@ from ..distillation.block_code import (
     ReusePolicy,
     build_factory,
 )
-from ..mapping.force_directed import ForceDirectedConfig
+from ..mapping.force_directed import (
+    ForceDirectedConfig,
+    refine_run_count,
+    take_refine_stats,
+)
 from ..mapping.stitching import StitchedMapping, StitchingConfig
 from ..routing.simulator import SimulationCache, SimulatorConfig
 from ..scheduling.critical_path import (
@@ -149,13 +153,17 @@ class PipelineStats:
     ``factory_builds`` / ``cache_hits`` count factory-circuit construction
     against the LRU factory cache; ``sim_cache_hits`` counts simulations
     answered from the :class:`~repro.routing.simulator.SimulationCache`
-    without re-simulating.
+    without re-simulating; ``fd_sweeps`` / ``fd_moves_accepted`` aggregate
+    the force-directed annealer's :class:`~repro.mapping.force_directed.RefineStats`
+    over every refinement the pipeline's mappers ran.
     """
 
     factory_builds: int = 0
     cache_hits: int = 0
     evaluations: int = 0
     sim_cache_hits: int = 0
+    fd_sweeps: int = 0
+    fd_moves_accepted: int = 0
 
     def snapshot(self) -> "PipelineStats":
         """An independent copy (used for before/after deltas)."""
@@ -250,7 +258,18 @@ class Pipeline:
         sim_config = request.sim_config or self.sim_config or SimulatorConfig()
         factory = self.factory(request.capacity, request.levels, request.reuse)
 
+        # Attribute only the refinements this mapper run causes: records
+        # already pending (from refinements outside the pipeline) are popped
+        # along with ours — take-channel semantics — but excluded from the
+        # pipeline's counters.  The monotonic run counter makes the slice
+        # exact even if the bounded pending list truncated meanwhile.
+        runs_before = refine_run_count()
         outcome = mapper.place(factory, seed=request.seed, context=request.context())
+        new_runs = refine_run_count() - runs_before
+        taken = take_refine_stats()
+        for refine in taken[max(0, len(taken) - new_runs) :] if new_runs else []:
+            self.stats.fd_sweeps += refine.sweeps
+            self.stats.fd_moves_accepted += refine.accepted_moves
 
         # Imported lazily: repro.analysis imports this module at package
         # initialisation, so a top-level import would be circular.

@@ -14,30 +14,55 @@ simulated circuit latency:
 All metrics take an interaction graph together with a *position map*
 ``{qubit: (row, col)}``; they are agnostic to how the mapping was produced so
 every mapper and the correlation experiment can share them.
+
+Two implementations of the quadratic metrics exist side by side:
+
+* the **fast engine** (the default): crossing counting hashes every edge
+  segment into the grid buckets its bounding box overlaps, so only segment
+  pairs whose bounding boxes share a bucket are orientation-tested —
+  near-linear on the compact placements the mappers produce; spacing keeps
+  the full pairwise sum (every midpoint pair contributes to the exact
+  mean, so pruning is impossible) but evaluates it in vectorized blocks;
+* the ``*_reference`` functions keep the original O(m^2) pairwise loops as
+  a brute-force oracle for parity tests and benchmarks.
+
+:class:`MappingCostTracker` maintains all three metrics *incrementally*
+under single-vertex moves (only edges incident to the moved vertices are
+re-tested against their bucket neighbourhoods), which is what lets the
+force-directed annealer of Section VI-B.1 accept or reject every move
+against the exact combined cost at any graph size.
 """
 
 from __future__ import annotations
 
 import itertools
 import math
-from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+from collections import defaultdict
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 import networkx as nx
+
+try:  # Optional: vectorises the O(m^2) spacing sums when present.
+    import numpy as _np
+except ImportError:  # pragma: no cover - the container bakes numpy in
+    _np = None
 
 Position = Tuple[float, float]
 PositionMap = Mapping[int, Position]
 
 
-def _edge_endpoints(
+def _placed_edges(
     graph: nx.Graph, positions: PositionMap
-) -> List[Tuple[Position, Position]]:
-    """Collect the placed endpoint coordinates of every edge in the graph."""
-    endpoints: List[Tuple[Position, Position]] = []
+) -> List[Tuple[int, int, Position, Position]]:
+    """Every non-loop edge with its endpoint vertices and placed coordinates."""
+    edges: List[Tuple[int, int, Position, Position]] = []
     for a, b in graph.edges():
+        if a == b:
+            continue  # a self-loop has a degenerate (point) segment
         if a not in positions or b not in positions:
             raise KeyError(f"edge ({a}, {b}) has an unplaced endpoint")
-        endpoints.append((positions[a], positions[b]))
-    return endpoints
+        edges.append((a, b, positions[a], positions[b]))
+    return edges
 
 
 def manhattan_distance(p: Position, q: Position) -> float:
@@ -61,11 +86,24 @@ def total_edge_length(
     return total
 
 
+def _non_loop_edge_count(graph: nx.Graph) -> int:
+    """Number of edges between distinct vertices (self-loops excluded).
+
+    Every Fig. 6 metric ignores self-loops — a qubit does not braid with
+    itself — so they share this denominator and agree with
+    :class:`MappingCostTracker`, which skips loops when indexing edges.
+    """
+    return sum(1 for a, b in graph.edges() if a != b)
+
+
 def average_edge_length(graph: nx.Graph, positions: PositionMap) -> float:
     """Average Manhattan edge length of the mapping (Fig. 6, middle metric)."""
-    if graph.number_of_edges() == 0:
+    edges = _non_loop_edge_count(graph)
+    if edges == 0:
         return 0.0
-    return total_edge_length(graph, positions, weighted=False) / graph.number_of_edges()
+    # Self-loops contribute zero length, so the unweighted total needs no
+    # loop filtering — only the denominator does.
+    return total_edge_length(graph, positions, weighted=False) / edges
 
 
 def edge_midpoint(p: Position, q: Position) -> Position:
@@ -73,15 +111,63 @@ def edge_midpoint(p: Position, q: Position) -> Position:
     return ((p[0] + q[0]) / 2.0, (p[1] + q[1]) / 2.0)
 
 
+def _edge_midpoints(graph: nx.Graph, positions: PositionMap) -> List[Position]:
+    """Midpoints of every non-loop edge (self-loops carry no braid)."""
+    return [
+        edge_midpoint(positions[a], positions[b])
+        for a, b in graph.edges()
+        if a != b
+    ]
+
+
+def _pairwise_distance_sum(midpoints: Sequence[Position]) -> float:
+    """Exact sum of Euclidean distances over all unordered midpoint pairs.
+
+    Uses numpy block evaluation when available (identical result up to
+    floating-point summation order); falls back to the pairwise loop.
+    """
+    n = len(midpoints)
+    if n < 2:
+        return 0.0
+    if _np is not None and n >= 64:
+        arr = _np.asarray(midpoints, dtype=float)
+        total = 0.0
+        chunk = 256
+        for start in range(0, n - 1, chunk):
+            block = arr[start : start + chunk]
+            b = len(block)
+            # Rectangle of this block against every row from `start` on; the
+            # leading b columns are the block-vs-block square (keep its
+            # strict upper triangle), the rest are full cross pairs.
+            d_row = block[:, 0:1] - arr[start:, 0][None, :]
+            d_col = block[:, 1:2] - arr[start:, 1][None, :]
+            distances = _np.hypot(d_row, d_col)
+            upper = _np.triu(distances[:, :b], k=1).sum()
+            total += float(upper + distances[:, b:].sum())
+        return total
+    total = 0.0
+    for p, q in itertools.combinations(midpoints, 2):
+        total += math.hypot(p[0] - q[0], p[1] - q[1])
+    return total
+
+
 def average_edge_spacing(graph: nx.Graph, positions: PositionMap) -> float:
     """Average pairwise distance between edge midpoints (Fig. 6, right metric).
 
     Larger values mean braids are more spread out over the mesh and are less
-    likely to contend for the same channels.
+    likely to contend for the same channels.  The value is exact; see
+    :func:`average_edge_spacing_reference` for the plain pairwise loop.
     """
-    midpoints = [
-        edge_midpoint(positions[a], positions[b]) for a, b in graph.edges()
-    ]
+    midpoints = _edge_midpoints(graph, positions)
+    if len(midpoints) < 2:
+        return 0.0
+    pairs = len(midpoints) * (len(midpoints) - 1) // 2
+    return _pairwise_distance_sum(midpoints) / pairs
+
+
+def average_edge_spacing_reference(graph: nx.Graph, positions: PositionMap) -> float:
+    """Brute-force O(m^2) oracle for :func:`average_edge_spacing`."""
+    midpoints = _edge_midpoints(graph, positions)
     if len(midpoints) < 2:
         return 0.0
     total = 0.0
@@ -108,20 +194,10 @@ def _on_segment(p: Position, q: Position, r: Position) -> bool:
     )
 
 
-def segments_intersect(
+def _segments_cross(
     a1: Position, a2: Position, b1: Position, b2: Position
 ) -> bool:
-    """Whether segments ``a1-a2`` and ``b1-b2`` intersect (shared endpoints excluded).
-
-    Edges that merely meet at a shared qubit are not counted as crossings —
-    they serialise through the dependency DAG rather than through routing
-    conflicts.
-    """
-    endpoints_a = {a1, a2}
-    endpoints_b = {b1, b2}
-    if endpoints_a & endpoints_b:
-        return False
-
+    """Purely geometric segment-intersection test (no endpoint exclusion)."""
     o1 = _orientation(a1, a2, b1)
     o2 = _orientation(a1, a2, b2)
     o3 = _orientation(b1, b2, a1)
@@ -140,18 +216,154 @@ def segments_intersect(
     return False
 
 
-def count_edge_crossings(graph: nx.Graph, positions: PositionMap) -> int:
+def segments_intersect(
+    a1: Position, a2: Position, b1: Position, b2: Position
+) -> bool:
+    """Whether segments ``a1-a2`` and ``b1-b2`` intersect (shared coordinates excluded).
+
+    Edges that merely meet at a shared qubit are not counted as crossings —
+    they serialise through the dependency DAG rather than through routing
+    conflicts.  This helper can only see coordinates, so it excludes shared
+    *coordinate* endpoints; :func:`count_edge_crossings` instead excludes by
+    graph endpoint identity, which is the correct rule when two distinct
+    vertices coincide in position.
+    """
+    endpoints_a = {a1, a2}
+    endpoints_b = {b1, b2}
+    if endpoints_a & endpoints_b:
+        return False
+    return _segments_cross(a1, a2, b1, b2)
+
+
+# ----------------------------------------------------------------------
+# Bucketed segment index
+# ----------------------------------------------------------------------
+class _SegmentGrid:
+    """Uniform spatial hash of segments, bucketed by bounding-box coverage.
+
+    Each segment is registered in every grid bucket its axis-aligned
+    bounding box overlaps.  Two segments can only intersect if their
+    bounding boxes overlap, and overlapping boxes always share at least one
+    bucket, so the per-bucket candidate lists are a sound pruning of the
+    O(m^2) pair space.
+    """
+
+    def __init__(self, bucket_size: float) -> None:
+        if bucket_size <= 0:
+            raise ValueError(f"bucket_size must be positive, got {bucket_size}")
+        self.bucket_size = float(bucket_size)
+        self._buckets: Dict[Tuple[int, int], Set[int]] = defaultdict(set)
+
+    def cells(self, p: Position, q: Position) -> List[Tuple[int, int]]:
+        """The bucket keys overlapped by the bounding box of segment ``p-q``."""
+        size = self.bucket_size
+        row_lo = math.floor(min(p[0], q[0]) / size)
+        row_hi = math.floor(max(p[0], q[0]) / size)
+        col_lo = math.floor(min(p[1], q[1]) / size)
+        col_hi = math.floor(max(p[1], q[1]) / size)
+        return [
+            (row, col)
+            for row in range(row_lo, row_hi + 1)
+            for col in range(col_lo, col_hi + 1)
+        ]
+
+    def insert(self, index: int, cells: Iterable[Tuple[int, int]]) -> None:
+        for cell in cells:
+            self._buckets[cell].add(index)
+
+    def remove(self, index: int, cells: Iterable[Tuple[int, int]]) -> None:
+        for cell in cells:
+            bucket = self._buckets.get(cell)
+            if bucket is not None:
+                bucket.discard(index)
+                if not bucket:
+                    del self._buckets[cell]
+
+    def candidates(self, cells: Iterable[Tuple[int, int]]) -> Set[int]:
+        """Indices of every registered segment sharing a bucket with ``cells``."""
+        found: Set[int] = set()
+        buckets = self._buckets
+        for cell in cells:
+            bucket = buckets.get(cell)
+            if bucket:
+                found.update(bucket)
+        return found
+
+
+def _auto_bucket_size(
+    ends: Sequence[Tuple[int, int, Position, Position]]
+) -> float:
+    """Bucket size matched to the average segment extent of the layout.
+
+    A bucket around the mean bounding-box span keeps both failure modes in
+    check: much smaller buckets make long segments pay for many insertions,
+    much larger ones stop pruning pairs at all.
+    """
+    if not ends:
+        return 1.0
+    total_span = 0.0
+    for _, _, p, q in ends:
+        total_span += max(abs(p[0] - q[0]), abs(p[1] - q[1]))
+    return max(2.0, total_span / (4.0 * len(ends)))
+
+
+def count_edge_crossings(
+    graph: nx.Graph, positions: PositionMap, bucket_size: Optional[float] = None
+) -> int:
     """Count pairs of placed edges whose straight segments cross (Fig. 6, left).
 
     This is the geometric crossing count over the geodesic (straight-line)
-    paths between endpoints, matching the paper's definition in VI-A.3.  The
-    routine is O(m^2) in the number of edges, which is acceptable for
-    factory-scale interaction graphs (a few thousand edges).
+    paths between endpoints, matching the paper's definition in VI-A.3.
+    Pairs of edges sharing a graph endpoint are excluded *by vertex
+    identity* — two edges between four distinct qubits count even when some
+    of their endpoints coincide in position.  Candidate pairs are pruned
+    through a spatial bucket grid (see :class:`_SegmentGrid`); the result is
+    identical to :func:`count_edge_crossings_reference`.
     """
-    endpoints = _edge_endpoints(graph, positions)
+    edges = _placed_edges(graph, positions)
+    if len(edges) < 2:
+        return 0
+    if bucket_size is None:
+        bucket_size = _auto_bucket_size(edges)
+    grid = _SegmentGrid(bucket_size)
     crossings = 0
-    for (a1, a2), (b1, b2) in itertools.combinations(endpoints, 2):
-        if segments_intersect(a1, a2, b1, b2):
+    for index, (a, b, pa, pb) in enumerate(edges):
+        cells = grid.cells(pa, pb)
+        row_lo, row_hi = min(pa[0], pb[0]), max(pa[0], pb[0])
+        col_lo, col_hi = min(pa[1], pb[1]), max(pa[1], pb[1])
+        for other in grid.candidates(cells):
+            c, d, pc, pd = edges[other]
+            if a == c or a == d or b == c or b == d:
+                continue
+            # Cheap bounding-box rejection before the orientation tests:
+            # sharing a bucket does not imply overlapping boxes.  The margin
+            # matches the collinearity tolerance of ``_on_segment``.
+            if (
+                max(pc[0], pd[0]) < row_lo - 1e-12
+                or min(pc[0], pd[0]) > row_hi + 1e-12
+                or max(pc[1], pd[1]) < col_lo - 1e-12
+                or min(pc[1], pd[1]) > col_hi + 1e-12
+            ):
+                continue
+            if _segments_cross(pa, pb, pc, pd):
+                crossings += 1
+        # Insert after querying: each unordered pair is tested exactly once,
+        # when the later of the two edges is the query.
+        grid.insert(index, cells)
+    return crossings
+
+
+def count_edge_crossings_reference(graph: nx.Graph, positions: PositionMap) -> int:
+    """Brute-force O(m^2) oracle for :func:`count_edge_crossings`.
+
+    Same semantics (vertex-identity endpoint exclusion), plain pairwise loop.
+    """
+    edges = _placed_edges(graph, positions)
+    crossings = 0
+    for (a, b, pa, pb), (c, d, pc, pd) in itertools.combinations(edges, 2):
+        if a == c or a == d or b == c or b == d:
+            continue
+        if _segments_cross(pa, pb, pc, pd):
             crossings += 1
     return crossings
 
@@ -166,6 +378,22 @@ def mapping_metrics(graph: nx.Graph, positions: PositionMap) -> Dict[str, float]
         "average_edge_length": average_edge_length(graph, positions),
         "average_edge_spacing": average_edge_spacing(graph, positions),
     }
+
+
+def combine_metric_cost(
+    crossings: float,
+    avg_length: float,
+    avg_spacing: float,
+    length_weight: float = 1.0,
+    spacing_weight: float = 1.0,
+    crossing_weight: float = 4.0,
+) -> float:
+    """The scalar Fig. 6 cost formula shared by :func:`mapping_cost` and the tracker."""
+    return (
+        crossing_weight * crossings
+        + length_weight * avg_length
+        + spacing_weight * (1.0 / (1.0 + avg_spacing))
+    )
 
 
 def mapping_cost(
@@ -184,13 +412,475 @@ def mapping_cost(
     strongly with latency (r = 0.831).
     """
     metrics = mapping_metrics(graph, positions)
-    spacing = metrics["average_edge_spacing"]
-    spacing_term = 1.0 / (1.0 + spacing)
-    return (
-        crossing_weight * metrics["edge_crossings"]
-        + length_weight * metrics["average_edge_length"]
-        + spacing_weight * spacing_term
+    return combine_metric_cost(
+        metrics["edge_crossings"],
+        metrics["average_edge_length"],
+        metrics["average_edge_spacing"],
+        length_weight=length_weight,
+        spacing_weight=spacing_weight,
+        crossing_weight=crossing_weight,
     )
+
+
+# ----------------------------------------------------------------------
+# Incremental cost tracking
+# ----------------------------------------------------------------------
+class MappingCostTracker:
+    """Exact Fig. 6 metrics maintained incrementally under vertex moves.
+
+    Holds the crossing count, the total (and weighted) Manhattan edge
+    length, and the pairwise midpoint-distance sum behind the spacing
+    metric for one placed interaction graph.  :meth:`apply` moves a batch of
+    vertices and updates every metric by *delta*: only the edges incident to
+    the moved vertices are re-tested, against their bucket neighbourhoods
+    for crossings and against the midpoint set for spacing — O(deg * local
+    density) per move instead of O(m^2) per recompute.
+
+    Applying the inverse update dict restores the previous state (crossing
+    counts exactly; the floating-point sums up to summation round-off), so
+    an annealer can propose, inspect the returned cost delta, and revert.
+
+    Vertices present in ``positions`` but not in the graph (or isolated in
+    it) may be moved freely; they contribute nothing to any metric.
+    """
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        positions: PositionMap,
+        length_weight: float = 1.0,
+        spacing_weight: float = 1.0,
+        crossing_weight: float = 4.0,
+        bucket_size: Optional[float] = None,
+    ) -> None:
+        self.graph = graph
+        self.length_weight = length_weight
+        self.spacing_weight = spacing_weight
+        self.crossing_weight = crossing_weight
+
+        self._positions: Dict[int, Position] = {
+            vertex: (float(pos[0]), float(pos[1]))
+            for vertex, pos in positions.items()
+        }
+        self._edges: List[Tuple[int, int, float]] = []
+        self._incident: Dict[int, List[int]] = defaultdict(list)
+        for a, b, data in graph.edges(data=True):
+            if a == b:
+                continue
+            if a not in self._positions or b not in self._positions:
+                raise KeyError(f"edge ({a}, {b}) has an unplaced endpoint")
+            index = len(self._edges)
+            self._edges.append((a, b, float(data.get("weight", 1))))
+            self._incident[a].append(index)
+            self._incident[b].append(index)
+
+        self._ends: List[Tuple[Position, Position]] = [
+            (self._positions[a], self._positions[b]) for a, b, _ in self._edges
+        ]
+        self._use_numpy = _np is not None and len(self._edges) >= 64
+        if self._use_numpy:
+            self._mid = _np.asarray(
+                [edge_midpoint(p, q) for p, q in self._ends], dtype=float
+            ).reshape(len(self._ends), 2)
+            # Flat endpoint/vertex arrays for the vectorised crossing test.
+            self._seg = _np.asarray(
+                [(p[0], p[1], q[0], q[1]) for p, q in self._ends], dtype=float
+            ).reshape(len(self._ends), 4)
+            self._end_u = _np.asarray([a for a, _, _ in self._edges])
+            self._end_v = _np.asarray([b for _, b, _ in self._edges])
+        else:
+            self._mid_list: List[Position] = [
+                edge_midpoint(p, q) for p, q in self._ends
+            ]
+
+        self.total_edge_length = 0.0
+        self.total_weighted_length = 0.0
+        for (p, q), (_, _, weight) in zip(self._ends, self._edges):
+            length = manhattan_distance(p, q)
+            self.total_edge_length += length
+            self.total_weighted_length += weight * length
+
+        self.spacing_sum = _pairwise_distance_sum(self._midpoints_seq())
+
+        if bucket_size is None:
+            bucket_size = _auto_bucket_size(
+                [(a, b, p, q) for (a, b, _), (p, q) in zip(self._edges, self._ends)]
+            )
+        self._grid = _SegmentGrid(bucket_size)
+        self._cells: List[List[Tuple[int, int]]] = []
+        self.crossings = 0
+        for index, (p, q) in enumerate(self._ends):
+            cells = self._grid.cells(p, q)
+            self.crossings += self._crossings_with_candidates(
+                index, p, q, self._grid.candidates(cells)
+            )
+            self._grid.insert(index, cells)
+            self._cells.append(cells)
+
+        #: Snapshot for :meth:`revert_last`; ``None`` when nothing to revert.
+        self._last_move: Optional[tuple] = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_edges(self) -> int:
+        """Number of (non-loop) tracked edges."""
+        return len(self._edges)
+
+    def position(self, vertex: int) -> Position:
+        """The tracked position of ``vertex``."""
+        return self._positions[vertex]
+
+    def metrics(self) -> Dict[str, float]:
+        """The three Fig. 6 metrics, keyed like :func:`mapping_metrics`."""
+        m = len(self._edges)
+        pairs = m * (m - 1) // 2
+        return {
+            "edge_crossings": float(self.crossings),
+            "average_edge_length": self.total_edge_length / m if m else 0.0,
+            "average_edge_spacing": self.spacing_sum / pairs if pairs else 0.0,
+        }
+
+    def cost(self) -> float:
+        """The combined scalar cost, identical to :func:`mapping_cost`."""
+        metrics = self.metrics()
+        return combine_metric_cost(
+            metrics["edge_crossings"],
+            metrics["average_edge_length"],
+            metrics["average_edge_spacing"],
+            length_weight=self.length_weight,
+            spacing_weight=self.spacing_weight,
+            crossing_weight=self.crossing_weight,
+        )
+
+    # ------------------------------------------------------------------
+    # Delta updates
+    # ------------------------------------------------------------------
+    def apply(self, updates: Mapping[int, Position]) -> float:
+        """Move vertices to new positions; returns the combined-cost delta.
+
+        ``updates`` maps vertices to their new ``(row, col)`` positions.
+        Unknown vertices are ignored.  Undo with :meth:`revert_last`
+        (cheap, restores the pre-move state exactly) or by applying the
+        inverse mapping.
+        """
+        moves: Dict[int, Position] = {}
+        for vertex, pos in updates.items():
+            if vertex in self._positions:
+                moves[vertex] = (float(pos[0]), float(pos[1]))
+        moved_from = {vertex: self._positions[vertex] for vertex in moves}
+        if not moves:
+            self._last_move = (moved_from, [], [], [], [], (0.0, 0.0, 0, 0.0))
+            return 0.0
+        cost_before = self.cost()
+
+        changed: List[int] = sorted(
+            {index for vertex in moves for index in self._incident.get(vertex, ())}
+        )
+        if not changed:
+            # Isolated vertices: position bookkeeping only.
+            self._positions.update(moves)
+            self._last_move = (moved_from, [], [], [], [], (0.0, 0.0, 0, 0.0))
+            return 0.0
+
+        # Snapshot everything revert_last() needs to restore the pre-move
+        # state without re-running any geometry test.
+        ends_before = [self._ends[index] for index in changed]
+        cells_before = [self._cells[index] for index in changed]
+        mid_before = [self._midpoint_of(index) for index in changed]
+        sums_before = (
+            self.total_edge_length,
+            self.total_weighted_length,
+            self.crossings,
+            self.spacing_sum,
+        )
+
+        changed_set = set(changed)
+        for index in changed:
+            self._grid.remove(index, self._cells[index])
+
+        old_crossings = self._crossings_of_changed(changed, changed_set)
+        old_spacing = self._spacing_contribution(changed)
+
+        self._positions.update(moves)
+        for index in changed:
+            a, b, weight = self._edges[index]
+            p_old, q_old = self._ends[index]
+            old_length = manhattan_distance(p_old, q_old)
+            p, q = self._positions[a], self._positions[b]
+            self._ends[index] = (p, q)
+            new_length = manhattan_distance(p, q)
+            self.total_edge_length += new_length - old_length
+            self.total_weighted_length += weight * (new_length - old_length)
+            midpoint = edge_midpoint(p, q)
+            if self._use_numpy:
+                self._mid[index, 0] = midpoint[0]
+                self._mid[index, 1] = midpoint[1]
+                self._seg[index, 0] = p[0]
+                self._seg[index, 1] = p[1]
+                self._seg[index, 2] = q[0]
+                self._seg[index, 3] = q[1]
+            else:
+                self._mid_list[index] = midpoint
+
+        new_crossings = self._crossings_of_changed(changed, changed_set)
+        new_spacing = self._spacing_contribution(changed)
+
+        for index in changed:
+            p, q = self._ends[index]
+            cells = self._grid.cells(p, q)
+            self._grid.insert(index, cells)
+            self._cells[index] = cells
+
+        self.crossings += new_crossings - old_crossings
+        self.spacing_sum += new_spacing - old_spacing
+        self._last_move = (
+            moved_from,
+            changed,
+            ends_before,
+            cells_before,
+            mid_before,
+            sums_before,
+        )
+        return self.cost() - cost_before
+
+    def revert_last(self) -> None:
+        """Undo the most recent :meth:`apply`, restoring its pre-move state.
+
+        Exact and cheap: positions, endpoints, midpoints, bucket cells and
+        the metric sums are restored from the snapshot taken by
+        :meth:`apply` — no crossing tests or spacing sums are re-run (an
+        annealer's rejected proposals are its dominant path).  One-shot:
+        raises :class:`RuntimeError` if there is no un-reverted apply.
+        """
+        if self._last_move is None:
+            raise RuntimeError("no apply() to revert")
+        moved_from, changed, ends_before, cells_before, mid_before, sums = (
+            self._last_move
+        )
+        self._last_move = None
+        self._positions.update(moved_from)
+        for position, index in enumerate(changed):
+            self._grid.remove(index, self._cells[index])
+            self._grid.insert(index, cells_before[position])
+            self._cells[index] = cells_before[position]
+            p, q = ends_before[position]
+            self._ends[index] = (p, q)
+            midpoint = mid_before[position]
+            if self._use_numpy:
+                self._mid[index, 0] = midpoint[0]
+                self._mid[index, 1] = midpoint[1]
+                self._seg[index, 0] = p[0]
+                self._seg[index, 1] = p[1]
+                self._seg[index, 2] = q[0]
+                self._seg[index, 3] = q[1]
+            else:
+                self._mid_list[index] = midpoint
+        if changed:
+            (
+                self.total_edge_length,
+                self.total_weighted_length,
+                self.crossings,
+                self.spacing_sum,
+            ) = sums
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _midpoints_seq(self) -> Sequence[Position]:
+        if self._use_numpy:
+            return [tuple(row) for row in self._mid]
+        return self._mid_list
+
+    def _crossings_with_candidates(
+        self, index: int, p: Position, q: Position, candidates: Set[int]
+    ) -> int:
+        """Crossings of edge ``index`` (at ``p-q``) against ``candidates``."""
+        if self._use_numpy and len(candidates) >= 16:
+            return self._crossings_vectorised(index, p, q, candidates)
+        a, b, _ = self._edges[index]
+        ends = self._ends
+        edges = self._edges
+        row_lo, row_hi = min(p[0], q[0]) - 1e-12, max(p[0], q[0]) + 1e-12
+        col_lo, col_hi = min(p[1], q[1]) - 1e-12, max(p[1], q[1]) + 1e-12
+        count = 0
+        for other in candidates:
+            if other == index:
+                continue
+            c, d, _ = edges[other]
+            if a == c or a == d or b == c or b == d:
+                continue
+            pc, pd = ends[other]
+            if (
+                max(pc[0], pd[0]) < row_lo
+                or min(pc[0], pd[0]) > row_hi
+                or max(pc[1], pd[1]) < col_lo
+                or min(pc[1], pd[1]) > col_hi
+            ):
+                continue
+            if _segments_cross(p, q, pc, pd):
+                count += 1
+        return count
+
+    def _crossings_vectorised(
+        self, index: int, p: Position, q: Position, candidates: Set[int]
+    ) -> int:
+        """Numpy form of the candidate crossing test for one query edge."""
+        idx = _np.fromiter(candidates, dtype=_np.intp, count=len(candidates))
+        a, b, _ = self._edges[index]
+        n = idx.size
+        query = _np.empty((n, 4))
+        query[:] = (p[0], p[1], q[0], q[1])
+        keep = idx != index
+        return self._pairs_crossing_count(
+            idx[keep], query[keep], _np.full(n, a)[keep], _np.full(n, b)[keep]
+        )
+
+    def _pairs_crossing_count(
+        self,
+        idx: "_np.ndarray",
+        query: "_np.ndarray",
+        query_u: "_np.ndarray",
+        query_v: "_np.ndarray",
+    ) -> int:
+        """Crossing count over explicit (query segment, candidate index) pairs.
+
+        Replays exactly the arithmetic of :func:`_segments_cross` (same
+        products, same 1e-12 tolerances) over the pair arrays, so the count
+        agrees with the scalar path on every input.  ``query`` rows are
+        ``(p_row, p_col, q_row, q_col)`` segments; vertex-identity exclusion
+        uses ``query_u``/``query_v`` against the candidate endpoint arrays.
+        """
+        end_u = self._end_u[idx]
+        end_v = self._end_v[idx]
+        keep = (
+            (end_u != query_u)
+            & (end_u != query_v)
+            & (end_v != query_u)
+            & (end_v != query_v)
+        )
+        if not keep.any():
+            return 0
+        seg = self._seg[idx[keep]]
+        query = query[keep]
+        b1r, b1c, b2r, b2c = seg[:, 0], seg[:, 1], seg[:, 2], seg[:, 3]
+        pr, pc, qr, qc = query[:, 0], query[:, 1], query[:, 2], query[:, 3]
+        tol = 1e-12
+
+        def orient(v1r, v1c, v2r, v2c, wr, wc):
+            value = (v2c - v1c) * (wr - v2r) - (v2r - v1r) * (wc - v2c)
+            return _np.where(_np.abs(value) < tol, 0, _np.where(value > 0, 1, 2))
+
+        o1 = orient(pr, pc, qr, qc, b1r, b1c)
+        o2 = orient(pr, pc, qr, qc, b2r, b2c)
+        o3 = orient(b1r, b1c, b2r, b2c, pr, pc)
+        o4 = orient(b1r, b1c, b2r, b2c, qr, qc)
+        crossing = (o1 != o2) & (o3 != o4)
+
+        def on_segment(ar, ac, br_, bc_, cr, cc):
+            return (
+                (_np.minimum(ar, cr) - tol <= br_)
+                & (br_ <= _np.maximum(ar, cr) + tol)
+                & (_np.minimum(ac, cc) - tol <= bc_)
+                & (bc_ <= _np.maximum(ac, cc) + tol)
+            )
+
+        crossing |= (o1 == 0) & on_segment(pr, pc, b1r, b1c, qr, qc)
+        crossing |= (o2 == 0) & on_segment(pr, pc, b2r, b2c, qr, qc)
+        crossing |= (o3 == 0) & on_segment(b1r, b1c, pr, pc, b2r, b2c)
+        crossing |= (o4 == 0) & on_segment(b1r, b1c, qr, qc, b2r, b2c)
+        return int(crossing.sum())
+
+    def _crossings_of_changed(
+        self, changed: Sequence[int], changed_set: Set[int]
+    ) -> int:
+        """Crossings involving at least one changed edge, each pair once.
+
+        Must be called while the changed edges are removed from the grid:
+        grid candidates then cover exactly the changed-vs-unchanged pairs,
+        and the (small) changed-vs-changed block is enumerated directly.
+        """
+        count = 0
+        if self._use_numpy:
+            # One vectorised pass over every (changed edge, candidate) pair.
+            idx_parts: List["_np.ndarray"] = []
+            query_parts: List["_np.ndarray"] = []
+            u_parts: List["_np.ndarray"] = []
+            v_parts: List["_np.ndarray"] = []
+            for index in changed:
+                p, q = self._ends[index]
+                cand = self._grid.candidates(self._grid.cells(p, q))
+                if not cand:
+                    continue
+                arr = _np.fromiter(cand, dtype=_np.intp, count=len(cand))
+                n = arr.size
+                query = _np.empty((n, 4))
+                query[:] = (p[0], p[1], q[0], q[1])
+                a, b, _ = self._edges[index]
+                idx_parts.append(arr)
+                query_parts.append(query)
+                u_parts.append(_np.full(n, a))
+                v_parts.append(_np.full(n, b))
+            if idx_parts:
+                count += self._pairs_crossing_count(
+                    _np.concatenate(idx_parts),
+                    _np.vstack(query_parts),
+                    _np.concatenate(u_parts),
+                    _np.concatenate(v_parts),
+                )
+        else:
+            for index in changed:
+                p, q = self._ends[index]
+                cells = self._grid.cells(p, q)
+                count += self._crossings_with_candidates(
+                    index, p, q, self._grid.candidates(cells)
+                )
+        for position, index in enumerate(changed):
+            a, b, _ = self._edges[index]
+            p, q = self._ends[index]
+            for other in changed[position + 1 :]:
+                c, d, _ = self._edges[other]
+                if a == c or a == d or b == c or b == d:
+                    continue
+                pc, pd = self._ends[other]
+                if _segments_cross(p, q, pc, pd):
+                    count += 1
+        return count
+
+    def _spacing_contribution(self, changed: Sequence[int]) -> float:
+        """Sum of midpoint distances over pairs touching a changed edge.
+
+        Cross pairs (changed, unchanged) appear once in the per-edge sums;
+        intra-changed pairs appear twice, so one copy is subtracted.
+        """
+        if len(self._edges) < 2:
+            return 0.0
+        total = 0.0
+        if self._use_numpy:
+            mid = self._mid
+            for index in changed:
+                row, col = mid[index, 0], mid[index, 1]
+                total += float(
+                    _np.hypot(mid[:, 0] - row, mid[:, 1] - col).sum()
+                )
+        else:
+            mid_list = self._mid_list
+            for index in changed:
+                row, col = mid_list[index]
+                for other_row, other_col in mid_list:
+                    total += math.hypot(other_row - row, other_col - col)
+        for position, index in enumerate(changed):
+            row, col = self._midpoint_of(index)
+            for other in changed[position + 1 :]:
+                other_row, other_col = self._midpoint_of(other)
+                total -= math.hypot(other_row - row, other_col - col)
+        return total
+
+    def _midpoint_of(self, index: int) -> Position:
+        if self._use_numpy:
+            return (float(self._mid[index, 0]), float(self._mid[index, 1]))
+        return self._mid_list[index]
 
 
 def pearson_correlation(xs: Sequence[float], ys: Sequence[float]) -> float:

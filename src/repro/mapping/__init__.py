@@ -2,9 +2,12 @@
 
 from .force_directed import (
     ForceDirectedConfig,
+    RefineStats,
     assign_dipole_poles,
     force_directed_placement,
     force_directed_refine,
+    refine_run_count,
+    take_refine_stats,
 )
 from .graph_partition import GridRegion, graph_partition_placement
 from .linear import (
@@ -32,9 +35,12 @@ from .stitching import (
 
 __all__ = [
     "ForceDirectedConfig",
+    "RefineStats",
     "assign_dipole_poles",
     "force_directed_placement",
     "force_directed_refine",
+    "refine_run_count",
+    "take_refine_stats",
     "GridRegion",
     "graph_partition_placement",
     "linear_factory_placement",

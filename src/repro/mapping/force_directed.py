@@ -16,7 +16,12 @@ heuristics of Section VI-A:
 
 Vertices are moved along the net force through an annealing acceptance rule
 (improving moves always accepted, worsening moves accepted with Boltzmann
-probability under a cooling temperature).  When progress stalls, higher-level
+probability under a cooling temperature).  Acceptance is judged against the
+*exact* combined cost of Section VI-A's metric triple — edge crossings,
+average edge length, average edge spacing — maintained incrementally by
+:class:`repro.graphs.metrics.MappingCostTracker`, so the annealer optimizes
+the objective Fig. 6 reports at every graph size.  When progress stalls,
+higher-level
 *community* moves — repulsion between distinct communities, or attraction of
 a fragmented community's clusters (located by KMeans) back together — kick
 the mapping out of the local minimum, exactly as described in the paper.
@@ -28,14 +33,14 @@ import math
 import random
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import networkx as nx
 
 from ..circuits.circuit import Circuit
 from ..graphs.community import community_centroid, community_fragmentation, detect_communities
 from ..graphs.interaction import interaction_graph
-from ..graphs.metrics import mapping_cost
+from ..graphs.metrics import MappingCostTracker
 from .placement import Cell, Placement, grid_dimensions_for, row_major_placement
 
 Vector = Tuple[float, float]
@@ -226,29 +231,80 @@ class _ForceField:
                         forces[vertex][1] -= magnitude * d_col
 
 
-def _local_cost(
-    graph: nx.Graph, positions: Mapping[int, Cell], vertices: Sequence[int]
-) -> float:
-    """Weighted Manhattan length of the edges incident to ``vertices``.
+@dataclass
+class RefineStats:
+    """Counters and per-sweep exact costs of one ``force_directed_refine`` run.
 
-    Used as the move-acceptance cost: it is cheap to evaluate and decreases
-    whenever a move shortens the braids touching the moved qubits.
+    ``sweep_costs[i]`` is the exact combined metric cost at the end of sweep
+    ``i`` (before any community move of that sweep); ``best_cost`` is the
+    cost of the returned placement; ``stalled_sweeps`` counts sweeps that
+    advanced the community-move patience counter.
     """
-    cost = 0.0
-    seen: Set[Tuple[int, int]] = set()
-    for vertex in vertices:
-        if vertex not in graph:
-            continue
-        row, col = positions[vertex]
-        for neighbor in graph.neighbors(vertex):
-            key = (min(vertex, neighbor), max(vertex, neighbor))
-            if key in seen:
-                continue
-            seen.add(key)
-            weight = graph[vertex][neighbor].get("weight", 1)
-            n_row, n_col = positions[neighbor]
-            cost += weight * (abs(row - n_row) + abs(col - n_col))
-    return cost
+
+    sweeps: int = 0
+    proposed_moves: int = 0
+    accepted_moves: int = 0
+    improving_moves: int = 0
+    community_moves: int = 0
+    stalled_sweeps: int = 0
+    initial_cost: float = 0.0
+    best_cost: float = 0.0
+    sweep_costs: List[float] = field(default_factory=list)
+
+
+#: Stats of every refine run since the last :func:`take_refine_stats` call.
+#: The pipeline pops these to expose FD behaviour in its own counters (a
+#: mapper may run several refinements per placement, e.g. per stitched
+#: module, so this is a list rather than a single record).  Bounded: callers
+#: that never drain it keep only the most recent runs, so a long-lived
+#: process refining in a loop does not leak memory.  This is a process-wide
+#: take-based channel — whoever calls :func:`take_refine_stats` next gets
+#: (and clears) everything pending, so harvest promptly after refining.
+_PENDING_REFINE_STATS: List[RefineStats] = []
+
+#: Maximum refine-stats records kept pending (a stitched two-level mapping
+#: runs one refinement per module, well under this bound).
+_MAX_PENDING_REFINE_STATS = 64
+
+#: Monotonic count of completed refine runs in this process.  Unlike the
+#: bounded pending list, this never truncates, so consumers can bracket an
+#: operation with :func:`refine_run_count` and attribute exactly the runs
+#: it caused whatever else is pending.
+_REFINE_RUN_COUNTER = 0
+
+
+def take_refine_stats() -> List[RefineStats]:
+    """Pop the stats of every :func:`force_directed_refine` run since the last call."""
+    stats = list(_PENDING_REFINE_STATS)
+    _PENDING_REFINE_STATS.clear()
+    return stats
+
+
+def refine_run_count() -> int:
+    """Monotonic number of refine runs completed in this process.
+
+    Lets a consumer bracket an operation and attribute only the runs it
+    caused: snapshot the count before, and take the trailing ``after -
+    before`` records of what :func:`take_refine_stats` returns.  Robust
+    against records already pending and against the pending-list bound
+    evicting old entries mid-operation.
+    """
+    return _REFINE_RUN_COUNTER
+
+
+def _next_stall_counter(stall: int, new_best: bool, improved_any: bool) -> int:
+    """Advance the community-move patience counter after one sweep.
+
+    A sweep that found a new global best resets the counter; a sweep that
+    merely made *some* improving local move holds it (the annealer is still
+    making progress, so community moves should wait); only a sweep with no
+    improving move at all counts toward ``community_patience``.
+    """
+    if new_best:
+        return 0
+    if improved_any:
+        return stall
+    return stall + 1
 
 
 def _step_toward(force: Vector, max_step: int = 1) -> Tuple[int, int]:
@@ -274,9 +330,12 @@ def force_directed_refine(
 ) -> Placement:
     """Refine an existing placement with force-directed annealing.
 
-    Returns the best placement (by the combined metric cost of
-    :func:`repro.graphs.metrics.mapping_cost`) seen over all sweeps; the input
-    placement is not modified.
+    Every proposed move is accepted or rejected against the *exact* combined
+    metric cost of :func:`repro.graphs.metrics.mapping_cost` — crossings,
+    average edge length and average edge spacing — maintained incrementally
+    by :class:`repro.graphs.metrics.MappingCostTracker`, at any graph size.
+    Returns the exact-cost argmin over all sweep-end placements (including
+    the initial one); the input placement is not modified.
     """
     config = config or ForceDirectedConfig()
     rng = random.Random(config.seed)
@@ -287,22 +346,16 @@ def force_directed_refine(
     vertices = [v for v in graph.nodes() if v in placement.positions]
     communities = detect_communities(graph) if config.use_communities else []
 
-    # The exact combined cost (which counts edge crossings) is quadratic in
-    # the edge count; for factory-scale graphs fall back to the total
-    # weighted edge length as the sweep-level progress metric.
-    use_exact_cost = graph.number_of_edges() <= 600
-
-    def full_cost(current: Placement) -> float:
-        if use_exact_cost:
-            return mapping_cost(
-                graph,
-                current.as_float_positions(),
-                crossing_weight=config.cost_crossing_weight,
-            )
-        return _local_cost(graph, current.positions, list(graph.nodes()))
+    tracker = MappingCostTracker(
+        graph,
+        placement.as_float_positions(),
+        crossing_weight=config.cost_crossing_weight,
+    )
+    stats = RefineStats()
 
     best = placement.copy()
-    best_cost = full_cost(best)
+    best_cost = tracker.cost()
+    stats.initial_cost = best_cost
     temperature = config.temperature
     stall_counter = 0
     community_moves_used = 0
@@ -312,6 +365,7 @@ def force_directed_refine(
         order = list(vertices)
         rng.shuffle(order)
         improved_any = False
+        stats.sweeps += 1
 
         for vertex in order:
             force = forces.get(vertex, (0.0, 0.0))
@@ -322,30 +376,35 @@ def force_directed_refine(
             target = (row + d_row, col + d_col)
             if not placement.in_bounds(target):
                 continue
-            occupant = placement.occupied_cells().get(target)
-            affected = [vertex] if occupant is None else [vertex, occupant]
-            before = _local_cost(graph, placement.positions, affected)
-            placement.move(vertex, target)
-            after = _local_cost(graph, placement.positions, affected)
-            delta = after - before
+            occupant = placement.occupant(target)
+            updates = {vertex: (float(target[0]), float(target[1]))}
+            if occupant is not None:
+                updates[occupant] = (float(row), float(col))
+            delta = tracker.apply(updates)
+            stats.proposed_moves += 1
             accept = delta <= 0 or (
                 temperature > 1e-9 and rng.random() < math.exp(-delta / temperature)
             )
             if accept:
+                placement.move(vertex, target)
+                stats.accepted_moves += 1
                 if delta < 0:
                     improved_any = True
+                    stats.improving_moves += 1
             else:
-                # Undo the move (move() swaps, so moving back restores both).
-                placement.move(vertex, (row, col))
+                # Revert the tracker (the placement was never touched).
+                tracker.revert_last()
 
         temperature *= config.cooling
-        current_cost = full_cost(placement)
-        if current_cost < best_cost:
+        current_cost = tracker.cost()
+        stats.sweep_costs.append(current_cost)
+        new_best = current_cost < best_cost
+        if new_best:
             best_cost = current_cost
             best = placement.copy()
-            stall_counter = 0
-        else:
-            stall_counter += 1
+        stall_counter = _next_stall_counter(stall_counter, new_best, improved_any)
+        if not new_best and not improved_any:
+            stats.stalled_sweeps += 1
 
         if (
             config.use_communities
@@ -353,10 +412,24 @@ def force_directed_refine(
             and stall_counter >= config.community_patience
             and community_moves_used < config.max_community_moves
         ):
+            before_positions = dict(placement.positions)
             _apply_community_move(placement, graph, communities, rng)
+            moved = {
+                v: (float(cell[0]), float(cell[1]))
+                for v, cell in placement.positions.items()
+                if cell != before_positions[v]
+            }
+            if moved:
+                tracker.apply(moved)
             community_moves_used += 1
+            stats.community_moves += 1
             stall_counter = 0
 
+    stats.best_cost = best_cost
+    global _REFINE_RUN_COUNTER
+    _REFINE_RUN_COUNTER += 1
+    _PENDING_REFINE_STATS.append(stats)
+    del _PENDING_REFINE_STATS[:-_MAX_PENDING_REFINE_STATS]
     return best
 
 

@@ -40,7 +40,7 @@ class Placement:
             raise ValueError(
                 f"grid must be at least 1x1, got {self.height}x{self.width}"
             )
-        self.validate()
+        self.validate()  # also builds the occupied-cells index
 
     # ------------------------------------------------------------------
     # Introspection
@@ -68,9 +68,17 @@ class Placement:
         """The tile of ``qubit`` (KeyError if unplaced)."""
         return self.positions[qubit]
 
+    def occupant(self, cell: Cell) -> Optional[int]:
+        """The qubit occupying ``cell``, or ``None`` — O(1) via the index."""
+        return self._occupied.get(cell)
+
     def occupied_cells(self) -> Dict[Cell, int]:
-        """Map of occupied cells back to the qubit occupying them."""
-        return {cell: qubit for qubit, cell in self.positions.items()}
+        """Map of occupied cells back to the qubit occupying them.
+
+        Returns a copy of the incrementally maintained index; use
+        :meth:`occupant` for single-cell lookups in hot loops.
+        """
+        return dict(self._occupied)
 
     def in_bounds(self, cell: Cell) -> bool:
         """Whether ``cell`` lies inside the grid."""
@@ -79,7 +87,7 @@ class Placement:
 
     def free_cells(self) -> List[Cell]:
         """All unoccupied cells, row-major order."""
-        occupied = set(self.positions.values())
+        occupied = self._occupied
         return [
             (row, col)
             for row in range(self.height)
@@ -88,7 +96,11 @@ class Placement:
         ]
 
     def validate(self) -> None:
-        """Raise :class:`ValueError` if the placement is out of bounds or overlapping."""
+        """Raise :class:`ValueError` if the placement is out of bounds or overlapping.
+
+        Also rebuilds the occupied-cells index from ``positions``, so callers
+        that mutated ``positions`` directly can resynchronise by validating.
+        """
         seen: Dict[Cell, int] = {}
         for qubit, cell in self.positions.items():
             if not self.in_bounds(cell):
@@ -100,6 +112,7 @@ class Placement:
                     f"qubits {seen[cell]} and {qubit} both placed at {cell}"
                 )
             seen[cell] = qubit
+        self._occupied: Dict[Cell, int] = seen
 
     # ------------------------------------------------------------------
     # Mutation helpers
@@ -108,10 +121,14 @@ class Placement:
         """Place (or move) ``qubit`` at ``cell``; the cell must be free."""
         if not self.in_bounds(cell):
             raise ValueError(f"cell {cell} outside {self.height}x{self.width} grid")
-        occupant = self.occupied_cells().get(cell)
+        occupant = self._occupied.get(cell)
         if occupant is not None and occupant != qubit:
             raise ValueError(f"cell {cell} already occupied by qubit {occupant}")
+        previous = self.positions.get(qubit)
+        if previous is not None and previous != cell:
+            del self._occupied[previous]
         self.positions[qubit] = cell
+        self._occupied[cell] = qubit
 
     def swap(self, qubit_a: int, qubit_b: int) -> None:
         """Swap the cells of two placed qubits."""
@@ -119,14 +136,20 @@ class Placement:
         cell_b = self.positions[qubit_b]
         self.positions[qubit_a] = cell_b
         self.positions[qubit_b] = cell_a
+        self._occupied[cell_b] = qubit_a
+        self._occupied[cell_a] = qubit_b
 
     def move(self, qubit: int, cell: Cell) -> None:
         """Move ``qubit`` to ``cell``; swaps with any current occupant."""
         if not self.in_bounds(cell):
             raise ValueError(f"cell {cell} outside {self.height}x{self.width} grid")
-        occupant = self.occupied_cells().get(cell)
+        occupant = self._occupied.get(cell)
         if occupant is None or occupant == qubit:
+            previous = self.positions.get(qubit)
+            if previous is not None and previous != cell:
+                del self._occupied[previous]
             self.positions[qubit] = cell
+            self._occupied[cell] = qubit
         else:
             self.swap(qubit, occupant)
 

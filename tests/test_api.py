@@ -169,6 +169,35 @@ class TestPipelineCaching:
         # base instance (which must stay read-only).
         assert outcome.factory is not factory
 
+    def test_fd_stats_attributed_only_to_pipeline_refinements(self):
+        from repro.graphs import interaction_graph
+        from repro.mapping import (
+            ForceDirectedConfig,
+            force_directed_refine,
+            linear_factory_placement,
+            take_refine_stats,
+        )
+
+        pipeline = Pipeline()
+        factory = pipeline.factory(4, 1)
+        graph = interaction_graph(factory.circuit)
+        take_refine_stats()
+        # A refinement outside the pipeline, left pending unharvested.
+        force_directed_refine(
+            graph,
+            linear_factory_placement(factory),
+            ForceDirectedConfig(sweeps=7, seed=0),
+        )
+        pipeline.evaluate(EvaluationRequest(method="force_directed", capacity=4))
+        # Only the pipeline's own refinement (default 30 sweeps) counts —
+        # the pending 7-sweep outsider must not be attributed.
+        assert pipeline.stats.fd_sweeps == 30
+        assert pipeline.stats.fd_moves_accepted > 0
+        # Non-FD mappers attribute nothing.
+        before = pipeline.stats.fd_sweeps
+        pipeline.evaluate(EvaluationRequest(method="linear", capacity=4))
+        assert pipeline.stats.fd_sweeps == before
+
 
 class TestResultsSerialization:
     def test_factory_evaluation_round_trip(self):

@@ -4,7 +4,12 @@ import pytest
 
 from repro.circuits import critical_path_length
 from repro.distillation import BravyiHaahSpec, build_single_level_factory
-from repro.graphs import interaction_graph, mapping_metrics, total_edge_length
+from repro.graphs import (
+    interaction_graph,
+    mapping_cost,
+    mapping_metrics,
+    total_edge_length,
+)
 from repro.mapping import (
     ForceDirectedConfig,
     assign_dipole_poles,
@@ -17,7 +22,9 @@ from repro.mapping import (
     random_circuit_placement,
     random_placement,
     random_placements,
+    take_refine_stats,
 )
+from repro.mapping.force_directed import _next_stall_counter
 from repro.routing import simulate
 
 
@@ -212,3 +219,100 @@ class TestForceDirected:
         first = force_directed_refine(graph, k4_random_placement, config)
         second = force_directed_refine(graph, k4_random_placement, config)
         assert first.positions == second.positions
+
+
+class TestExactCostRefinement:
+    """The annealer optimizes the exact Fig. 6 cost at every graph size."""
+
+    def test_returned_placement_is_exact_cost_argmin(self, single_level_k8):
+        graph = interaction_graph(single_level_k8.circuit)
+        initial = random_circuit_placement(single_level_k8.circuit, seed=2, slack=1.5)
+        config = ForceDirectedConfig(sweeps=10, seed=0)
+        take_refine_stats()
+        refined = force_directed_refine(graph, initial, config)
+        stats = take_refine_stats()[-1]
+        refined_cost = mapping_cost(
+            graph,
+            refined.as_float_positions(),
+            crossing_weight=config.cost_crossing_weight,
+        )
+        # The tracker's incremental cost equals a from-scratch recompute...
+        assert refined_cost == pytest.approx(stats.best_cost, rel=1e-9)
+        # ...and the returned placement is the argmin over the initial
+        # placement and every sweep-end placement.
+        assert refined_cost == pytest.approx(
+            min([stats.initial_cost] + stats.sweep_costs), rel=1e-9
+        )
+
+    def test_factory_scale_graph_uses_exact_cost(self, two_level_cap16):
+        # 1032 edges — far above the deleted 600-edge fallback threshold.
+        # The returned placement must still be the exact-cost argmin over
+        # sweeps, which only holds if the exact combined metric cost (not
+        # the old weighted-length surrogate) drives the sweep bookkeeping.
+        graph = interaction_graph(two_level_cap16.circuit)
+        assert graph.number_of_edges() > 600
+        initial = linear_factory_placement(two_level_cap16)
+        config = ForceDirectedConfig(sweeps=3, seed=1, use_communities=False)
+        take_refine_stats()
+        refined = force_directed_refine(graph, initial, config)
+        stats = take_refine_stats()[-1]
+        refined_cost = mapping_cost(
+            graph,
+            refined.as_float_positions(),
+            crossing_weight=config.cost_crossing_weight,
+        )
+        assert refined_cost == pytest.approx(stats.best_cost, rel=1e-9)
+        assert refined_cost == pytest.approx(
+            min([stats.initial_cost] + stats.sweep_costs), rel=1e-9
+        )
+        assert refined_cost <= stats.initial_cost
+
+    def test_refine_stats_counters_are_consistent(self, single_level_k4, k4_random_placement):
+        graph = interaction_graph(single_level_k4.circuit)
+        config = ForceDirectedConfig(sweeps=6, seed=3)
+        take_refine_stats()
+        force_directed_refine(graph, k4_random_placement, config)
+        stats = take_refine_stats()[-1]
+        assert stats.sweeps == 6
+        assert len(stats.sweep_costs) == 6
+        assert 0 <= stats.improving_moves <= stats.accepted_moves <= stats.proposed_moves
+        assert stats.best_cost <= stats.initial_cost
+
+    def test_pending_refine_stats_are_bounded(self, single_level_k4, k4_random_placement):
+        # A long-lived process that never drains the channel must not leak.
+        from repro.mapping import force_directed as fd_module
+
+        graph = interaction_graph(single_level_k4.circuit)
+        config = ForceDirectedConfig(sweeps=1, seed=0, use_communities=False)
+        take_refine_stats()
+        for _ in range(fd_module._MAX_PENDING_REFINE_STATS + 5):
+            force_directed_refine(graph, k4_random_placement, config)
+        assert (
+            len(fd_module._PENDING_REFINE_STATS)
+            == fd_module._MAX_PENDING_REFINE_STATS
+        )
+        assert len(take_refine_stats()) == fd_module._MAX_PENDING_REFINE_STATS
+
+
+class TestStallCounter:
+    """Sweeps with improving local moves don't count toward community patience."""
+
+    def test_new_best_resets(self):
+        assert _next_stall_counter(4, new_best=True, improved_any=True) == 0
+        assert _next_stall_counter(4, new_best=True, improved_any=False) == 0
+
+    def test_improving_sweep_holds(self):
+        assert _next_stall_counter(4, new_best=False, improved_any=True) == 4
+
+    def test_fruitless_sweep_advances(self):
+        assert _next_stall_counter(4, new_best=False, improved_any=False) == 5
+
+    def test_stalled_sweeps_gate_community_moves(self, single_level_k4, k4_random_placement):
+        # With infinite patience no community move may ever fire, however
+        # many sweeps stall.
+        graph = interaction_graph(single_level_k4.circuit)
+        config = ForceDirectedConfig(sweeps=12, seed=0, community_patience=10**6)
+        take_refine_stats()
+        force_directed_refine(graph, k4_random_placement, config)
+        stats = take_refine_stats()[-1]
+        assert stats.community_moves == 0

@@ -1,12 +1,17 @@
 """Unit tests for mapping metrics (repro.graphs.metrics)."""
 
+import random
+
 import networkx as nx
 import pytest
 
 from repro.graphs import (
+    MappingCostTracker,
     average_edge_length,
     average_edge_spacing,
+    average_edge_spacing_reference,
     count_edge_crossings,
+    count_edge_crossings_reference,
     edge_midpoint,
     euclidean_distance,
     manhattan_distance,
@@ -103,6 +108,349 @@ class TestCrossings:
 
     def test_shared_endpoint_excluded(self):
         assert not segments_intersect((0, 0), (1, 1), (1, 1), (2, 0))
+
+
+class TestCoincidentPositions:
+    """Endpoint exclusion is by graph vertex identity, not coordinates.
+
+    Regression for the old coordinate-based exclusion in
+    ``segments_intersect``: edges between four distinct vertices must count
+    even when some endpoints coincide in position.
+    """
+
+    def test_touching_edges_between_distinct_vertices_count(self):
+        graph = nx.Graph()
+        graph.add_edge(0, 1)
+        graph.add_edge(2, 3)
+        # Vertex 2 sits exactly on vertex 1's coordinates; the segments
+        # touch at (2.0, 2.0).  No shared qubit => a geometric crossing.
+        positions = {
+            0: (0.0, 0.0),
+            1: (2.0, 2.0),
+            2: (2.0, 2.0),
+            3: (0.0, 4.0),
+        }
+        assert count_edge_crossings(graph, positions) == 1
+        assert count_edge_crossings_reference(graph, positions) == 1
+
+    def test_proper_crossing_with_coincident_endpoint(self):
+        graph = nx.Graph()
+        graph.add_edge(0, 1)
+        graph.add_edge(2, 3)
+        # Vertex 2 coincides with vertex 0 and the segments overlap
+        # collinearly between (1,1) and (2,2).
+        positions = {
+            0: (1.0, 1.0),
+            1: (2.0, 2.0),
+            2: (1.0, 1.0),
+            3: (3.0, 3.0),
+        }
+        assert count_edge_crossings(graph, positions) == 1
+        assert count_edge_crossings_reference(graph, positions) == 1
+
+    def test_shared_vertex_still_excluded_even_when_moved(self):
+        graph = nx.Graph()
+        graph.add_edge(0, 1)
+        graph.add_edge(1, 2)
+        positions = {0: (0.0, 0.0), 1: (1.0, 1.0), 2: (2.0, 0.0)}
+        assert count_edge_crossings(graph, positions) == 0
+
+
+def _random_case(trial, rng):
+    """A random graph and position map; every third trial is grid-snapped.
+
+    Snapped coordinates produce coincident vertices, collinear overlaps and
+    on-segment endpoints — the degenerate cases the bucketed engine must
+    agree on with the brute-force oracle.
+    """
+    n = rng.randrange(5, 40)
+    m = rng.randrange(0, min(90, n * (n - 1) // 2))
+    graph = nx.gnm_random_graph(n, m, seed=trial)
+    if trial % 3 == 0:
+        positions = {
+            v: (float(rng.randrange(0, 8)), float(rng.randrange(0, 8)))
+            for v in graph.nodes()
+        }
+    else:
+        positions = {
+            v: (rng.uniform(0.0, 20.0), rng.uniform(0.0, 20.0))
+            for v in graph.nodes()
+        }
+    return graph, positions
+
+
+class TestBucketedParity:
+    """The bucketed engine matches the brute-force ``_reference`` oracle."""
+
+    def test_crossings_match_reference_randomized(self):
+        rng = random.Random(7)
+        for trial in range(40):
+            graph, positions = _random_case(trial, rng)
+            assert count_edge_crossings(graph, positions) == (
+                count_edge_crossings_reference(graph, positions)
+            ), f"trial {trial}"
+
+    def test_crossings_match_reference_any_bucket_size(self):
+        rng = random.Random(3)
+        graph, positions = _random_case(2, rng)
+        expected = count_edge_crossings_reference(graph, positions)
+        for bucket in (0.5, 1.0, 2.0, 5.0, 50.0):
+            assert count_edge_crossings(graph, positions, bucket_size=bucket) == expected
+
+    def test_non_positive_bucket_size_rejected(self):
+        graph = nx.Graph()
+        graph.add_edge(0, 1)
+        graph.add_edge(2, 3)
+        positions = {0: (0.0, 0.0), 1: (1.0, 1.0), 2: (0.0, 1.0), 3: (1.0, 0.0)}
+        for bucket in (0.0, -1.0):
+            with pytest.raises(ValueError):
+                count_edge_crossings(graph, positions, bucket_size=bucket)
+            with pytest.raises(ValueError):
+                MappingCostTracker(graph, positions, bucket_size=bucket)
+
+    def test_spacing_matches_reference_randomized(self):
+        rng = random.Random(11)
+        for trial in range(20):
+            graph, positions = _random_case(trial, rng)
+            assert average_edge_spacing(graph, positions) == pytest.approx(
+                average_edge_spacing_reference(graph, positions), rel=1e-9, abs=1e-12
+            )
+
+    def test_spacing_matches_reference_large_graph(self):
+        # >= 64 edges exercises the vectorised block summation.
+        graph = nx.gnm_random_graph(40, 200, seed=5)
+        rng = random.Random(5)
+        positions = {
+            v: (rng.uniform(0.0, 30.0), rng.uniform(0.0, 30.0))
+            for v in graph.nodes()
+        }
+        assert average_edge_spacing(graph, positions) == pytest.approx(
+            average_edge_spacing_reference(graph, positions), rel=1e-9
+        )
+
+    def test_collinear_overlap_parity(self):
+        graph = nx.Graph()
+        graph.add_edge(0, 1)
+        graph.add_edge(2, 3)
+        graph.add_edge(4, 5)
+        positions = {
+            0: (0.0, 0.0),
+            1: (0.0, 3.0),
+            2: (0.0, 1.0),
+            3: (0.0, 4.0),
+            4: (0.0, 2.0),
+            5: (0.0, 5.0),
+        }
+        expected = count_edge_crossings_reference(graph, positions)
+        assert count_edge_crossings(graph, positions) == expected == 3
+
+    def test_self_loops_are_ignored(self):
+        graph = nx.Graph()
+        graph.add_edge(0, 0)
+        graph.add_edge(1, 2)
+        positions = {0: (0.0, 0.0), 1: (1.0, 0.0), 2: (1.0, 5.0)}
+        assert count_edge_crossings(graph, positions) == 0
+        assert count_edge_crossings_reference(graph, positions) == 0
+
+
+class TestMappingCostTracker:
+    """The incremental tracker equals a from-scratch recompute at every step."""
+
+    def _assert_matches_recompute(self, tracker, graph, positions):
+        metrics = mapping_metrics(graph, positions)
+        tracked = tracker.metrics()
+        assert tracked["edge_crossings"] == metrics["edge_crossings"]
+        assert tracked["average_edge_length"] == pytest.approx(
+            metrics["average_edge_length"], rel=1e-9, abs=1e-12
+        )
+        assert tracked["average_edge_spacing"] == pytest.approx(
+            metrics["average_edge_spacing"], rel=1e-9, abs=1e-12
+        )
+        assert tracker.cost() == pytest.approx(
+            mapping_cost(graph, positions), rel=1e-9
+        )
+
+    def test_matches_recompute_over_move_sequence(self):
+        rng = random.Random(13)
+        for trial in range(5):
+            graph = nx.gnm_random_graph(18, 40, seed=trial)
+            positions = {
+                v: (float(rng.randrange(0, 10)), float(rng.randrange(0, 10)))
+                for v in graph.nodes()
+            }
+            tracker = MappingCostTracker(graph, positions)
+            nodes = list(graph.nodes())
+            for _step in range(50):
+                vertex = rng.choice(nodes)
+                new = (float(rng.randrange(0, 10)), float(rng.randrange(0, 10)))
+                positions[vertex] = new
+                tracker.apply({vertex: new})
+                self._assert_matches_recompute(tracker, graph, positions)
+
+    def test_matches_recompute_vectorised_path(self):
+        # >= 64 edges switches the tracker to its numpy crossing test.
+        rng = random.Random(17)
+        graph = nx.gnm_random_graph(50, 120, seed=0)
+        positions = {
+            v: (float(rng.randrange(0, 12)), float(rng.randrange(0, 12)))
+            for v in graph.nodes()
+        }
+        tracker = MappingCostTracker(graph, positions)
+        nodes = list(graph.nodes())
+        for _step in range(40):
+            vertex = rng.choice(nodes)
+            new = (float(rng.randrange(0, 12)), float(rng.randrange(0, 12)))
+            positions[vertex] = new
+            tracker.apply({vertex: new})
+        self._assert_matches_recompute(tracker, graph, positions)
+
+    def test_swap_updates_both_vertices(self):
+        graph = nx.Graph()
+        graph.add_edge(0, 1)
+        graph.add_edge(2, 3)
+        positions = {0: (0.0, 0.0), 1: (0.0, 1.0), 2: (1.0, 0.0), 3: (1.0, 1.0)}
+        tracker = MappingCostTracker(graph, positions)
+        updates = {1: (1.0, 1.0), 3: (0.0, 1.0)}
+        tracker.apply(updates)
+        positions.update(updates)
+        self._assert_matches_recompute(tracker, graph, positions)
+
+    def test_revert_last_restores_state_exactly(self):
+        rng = random.Random(31)
+        graph = nx.gnm_random_graph(20, 45, seed=31)
+        positions = {
+            v: (float(rng.randrange(0, 10)), float(rng.randrange(0, 10)))
+            for v in graph.nodes()
+        }
+        tracker = MappingCostTracker(graph, positions)
+        nodes = list(graph.nodes())
+        for _step in range(30):
+            crossings = tracker.crossings
+            spacing = tracker.spacing_sum
+            length = tracker.total_edge_length
+            cost = tracker.cost()
+            vertex = rng.choice(nodes)
+            tracker.apply(
+                {vertex: (float(rng.randrange(0, 10)), float(rng.randrange(0, 10)))}
+            )
+            tracker.revert_last()
+            # Bit-exact restore (snapshots, not arithmetic inverses).
+            assert tracker.crossings == crossings
+            assert tracker.spacing_sum == spacing
+            assert tracker.total_edge_length == length
+            assert tracker.cost() == cost
+            self._assert_matches_recompute(tracker, graph, positions)
+
+    def test_revert_last_is_one_shot(self):
+        graph = nx.Graph()
+        graph.add_edge(0, 1)
+        tracker = MappingCostTracker(graph, {0: (0.0, 0.0), 1: (1.0, 0.0)})
+        tracker.apply({0: (2.0, 2.0)})
+        tracker.revert_last()
+        with pytest.raises(RuntimeError):
+            tracker.revert_last()
+
+    def test_revert_after_isolated_move_restores_position(self):
+        graph = nx.Graph()
+        graph.add_node(0)
+        graph.add_edge(1, 2)
+        tracker = MappingCostTracker(
+            graph, {0: (0.0, 0.0), 1: (1.0, 0.0), 2: (2.0, 0.0)}
+        )
+        tracker.apply({0: (5.0, 5.0)})
+        tracker.revert_last()
+        assert tracker.position(0) == (0.0, 0.0)
+
+    def test_inverse_apply_reverts(self):
+        graph = nx.gnm_random_graph(12, 25, seed=4)
+        rng = random.Random(4)
+        positions = {
+            v: (float(rng.randrange(0, 8)), float(rng.randrange(0, 8)))
+            for v in graph.nodes()
+        }
+        tracker = MappingCostTracker(graph, positions)
+        crossings_before = tracker.crossings
+        cost_before = tracker.cost()
+        old = tracker.position(3)
+        delta = tracker.apply({3: (7.0, 7.0)})
+        delta_back = tracker.apply({3: old})
+        assert tracker.crossings == crossings_before
+        assert tracker.cost() == pytest.approx(cost_before, rel=1e-12)
+        assert delta + delta_back == pytest.approx(0.0, abs=1e-9)
+
+    def test_delta_equals_cost_difference(self):
+        graph = nx.gnm_random_graph(15, 30, seed=9)
+        rng = random.Random(9)
+        positions = {
+            v: (float(rng.randrange(0, 9)), float(rng.randrange(0, 9)))
+            for v in graph.nodes()
+        }
+        tracker = MappingCostTracker(graph, positions)
+        before = tracker.cost()
+        delta = tracker.apply({0: (8.0, 8.0)})
+        assert delta == pytest.approx(tracker.cost() - before, rel=1e-12)
+
+    def test_isolated_vertex_moves_freely(self):
+        graph = nx.Graph()
+        graph.add_node(0)
+        graph.add_edge(1, 2)
+        positions = {0: (0.0, 0.0), 1: (1.0, 0.0), 2: (2.0, 0.0)}
+        tracker = MappingCostTracker(graph, positions)
+        assert tracker.apply({0: (5.0, 5.0)}) == 0.0
+        assert tracker.position(0) == (5.0, 5.0)
+
+    def test_unknown_vertex_ignored(self):
+        graph = nx.Graph()
+        graph.add_edge(0, 1)
+        positions = {0: (0.0, 0.0), 1: (1.0, 0.0)}
+        tracker = MappingCostTracker(graph, positions)
+        assert tracker.apply({99: (3.0, 3.0)}) == 0.0
+
+    def test_unplaced_endpoint_raises(self):
+        graph = nx.Graph()
+        graph.add_edge(0, 1)
+        with pytest.raises(KeyError):
+            MappingCostTracker(graph, {0: (0.0, 0.0)})
+
+    def test_weighted_length_tracked_through_moves(self):
+        rng = random.Random(21)
+        graph = nx.gnm_random_graph(14, 30, seed=21)
+        for a, b in graph.edges():
+            graph[a][b]["weight"] = rng.randrange(1, 5)
+        positions = {
+            v: (float(rng.randrange(0, 9)), float(rng.randrange(0, 9)))
+            for v in graph.nodes()
+        }
+        tracker = MappingCostTracker(graph, positions)
+        nodes = list(graph.nodes())
+        for _step in range(40):
+            vertex = rng.choice(nodes)
+            new = (float(rng.randrange(0, 9)), float(rng.randrange(0, 9)))
+            positions[vertex] = new
+            tracker.apply({vertex: new})
+            assert tracker.total_weighted_length == pytest.approx(
+                total_edge_length(graph, positions, weighted=True), rel=1e-9
+            )
+
+    def test_self_loop_graph_matches_mapping_cost(self):
+        # Self-loops must be ignored consistently by every metric, so the
+        # tracker's cost stays identical to mapping_cost on loopy graphs.
+        graph = nx.Graph()
+        graph.add_edge(0, 0)
+        graph.add_edge(1, 2)
+        graph.add_edge(3, 4)
+        positions = {
+            0: (0.0, 0.0),
+            1: (1.0, 0.0),
+            2: (1.0, 3.0),
+            3: (2.0, 0.0),
+            4: (2.0, 3.0),
+        }
+        tracker = MappingCostTracker(graph, positions)
+        self._assert_matches_recompute(tracker, graph, positions)
+        positions[0] = (5.0, 5.0)
+        tracker.apply({0: (5.0, 5.0)})
+        self._assert_matches_recompute(tracker, graph, positions)
 
 
 class TestCostAndCorrelation:

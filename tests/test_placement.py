@@ -79,6 +79,75 @@ class TestPlacement:
         assert placement.occupied_cells() == {(0, 1): 5}
 
 
+class TestOccupiedIndex:
+    """The occupied-cells index is maintained incrementally and stays exact."""
+
+    def _assert_index_consistent(self, placement):
+        assert placement.occupied_cells() == {
+            cell: qubit for qubit, cell in placement.positions.items()
+        }
+
+    def test_occupant_lookup(self):
+        placement = Placement(width=3, height=3, positions={0: (0, 0), 1: (2, 1)})
+        assert placement.occupant((0, 0)) == 0
+        assert placement.occupant((2, 1)) == 1
+        assert placement.occupant((1, 1)) is None
+
+    def test_index_tracks_place_move_swap(self):
+        placement = Placement(width=4, height=4)
+        placement.place(0, (0, 0))
+        placement.place(1, (1, 1))
+        self._assert_index_consistent(placement)
+        placement.move(0, (2, 2))
+        assert placement.occupant((0, 0)) is None
+        assert placement.occupant((2, 2)) == 0
+        placement.move(1, (2, 2))  # swaps 0 and 1
+        assert placement.occupant((2, 2)) == 1
+        assert placement.occupant((1, 1)) == 0
+        placement.swap(0, 1)
+        self._assert_index_consistent(placement)
+
+    def test_replacing_a_qubit_frees_its_old_cell(self):
+        placement = Placement(width=3, height=3, positions={0: (0, 0)})
+        placement.place(0, (1, 1))
+        assert placement.occupant((0, 0)) is None
+        assert placement.occupant((1, 1)) == 0
+        self._assert_index_consistent(placement)
+
+    def test_move_to_own_cell_is_a_noop(self):
+        placement = Placement(width=3, height=3, positions={0: (1, 1)})
+        placement.move(0, (1, 1))
+        assert placement.occupant((1, 1)) == 0
+        self._assert_index_consistent(placement)
+
+    def test_occupied_cells_returns_a_copy(self):
+        placement = Placement(width=2, height=2, positions={0: (0, 0)})
+        view = placement.occupied_cells()
+        view[(1, 1)] = 99
+        assert placement.occupant((1, 1)) is None
+
+    def test_validate_resyncs_after_direct_mutation(self):
+        placement = Placement(width=3, height=3, positions={0: (0, 0)})
+        placement.positions[0] = (2, 2)  # direct mutation bypasses the index
+        placement.validate()
+        assert placement.occupant((2, 2)) == 0
+        assert placement.occupant((0, 0)) is None
+
+    def test_randomized_sequence_stays_consistent(self):
+        import random
+
+        rng = random.Random(0)
+        placement = Placement(
+            width=5, height=5, positions={q: (q // 5, q % 5) for q in range(12)}
+        )
+        for _ in range(200):
+            qubit = rng.randrange(12)
+            target = (rng.randrange(5), rng.randrange(5))
+            placement.move(qubit, target)
+        self._assert_index_consistent(placement)
+        placement.validate()
+
+
 class TestGridDimensions:
     def test_dimensions_hold_all_qubits(self):
         for count in (1, 5, 20, 53, 100):
