@@ -64,13 +64,21 @@ def mapping_area(placement: Placement) -> int:
 
 @dataclass(frozen=True)
 class EvaluationResult:
-    """Latency / area / volume of one circuit under one mapping."""
+    """Latency / area / volume of one circuit under one mapping.
+
+    ``stall_events`` is the legacy retry count, ``distinct_stalls`` /
+    ``wakeups`` the event-driven engine's counters — see
+    :class:`~repro.routing.simulator.SimulationResult` for the exact
+    semantics of the three.
+    """
 
     latency: int
     area: int
     stall_cycles: int
     stall_events: int
     braided_gates: int
+    distinct_stalls: int = 0
+    wakeups: int = 0
 
     @property
     def volume(self) -> int:
@@ -100,4 +108,6 @@ def evaluate_mapping(
         stall_cycles=result.stall_cycles,
         stall_events=result.stall_events,
         braided_gates=result.braided_gates,
+        distinct_stalls=result.distinct_stalls,
+        wakeups=result.wakeups,
     )

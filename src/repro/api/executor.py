@@ -171,8 +171,12 @@ class ExecutorStats:
     deduplication (identical request seen earlier in the plan);
     ``sim_cache_hits`` counts simulations answered from the per-worker
     :class:`~repro.routing.simulator.SimulationCache`; ``factory_builds`` /
-    ``factory_cache_hits`` count factory-circuit construction.  The
-    invariant ``requests == duplicate_hits + evaluations`` always holds.
+    ``factory_cache_hits`` count factory-circuit construction.
+    ``sim_stall_events`` (legacy retry count) / ``sim_distinct_stalls`` /
+    ``sim_wakeups`` aggregate the simulator's stall counters over every
+    evaluation — see :class:`~repro.routing.simulator.SimulationResult` for
+    their semantics.  The invariant
+    ``requests == duplicate_hits + evaluations`` always holds.
     """
 
     requests: int = 0
@@ -183,6 +187,9 @@ class ExecutorStats:
     sim_cache_hits: int = 0
     fd_sweeps: int = 0
     fd_moves_accepted: int = 0
+    sim_stall_events: int = 0
+    sim_distinct_stalls: int = 0
+    sim_wakeups: int = 0
     workers: int = 1
     wall_seconds: float = 0.0
 
@@ -194,6 +201,9 @@ class ExecutorStats:
         self.sim_cache_hits += delta.sim_cache_hits
         self.fd_sweeps += delta.fd_sweeps
         self.fd_moves_accepted += delta.fd_moves_accepted
+        self.sim_stall_events += delta.sim_stall_events
+        self.sim_distinct_stalls += delta.sim_distinct_stalls
+        self.sim_wakeups += delta.sim_wakeups
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-safe dict of every counter."""
@@ -206,6 +216,9 @@ class ExecutorStats:
             "sim_cache_hits": self.sim_cache_hits,
             "fd_sweeps": self.fd_sweeps,
             "fd_moves_accepted": self.fd_moves_accepted,
+            "sim_stall_events": self.sim_stall_events,
+            "sim_distinct_stalls": self.sim_distinct_stalls,
+            "sim_wakeups": self.sim_wakeups,
             "workers": self.workers,
             "wall_seconds": self.wall_seconds,
         }

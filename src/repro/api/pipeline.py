@@ -156,6 +156,13 @@ class PipelineStats:
     without re-simulating; ``fd_sweeps`` / ``fd_moves_accepted`` aggregate
     the force-directed annealer's :class:`~repro.mapping.force_directed.RefineStats`
     over every refinement the pipeline's mappers ran.
+
+    ``sim_stall_events`` / ``sim_distinct_stalls`` / ``sim_wakeups``
+    aggregate the simulator's stall counters (see
+    :class:`~repro.routing.simulator.SimulationResult`) over every
+    evaluation, cached or not — they describe the evaluated workloads, not
+    the simulation work this process performed, so the numbers are stable
+    across cache states and worker counts.
     """
 
     factory_builds: int = 0
@@ -164,6 +171,9 @@ class PipelineStats:
     sim_cache_hits: int = 0
     fd_sweeps: int = 0
     fd_moves_accepted: int = 0
+    sim_stall_events: int = 0
+    sim_distinct_stalls: int = 0
+    sim_wakeups: int = 0
 
     def snapshot(self) -> "PipelineStats":
         """An independent copy (used for before/after deltas)."""
@@ -291,6 +301,9 @@ class Pipeline:
 
         self.stats.sim_cache_hits += self.sim_cache.hits - hits_before
         self.stats.evaluations += 1
+        self.stats.sim_stall_events += evaluation.stall_events
+        self.stats.sim_distinct_stalls += evaluation.distinct_stalls
+        self.stats.sim_wakeups += evaluation.wakeups
         return FactoryEvaluation(
             method=request.method,
             capacity=request.capacity,

@@ -176,15 +176,27 @@ def build_parser() -> argparse.ArgumentParser:
 
 #: Experiments benchmarked by ``repro-msfu bench`` when none are named: the
 #: Fig. 7 scaling sweeps (the canonical parallel-execution workload), the
-#: single-level Table I block (a mapper-diverse, simulation-heavy sweep), and
+#: single-level Table I block (a mapper-diverse, simulation-heavy sweep),
 #: the force-directed mapper case (crossing counting + full exact-cost FD
-#: refinement on a factory-scale graph).
-DEFAULT_BENCH_EXPERIMENTS = ("fig7a", "fig7b", "table1-level1", "fd-mapper")
+#: refinement on a factory-scale graph) and the congestion-stress simulator
+#: case (bitmask/wakeup engine vs the set-based reference engine).
+DEFAULT_BENCH_EXPERIMENTS = (
+    "fig7a",
+    "fig7b",
+    "table1-level1",
+    "fd-mapper",
+    "sim-congestion",
+)
 
 #: Name of the special bench-only case handled by :func:`_bench_fd_mapper`
 #: (not a registered experiment: it times mapping-layer internals, not a
 #: paper artifact).
 FD_MAPPER_BENCH = "fd-mapper"
+
+#: Name of the special bench-only case handled by
+#: :func:`_bench_sim_congestion` (times routing-layer internals: the default
+#: simulation engine against the retained reference engine).
+SIM_CONGESTION_BENCH = "sim-congestion"
 
 #: Reduced ``--smoke`` parameter overrides per experiment, chosen so every
 #: entry completes in seconds.  Unknown experiments with a ``capacities``
@@ -339,6 +351,133 @@ def _bench_fd_mapper(args: argparse.Namespace) -> Dict[str, Any]:
     }
 
 
+def _bench_sim_congestion(args: argparse.Namespace) -> Dict[str, Any]:
+    """Benchmark the bitmask/wakeup simulation engine under congestion.
+
+    The scenario is a factory-scale mesh at high braid pressure (Section
+    VIII-A stall semantics): the two-level K=16 factory circuit under a
+    *random* placement — the congested geometry of the Fig. 6 study, where
+    braid corridors cross constantly — swept over ``max_candidates``, plus a
+    denser schedule that stitches rounds of random permutation braids (the
+    inter-round traffic the paper blames for the Fig. 7b gap) onto the same
+    mapping.  Under ``--smoke`` the single-level K=4 factory is used.
+
+    Each configuration is simulated with the default bitmask/wakeup engine
+    and with :func:`~repro.routing.simulator.simulate_reference` (wakeup
+    tracking disabled, so the oracle's cost profile is the pre-wakeup
+    engine's).  Results must agree field-for-field (``wakeups`` aside, which
+    the untracked oracle does not compute; the tier-1 parity suite pins it);
+    wall times are best-of-``repeats`` to damp single-sample noise.  The
+    headline ``speedup`` is total reference time over total engine time.
+    """
+    import random as random_module
+
+    from .routing import SimulatorConfig, simulate, simulate_reference
+    from .circuits.gates import cnot
+    from .mapping import random_circuit_placement
+
+    capacity, levels = (4, 1) if args.smoke else (16, 2)
+    seed = args.seed if args.seed is not None else 0
+    repeats = 1 if args.smoke else 3
+    started = time.perf_counter()
+    factory = default_pipeline().factory(capacity, levels)
+    placement = random_circuit_placement(factory.circuit, seed=seed)
+
+    # The denser stitched schedule: the factory rounds followed by rounds of
+    # random permutation braids over every placed qubit.
+    rng = random_module.Random(seed + 1)
+    placed = sorted(placement.positions)
+    permutation_gates = []
+    for _ in range(2):
+        rng.shuffle(placed)
+        permutation_gates.extend(
+            cnot(placed[i], placed[i + 1]) for i in range(0, len(placed) - 1, 2)
+        )
+    factory_gates = list(factory.circuit.gates)
+    stitched_gates = factory_gates + permutation_gates
+
+    cases = [("factory", factory_gates, mc) for mc in ((2,) if args.smoke else (2, 4, 8))]
+    if not args.smoke:
+        cases.append(("stitched-permutations", stitched_gates, 4))
+
+    def best_of(func):
+        best, result = float("inf"), None
+        for _ in range(repeats):
+            tick = time.perf_counter()
+            result = func()
+            best = min(best, time.perf_counter() - tick)
+        return best, result
+
+    records = []
+    mask_total = 0.0
+    reference_total = 0.0
+    for name, gates, max_candidates in cases:
+        config = SimulatorConfig(max_candidates=max_candidates)
+        mask_seconds, mask_result = best_of(
+            lambda: simulate(gates, placement, config)
+        )
+        reference_seconds, reference_result = best_of(
+            lambda: simulate_reference(
+                gates, placement, config, track_wakeups=False
+            )
+        )
+        mask_dict = mask_result.to_dict()
+        reference_dict = reference_result.to_dict()
+        # The untracked oracle reports wakeups=0 by construction; everything
+        # else must match byte for byte.
+        mask_wakeups = mask_dict.pop("wakeups")
+        reference_dict.pop("wakeups")
+        if mask_dict != reference_dict:
+            raise AssertionError(
+                f"sim-congestion: engines diverged on case {name} "
+                f"(max_candidates={max_candidates})"
+            )
+        mask_total += mask_seconds
+        reference_total += reference_seconds
+        records.append(
+            {
+                "case": name,
+                "max_candidates": max_candidates,
+                "gates": len(gates),
+                "mask_seconds": round(mask_seconds, 4),
+                "reference_seconds": round(reference_seconds, 4),
+                "speedup": round(reference_seconds / mask_seconds, 2)
+                if mask_seconds > 0
+                else None,
+                "latency": mask_result.latency,
+                "stall_cycles": mask_result.stall_cycles,
+                "stall_events": mask_result.stall_events,
+                "distinct_stalls": mask_result.distinct_stalls,
+                "wakeups": mask_wakeups,
+            }
+        )
+
+    return {
+        "experiment": SIM_CONGESTION_BENCH,
+        "params": {
+            "capacity": capacity,
+            "levels": levels,
+            "seed": seed,
+            "repeats": repeats,
+        },
+        "workers": 1,
+        "wall_seconds": round(time.perf_counter() - started, 4),
+        "sim_cycles": None,
+        "stall_cycles": None,
+        "evaluations": None,
+        "sim": {
+            "placement": "random (congested)",
+            "grid": [placement.height, placement.width],
+            "cases": records,
+            "mask_total_seconds": round(mask_total, 4),
+            "reference_total_seconds": round(reference_total, 4),
+            "speedup": round(reference_total / mask_total, 2)
+            if mask_total > 0
+            else None,
+        },
+    }
+
+
 def _bench_one(name: str, args: argparse.Namespace) -> Dict[str, Any]:
     """Benchmark one experiment and return its JSON-safe record."""
     spec = get_experiment(name)
@@ -379,6 +518,9 @@ def _bench_one(name: str, args: argparse.Namespace) -> Dict[str, Any]:
             "sim_cache_hits": delta.sim_cache_hits,
             "fd_sweeps": delta.fd_sweeps,
             "fd_moves_accepted": delta.fd_moves_accepted,
+            "sim_stall_events": delta.sim_stall_events,
+            "sim_distinct_stalls": delta.sim_distinct_stalls,
+            "sim_wakeups": delta.sim_wakeups,
             "workers": 1,
         }
     return record
@@ -390,7 +532,7 @@ def run_bench(args: argparse.Namespace) -> int:
     if args.workers < 1:
         print(f"bench: --workers must be >= 1, got {args.workers}", file=sys.stderr)
         return 2
-    known = set(available_experiments()) | {FD_MAPPER_BENCH}
+    known = set(available_experiments()) | {FD_MAPPER_BENCH, SIM_CONGESTION_BENCH}
     unknown = [name for name in names if name not in known]
     if unknown:
         print(
@@ -404,6 +546,8 @@ def run_bench(args: argparse.Namespace) -> int:
         print(f"[bench] {name} ...", file=sys.stderr)
         if name == FD_MAPPER_BENCH:
             record = _bench_fd_mapper(args)
+        elif name == SIM_CONGESTION_BENCH:
+            record = _bench_sim_congestion(args)
         else:
             record = _bench_one(name, args)
         print(

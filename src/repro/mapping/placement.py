@@ -95,11 +95,33 @@ class Placement:
             if (row, col) not in occupied
         ]
 
+    def fingerprint(self) -> Tuple[int, int, Tuple[Tuple[int, Cell], ...]]:
+        """Memoized hashable identity: ``(width, height, sorted positions)``.
+
+        Cache keys (e.g. :class:`~repro.routing.simulator.SimulationCache`)
+        probe with the same placement object many times per sweep; the
+        sorted-positions tuple is computed once and invalidated by the
+        mutation helpers (:meth:`place`, :meth:`swap`, :meth:`move`) and by
+        :meth:`validate`.  As with the occupied-cells index, code that
+        mutates ``positions`` directly must call :meth:`validate` to
+        resynchronise.
+        """
+        cached = self._fingerprint
+        if cached is None:
+            cached = (
+                self.width,
+                self.height,
+                tuple(sorted(self.positions.items())),
+            )
+            self._fingerprint = cached
+        return cached
+
     def validate(self) -> None:
         """Raise :class:`ValueError` if the placement is out of bounds or overlapping.
 
-        Also rebuilds the occupied-cells index from ``positions``, so callers
-        that mutated ``positions`` directly can resynchronise by validating.
+        Also rebuilds the occupied-cells index from ``positions`` and drops
+        the memoized :meth:`fingerprint`, so callers that mutated
+        ``positions`` directly can resynchronise by validating.
         """
         seen: Dict[Cell, int] = {}
         for qubit, cell in self.positions.items():
@@ -113,6 +135,9 @@ class Placement:
                 )
             seen[cell] = qubit
         self._occupied: Dict[Cell, int] = seen
+        self._fingerprint: Optional[Tuple[int, int, Tuple[Tuple[int, Cell], ...]]] = (
+            None
+        )
 
     # ------------------------------------------------------------------
     # Mutation helpers
@@ -129,6 +154,7 @@ class Placement:
             del self._occupied[previous]
         self.positions[qubit] = cell
         self._occupied[cell] = qubit
+        self._fingerprint = None
 
     def swap(self, qubit_a: int, qubit_b: int) -> None:
         """Swap the cells of two placed qubits."""
@@ -138,6 +164,7 @@ class Placement:
         self.positions[qubit_b] = cell_a
         self._occupied[cell_b] = qubit_a
         self._occupied[cell_a] = qubit_b
+        self._fingerprint = None
 
     def move(self, qubit: int, cell: Cell) -> None:
         """Move ``qubit`` to ``cell``; swaps with any current occupant."""
@@ -150,6 +177,7 @@ class Placement:
                 del self._occupied[previous]
             self.positions[qubit] = cell
             self._occupied[cell] = qubit
+            self._fingerprint = None
         else:
             self.swap(qubit, occupant)
 

@@ -17,7 +17,10 @@ schedules on it:
 * :func:`simulate` — the event-driven, cycle-accurate simulator: gates
   issue in program order as dependencies retire, braids lock their cells
   for the gate duration, blocked braids stall until a completion frees
-  cells;
+  cells.  The default engine keeps occupancy as an integer bitmask and
+  parks stalled braids on the cells that blocked them (wakeup on release);
+  :func:`simulate_reference` retains the set-based retry-every-event
+  oracle that the parity suite checks it against, byte for byte;
 * :class:`SimulationCache` / :func:`simulation_cache_key` — memoization of
   deterministic simulation results keyed by (circuit fingerprint,
   placement, simulator config), used by the evaluation pipeline so repeated
@@ -26,7 +29,7 @@ schedules on it:
 
 from .braid import BraidPath
 from .mesh import Cell, LatticeCell, Mesh, is_channel_cell, lattice_to_tile, tile_to_lattice
-from .router import BraidRouter, bfs_detour, rectilinear_candidates
+from .router import BraidRouter, bfs_detour, bfs_detour_mask, rectilinear_candidates
 from .simulator import (
     RoutingDeadlockError,
     SimulationCache,
@@ -35,6 +38,7 @@ from .simulator import (
     circuit_fingerprint,
     simulate,
     simulate_latency,
+    simulate_reference,
     simulation_cache_key,
 )
 
@@ -48,6 +52,7 @@ __all__ = [
     "tile_to_lattice",
     "BraidRouter",
     "bfs_detour",
+    "bfs_detour_mask",
     "rectilinear_candidates",
     "RoutingDeadlockError",
     "SimulationCache",
@@ -56,5 +61,6 @@ __all__ = [
     "circuit_fingerprint",
     "simulate",
     "simulate_latency",
+    "simulate_reference",
     "simulation_cache_key",
 ]

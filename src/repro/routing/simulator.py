@@ -17,8 +17,22 @@ Semantics reproduced from the paper's description:
   every target, occupying the union of those paths.
 
 The simulator is event driven: time jumps from one braid-completion event to
-the next, so the cost is proportional to the number of gates and stall
-retries rather than to the final cycle count.
+the next.  Two engines implement these semantics:
+
+* :func:`simulate` — the default **bitmask occupancy / event-driven wakeup**
+  engine.  Cell sets are packed into arbitrary-precision int bitmasks (see
+  :meth:`~repro.routing.mesh.Mesh.cell_index`), so "is this path free?" is
+  one integer AND against a single ``locked`` mask.  A braid that stalls is
+  *parked* on a watch set of cells that blocked its route candidates (one
+  blocker per candidate) and is only re-tried when a retiring braid frees
+  one of those cells, so the cost is proportional to the number of events
+  and wakeups rather than ``events x stalled gates x candidates``.
+* :func:`simulate_reference` — the retained set-based oracle: frozenset
+  occupancy, every stalled gate re-tried at every completion event.  The
+  two engines produce byte-identical :meth:`SimulationResult.to_dict`
+  output (pinned by the randomized parity suite); the oracle additionally
+  asserts the wakeup engine's parking invariant — a parked gate none of
+  whose recorded blockers was freed must still fail to route.
 """
 
 from __future__ import annotations
@@ -36,7 +50,7 @@ from ..circuits.dag import build_dependency_dag
 from ..circuits.gates import DEFAULT_DURATIONS, Gate, GateKind
 from ..mapping.placement import Placement
 from .braid import BraidPath
-from .mesh import Cell, LatticeCell, Mesh, tile_to_lattice
+from .mesh import Cell, LatticeCell, Mesh, popcount as _popcount, tile_to_lattice
 from .router import BraidRouter
 
 
@@ -81,7 +95,28 @@ class SimulatorConfig:
 
 @dataclass
 class SimulationResult:
-    """Outcome of simulating one circuit on one placement."""
+    """Outcome of simulating one circuit on one placement.
+
+    Stall accounting reports three counters:
+
+    ``stall_events``
+        The *legacy retry count*: how many failed route attempts the
+        retry-every-event reference engine performs — one per stalled gate
+        per completion event it stays stalled through.  Kept for
+        comparability with earlier BENCH records; the wakeup engine derives
+        the identical value from event indices without performing the
+        retries.
+    ``distinct_stalls``
+        How many gates stalled at least once (engine-independent).
+    ``wakeups``
+        How many times a parked gate was re-tried because a retiring braid
+        freed one of its recorded blocking cells.  This is the wakeup
+        engine's actual retry count; ``stall_events - wakeups`` failed
+        retries are the work the event-driven engine skips.
+        :func:`simulate_reference` reproduces the same number via shadow
+        accounting when ``track_wakeups`` is on (its default), and reports
+        0 when tracking is disabled for like-for-like timing.
+    """
 
     latency: int
     area: int
@@ -92,6 +127,8 @@ class SimulationResult:
     braided_gates: int
     max_concurrent_braids: int
     total_braid_cells: int
+    distinct_stalls: int = 0
+    wakeups: int = 0
 
     @property
     def volume(self) -> int:
@@ -105,6 +142,26 @@ class SimulationResult:
             return 0.0
         return self.total_braid_cells / self.braided_gates
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe dict of every field plus the derived volume metrics."""
+        data: Dict[str, object] = {
+            f.name: getattr(self, f.name) for f in dataclasses.fields(self)
+        }
+        data["gate_start"] = list(self.gate_start)
+        data["gate_end"] = list(self.gate_end)
+        data["volume"] = self.volume
+        data["average_braid_length"] = self.average_braid_length
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "SimulationResult":
+        """Inverse of :meth:`to_dict` (derived keys are ignored)."""
+        names = {f.name for f in dataclasses.fields(cls) if f.init}
+        payload = {key: value for key, value in data.items() if key in names}
+        payload["gate_start"] = [int(v) for v in payload.get("gate_start", [])]
+        payload["gate_end"] = [int(v) for v in payload.get("gate_end", [])]
+        return cls(**payload)  # type: ignore[arg-type]
+
 
 class RoutingDeadlockError(RuntimeError):
     """Raised when no ready braid can be routed and nothing is in flight."""
@@ -114,6 +171,53 @@ def _gate_list(circuit_or_gates) -> Tuple[Gate, ...]:
     if isinstance(circuit_or_gates, Circuit):
         return circuit_or_gates.gates
     return tuple(circuit_or_gates)
+
+
+def _prepare_simulation(
+    circuit_or_gates, placement: Placement, config: SimulatorConfig
+):
+    """Shared setup of both engines: validation, mesh, router, hops, DAG."""
+    gates = _gate_list(circuit_or_gates)
+    used_qubits: Set[int] = set()
+    for gate in gates:
+        used_qubits.update(gate.qubits)
+    missing = [q for q in used_qubits if q not in placement.positions]
+    if missing:
+        raise ValueError(
+            f"{len(missing)} qubits used by the circuit are not placed "
+            f"(first few: {sorted(missing)[:5]})"
+        )
+
+    mesh = Mesh.from_placement(
+        placement.positions, width=placement.width, height=placement.height
+    )
+    router = BraidRouter(
+        mesh,
+        allow_detour=config.allow_detour,
+        detour_slack=config.detour_slack,
+        max_candidates=config.max_candidates,
+    )
+    hop_cells: Dict[int, LatticeCell] = {
+        index: tile_to_lattice(cell) for index, cell in config.hops.items()
+    }
+    dag = build_dependency_dag(gates)
+    return gates, mesh, router, hop_cells, dag
+
+
+def _empty_result(placement: Placement) -> SimulationResult:
+    return SimulationResult(
+        latency=0,
+        area=placement.area,
+        gate_start=[],
+        gate_end=[],
+        stall_cycles=0,
+        stall_events=0,
+        braided_gates=0,
+        max_concurrent_braids=0,
+        total_braid_cells=0,
+        distinct_stalls=0,
+        wakeups=0,
+    )
 
 
 def simulate(
@@ -138,92 +242,105 @@ def simulate(
       start immediately;
     * a braided gate asks the :class:`~repro.routing.router.BraidRouter` for
       a path avoiding the cells locked by in-flight braids.  If no path
-      exists the gate **stalls** — it stays ready and is retried at the next
-      braid-completion event (with ``allow_detour`` the router may instead
-      accept a longer path through free channels, trading space for time;
-      see the router's stall-vs-detour notes);
+      exists the gate **stalls** until a braid completion frees a cell that
+      blocked it (with ``allow_detour`` the router may instead accept a
+      longer path through free channels, trading space for time; see the
+      router's stall-vs-detour notes);
     * a routed braid locks its cells for the gate's duration and releases
       them on completion.
 
-    Time jumps from one completion event to the next, so the cost is
-    proportional to the number of gates and stall retries rather than to the
-    final cycle count.  Stalled cycles (start minus ready time, summed over
-    gates) are reported as ``stall_cycles`` and charged to the mapping.
+    This default engine keeps occupancy as one integer bitmask (bit ``i`` =
+    lattice cell ``i``, see :meth:`~repro.routing.mesh.Mesh.cell_index`) and
+    is **event-driven all the way down**: a stalled gate is parked in a
+    cell -> waiters index keyed by its watch cells — one blocking cell per
+    route candidate (the full locked set after a failed BFS detour) — and
+    is re-tried only when a retiring braid frees one of those cells.
+    Parking is sound because routing failure is monotone in the locked
+    set: while every watch cell stays locked, each candidate still
+    intersects the locked set, so skipped retries could not have
+    succeeded.
+    Issue order within an event is program order (a min-heap on the gate
+    index), and time still jumps from one completion event to the next, so
+    the cost is proportional to events plus wakeups — not
+    ``events x stalled gates``.  Results are byte-identical to
+    :func:`simulate_reference`, which retains the retry-every-event
+    set-based loop as the verification oracle.
+
+    Stalled cycles (start minus ready time, summed over gates) are reported
+    as ``stall_cycles`` and charged to the mapping; see
+    :class:`SimulationResult` for the three stall counters.
 
     Raises :class:`RoutingDeadlockError` if ready braids cannot be routed on
     an otherwise idle mesh, and :class:`RuntimeError` past
     ``config.max_cycles``.
     """
     config = config or SimulatorConfig()
-    gates = _gate_list(circuit_or_gates)
     durations = config.durations
-
-    used_qubits: Set[int] = set()
-    for gate in gates:
-        used_qubits.update(gate.qubits)
-    missing = [q for q in used_qubits if q not in placement.positions]
-    if missing:
-        raise ValueError(
-            f"{len(missing)} qubits used by the circuit are not placed "
-            f"(first few: {sorted(missing)[:5]})"
-        )
-
-    mesh = Mesh.from_placement(
-        placement.positions, width=placement.width, height=placement.height
+    gates, mesh, router, hop_cells, dag = _prepare_simulation(
+        circuit_or_gates, placement, config
     )
-    router = BraidRouter(
-        mesh,
-        allow_detour=config.allow_detour,
-        detour_slack=config.detour_slack,
-        max_candidates=config.max_candidates,
-    )
-    hop_cells: Dict[int, LatticeCell] = {
-        index: tile_to_lattice(cell) for index, cell in config.hops.items()
-    }
-
-    dag = build_dependency_dag(gates)
     n = len(gates)
     if n == 0:
-        return SimulationResult(
-            latency=0,
-            area=placement.area,
-            gate_start=[],
-            gate_end=[],
-            stall_cycles=0,
-            stall_events=0,
-            braided_gates=0,
-            max_concurrent_braids=0,
-            total_braid_cells=0,
-        )
+        return _empty_result(placement)
 
     remaining_preds = [len(p) for p in dag.predecessors]
     ready_time = [0] * n
-    ready: List[int] = [i for i in range(n) if remaining_preds[i] == 0]
-    ready.sort()
-
     gate_start: List[int] = [-1] * n
     gate_end: List[int] = [-1] * n
-    locked: Set[LatticeCell] = set()
-    active: List[Tuple[int, int, FrozenSet[LatticeCell]]] = []
+
+    # Per-gate lookups hoisted out of the attempt loop: durations and gate
+    # kinds are immutable, and enum/dict probes per retry are measurable on
+    # congested runs.
+    gate_durations = [gate.duration(durations) for gate in gates]
+    gate_braided = [gate.is_braided for gate in gates]
+    route_pair = router.route_pair_masked
+    route_star = router.route_star_masked
+    # Plain pair braids (no hop, no detour) are the overwhelming majority of
+    # retries, so their candidate masks are cached per gate index and the
+    # accept test is unrolled inline — a stalled gate's retry is then a few
+    # integer ANDs with no method or dict-lookup overhead.  Stars, hop
+    # routes and detour fallbacks keep going through the router.
+    simple_pair = [
+        gate.is_braided
+        and gate.kind is not GateKind.CXX
+        and index not in hop_cells
+        and not config.allow_detour
+        for index, gate in enumerate(gates)
+    ]
+    pair_masks: List[Optional[Tuple[int, ...]]] = [None] * n
+
+    locked_mask = 0
+    active: List[Tuple[int, int, int]] = []  # (end time, gate index, cell mask)
     now = 0
     completed = 0
     stall_events = 0
+    distinct_stalls = 0
+    wakeups = 0
     total_braid_cells = 0
     braided_gates = 0
     concurrent_braids = 0
     max_concurrent_braids = 0
 
-    def try_route(index: int, gate: Gate) -> Optional[BraidPath]:
-        """Attempt to route the braid of ``gate`` avoiding locked cells.
+    # Wakeup machinery.  ``scan`` counts completion-event iterations (the
+    # reference engine's retry rounds); a gate that first stalled at scan s
+    # and issues at scan t would have failed t - s reference retries, which
+    # is how the legacy ``stall_events`` count is derived without performing
+    # them.  ``blocker_mask[i]`` is nonzero exactly while gate i is parked;
+    # ``waiters`` maps a cell index to the gates parked on it (entries are
+    # lazily discarded when the recorded mask no longer claims the cell).
+    scan = 0
+    first_stall_scan = [-1] * n
+    blocker_mask = [0] * n
+    parked_count = 0
+    waiters: Dict[int, List[int]] = {}
+    # OR of every cell with at least one registered waiter: a retiring braid
+    # whose mask misses it wakes nobody and costs a single AND — only the
+    # intersecting bits are ever decomposed.
+    waited_mask = 0
 
-        The live ``locked`` set is passed to the router directly (it only
-        reads it); copying it into a frozenset per attempt used to dominate
-        retry cost on congested meshes.
-        """
-        if gate.kind is GateKind.CXX:
-            return router.route_star(gate.qubits[0], gate.qubits[1:], locked)
-        hop = hop_cells.get(index)
-        return router.route_pair(gate.qubits[0], gate.qubits[1], locked, hop=hop)
+    # Gates to attempt at the current event, popped in program order.
+    attempt: List[int] = [i for i in range(n) if remaining_preds[i] == 0]
+    heapq.heapify(attempt)
 
     while completed < n:
         if now > config.max_cycles:
@@ -231,56 +348,110 @@ def simulate(
                 f"simulation exceeded max_cycles={config.max_cycles}"
             )
         # ------------------------------------------------------------------
-        # Start every ready gate we can at the current time, in program order.
+        # Attempt every newly ready or woken gate, in program order.
         # ------------------------------------------------------------------
-        still_ready: List[int] = []
-        for index in ready:
-            gate = gates[index]
-            duration = gate.duration(durations)
-            if gate.is_braided:
-                path = try_route(index, gate)
-                if path is None:
-                    stall_events += 1
-                    still_ready.append(index)
+        while attempt:
+            index = heapq.heappop(attempt)
+            if gate_braided[index]:
+                qubits = gates[index].qubits
+                if simple_pair[index]:
+                    masks = pair_masks[index]
+                    if masks is None:
+                        masks, _ = router._mask_plan(
+                            mesh.qubit_cell(qubits[0]), mesh.qubit_cell(qubits[1])
+                        )
+                        pair_masks[index] = masks
+                    if not locked_mask:
+                        routed, mask = True, masks[0]
+                    else:
+                        routed = False
+                        mask = 0
+                        for candidate in masks:
+                            hit = candidate & locked_mask
+                            if not hit:
+                                routed, mask = True, candidate
+                                break
+                            mask |= hit & -hit
+                elif gates[index].kind is GateKind.CXX:
+                    routed, mask = route_star(qubits[0], qubits[1:], locked_mask)
+                else:
+                    routed, mask = route_pair(
+                        qubits[0],
+                        qubits[1],
+                        locked_mask,
+                        hop=hop_cells.get(index) if hop_cells else None,
+                    )
+                if not routed:
+                    # Park the gate on its watch cells (one blocker per
+                    # blocked candidate); it is re-tried only when one of
+                    # them is freed.
+                    if first_stall_scan[index] < 0:
+                        first_stall_scan[index] = scan
+                        distinct_stalls += 1
+                    blocker_mask[index] = mask
+                    parked_count += 1
+                    waited_mask |= mask
+                    bits = mask
+                    while bits:
+                        low = bits & -bits
+                        bits ^= low
+                        waiters.setdefault(low.bit_length() - 1, []).append(index)
                     continue
-                locked.update(path.cells)
-                total_braid_cells += path.length
+                locked_mask |= mask
+                total_braid_cells += _popcount(mask)
                 braided_gates += 1
                 concurrent_braids += 1
-                max_concurrent_braids = max(max_concurrent_braids, concurrent_braids)
-                cells: FrozenSet[LatticeCell] = path.cells
+                if concurrent_braids > max_concurrent_braids:
+                    max_concurrent_braids = concurrent_braids
             else:
-                cells = frozenset()
+                mask = 0
+            if first_stall_scan[index] >= 0:
+                # The reference engine would have re-tried (and failed) this
+                # gate at every event since its first stall.
+                stall_events += scan - first_stall_scan[index]
+            duration = gate_durations[index]
             gate_start[index] = now
             gate_end[index] = now + duration
-            heapq.heappush(active, (now + duration, index, cells))
-        ready = still_ready
+            heapq.heappush(active, (now + duration, index, mask))
 
-        if completed + len(active) == n and not active:
-            break
         if not active:
-            if ready:
+            if parked_count:
                 raise RoutingDeadlockError(
-                    f"{len(ready)} gates cannot be routed on an otherwise idle mesh"
+                    f"{parked_count} gates cannot be routed on an otherwise idle mesh"
                 )
             break
 
         # ------------------------------------------------------------------
-        # Advance to the next completion event and retire everything there.
+        # Advance to the next completion event, retire everything there, and
+        # wake the gates parked on the freed cells.
         # ------------------------------------------------------------------
         now = active[0][0]
+        scan += 1
         while active and active[0][0] == now:
-            _, index, cells = heapq.heappop(active)
-            if cells:
-                locked.difference_update(cells)
+            _, index, mask = heapq.heappop(active)
+            if mask:
+                locked_mask &= ~mask
                 concurrent_braids -= 1
+                bits = mask & waited_mask
+                while bits:
+                    low = bits & -bits
+                    bits ^= low
+                    waited_mask ^= low
+                    queue = waiters.pop(low.bit_length() - 1, None)
+                    if queue:
+                        for waiter in queue:
+                            if blocker_mask[waiter] & low:
+                                blocker_mask[waiter] = 0
+                                parked_count -= 1
+                                wakeups += 1
+                                heapq.heappush(attempt, waiter)
             completed += 1
             for successor in dag.successors[index]:
                 remaining_preds[successor] -= 1
-                ready_time[successor] = max(ready_time[successor], now)
+                if ready_time[successor] < now:
+                    ready_time[successor] = now
                 if remaining_preds[successor] == 0:
-                    ready.append(successor)
-        ready.sort()
+                    heapq.heappush(attempt, successor)
 
     latency = max(gate_end) if gate_end else 0
     stall_cycles = sum(
@@ -298,6 +469,201 @@ def simulate(
         braided_gates=braided_gates,
         max_concurrent_braids=max_concurrent_braids,
         total_braid_cells=total_braid_cells,
+        distinct_stalls=distinct_stalls,
+        wakeups=wakeups,
+    )
+
+
+def simulate_reference(
+    circuit_or_gates,
+    placement: Placement,
+    config: Optional[SimulatorConfig] = None,
+    track_wakeups: bool = True,
+) -> SimulationResult:
+    """The retained set-based oracle engine (PR 2/3 semantics).
+
+    Occupancy is a plain set of lattice cells and every stalled gate is
+    re-tried at every completion event — the straightforward transcription
+    of the paper's semantics that :func:`simulate` must match byte for
+    byte.  Use it to verify the default engine (the randomized parity suite
+    does) or to time the pre-wakeup behaviour.
+
+    With ``track_wakeups`` (the default) the oracle additionally runs
+    *shadow parking accounting*: on each failed route it records the same
+    blocker set the wakeup engine would park on (via the router's masked
+    methods) and counts a wakeup whenever a retired braid frees one of the
+    recorded cells, reproducing the wakeup engine's ``wakeups`` counter
+    exactly.  Two invariants are asserted along the way — a retry that
+    succeeds must coincide with a shadow wakeup (else the wakeup engine
+    would have missed it), and the masked router must agree with the
+    set-based router on every failure — so a divergence in the parking
+    logic fails loudly here rather than silently skewing results.  Pass
+    ``track_wakeups=False`` for like-for-like timing of the old engine
+    (the result then reports ``wakeups=0``).
+    """
+    config = config or SimulatorConfig()
+    durations = config.durations
+    gates, mesh, router, hop_cells, dag = _prepare_simulation(
+        circuit_or_gates, placement, config
+    )
+    n = len(gates)
+    if n == 0:
+        return _empty_result(placement)
+
+    remaining_preds = [len(p) for p in dag.predecessors]
+    ready_time = [0] * n
+    ready: List[int] = [i for i in range(n) if remaining_preds[i] == 0]
+    ready.sort()
+
+    gate_start: List[int] = [-1] * n
+    gate_end: List[int] = [-1] * n
+    locked: Set[LatticeCell] = set()
+    active: List[Tuple[int, int, FrozenSet[LatticeCell]]] = []
+    now = 0
+    completed = 0
+    stall_events = 0
+    stalled_ever: Set[int] = set()
+    wakeups = 0
+
+    # Shadow parking state (track_wakeups only): the blocker mask the wakeup
+    # engine would have parked each stalled gate on, and the gates whose
+    # recorded blockers intersected the cells freed at the current event.
+    locked_mask = 0
+    shadow: Dict[int, int] = {}
+    woken: Set[int] = set()
+
+    total_braid_cells = 0
+    braided_gates = 0
+    concurrent_braids = 0
+    max_concurrent_braids = 0
+
+    def try_route(index: int, gate: Gate) -> Optional[BraidPath]:
+        """Attempt to route the braid of ``gate`` avoiding locked cells.
+
+        The live ``locked`` set is passed to the router directly (it only
+        reads it); copying it into a frozenset per attempt used to dominate
+        retry cost on congested meshes.
+        """
+        if gate.kind is GateKind.CXX:
+            return router.route_star(gate.qubits[0], gate.qubits[1:], locked)
+        hop = hop_cells.get(index)
+        return router.route_pair(gate.qubits[0], gate.qubits[1], locked, hop=hop)
+
+    def shadow_blockers(index: int, gate: Gate) -> int:
+        """The watch mask the wakeup engine would park this gate on."""
+        if gate.kind is GateKind.CXX:
+            routed, mask = router.route_star_masked(
+                gate.qubits[0], gate.qubits[1:], locked_mask
+            )
+        else:
+            routed, mask = router.route_pair_masked(
+                gate.qubits[0], gate.qubits[1], locked_mask, hop=hop_cells.get(index)
+            )
+        if routed:
+            raise AssertionError(
+                f"engine divergence: the masked router routed gate {index} "
+                "that the set-based router stalled"
+            )
+        return mask
+
+    while completed < n:
+        if now > config.max_cycles:
+            raise RuntimeError(
+                f"simulation exceeded max_cycles={config.max_cycles}"
+            )
+        # ------------------------------------------------------------------
+        # Start every ready gate we can at the current time, in program order.
+        # ------------------------------------------------------------------
+        still_ready: List[int] = []
+        for index in ready:
+            gate = gates[index]
+            duration = gate.duration(durations)
+            if gate.is_braided:
+                path = try_route(index, gate)
+                if path is None:
+                    stall_events += 1
+                    stalled_ever.add(index)
+                    if track_wakeups and (index not in shadow or index in woken):
+                        # First stall, or a woken retry that failed again:
+                        # the wakeup engine would (re-)park here.  A parked
+                        # gate that was not woken keeps its recorded
+                        # blockers, exactly like the wakeup engine.
+                        shadow[index] = shadow_blockers(index, gate)
+                    still_ready.append(index)
+                    continue
+                if track_wakeups:
+                    if index in shadow and index not in woken:
+                        raise AssertionError(
+                            f"wakeup invariant violated: gate {index} routed "
+                            "although none of its recorded blockers was freed"
+                        )
+                    shadow.pop(index, None)
+                    locked_mask |= mesh.cells_mask(path.cells)
+                locked.update(path.cells)
+                total_braid_cells += path.length
+                braided_gates += 1
+                concurrent_braids += 1
+                max_concurrent_braids = max(max_concurrent_braids, concurrent_braids)
+                cells: FrozenSet[LatticeCell] = path.cells
+            else:
+                cells = frozenset()
+            gate_start[index] = now
+            gate_end[index] = now + duration
+            heapq.heappush(active, (now + duration, index, cells))
+        ready = still_ready
+        woken.clear()
+
+        if not active:
+            if ready:
+                raise RoutingDeadlockError(
+                    f"{len(ready)} gates cannot be routed on an otherwise idle mesh"
+                )
+            break
+
+        # ------------------------------------------------------------------
+        # Advance to the next completion event and retire everything there.
+        # ------------------------------------------------------------------
+        now = active[0][0]
+        freed_mask = 0
+        while active and active[0][0] == now:
+            _, index, cells = heapq.heappop(active)
+            if cells:
+                locked.difference_update(cells)
+                concurrent_braids -= 1
+                if track_wakeups:
+                    freed_mask |= mesh.cells_mask(cells)
+            completed += 1
+            for successor in dag.successors[index]:
+                remaining_preds[successor] -= 1
+                ready_time[successor] = max(ready_time[successor], now)
+                if remaining_preds[successor] == 0:
+                    ready.append(successor)
+        ready.sort()
+        if track_wakeups and freed_mask:
+            locked_mask &= ~freed_mask
+            for index, blockers in shadow.items():
+                if blockers & freed_mask:
+                    woken.add(index)
+            wakeups += len(woken)
+
+    latency = max(gate_end) if gate_end else 0
+    stall_cycles = sum(
+        max(0, start - ready_at)
+        for start, ready_at in zip(gate_start, ready_time)
+        if start >= 0
+    )
+    return SimulationResult(
+        latency=latency,
+        area=placement.area,
+        gate_start=gate_start,
+        gate_end=gate_end,
+        stall_cycles=stall_cycles,
+        stall_events=stall_events,
+        braided_gates=braided_gates,
+        max_concurrent_braids=max_concurrent_braids,
+        total_braid_cells=total_braid_cells,
+        distinct_stalls=len(stalled_ever),
+        wakeups=wakeups,
     )
 
 
@@ -352,11 +718,15 @@ def circuit_fingerprint(circuit_or_gates) -> str:
 
 
 def _placement_key(placement: Placement) -> Tuple:
-    return (
-        placement.width,
-        placement.height,
-        tuple(sorted(placement.positions.items())),
-    )
+    """Hashable placement identity for cache keys.
+
+    Delegates to :meth:`~repro.mapping.placement.Placement.fingerprint`,
+    which memoizes the sorted-positions tuple on the placement itself —
+    hot sweeps probe the :class:`SimulationCache` with the same placement
+    object many times, and re-sorting ``positions.items()`` per probe was
+    O(n log n) pure overhead.
+    """
+    return placement.fingerprint()
 
 
 def _config_key(config: SimulatorConfig) -> Tuple:

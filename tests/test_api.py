@@ -338,3 +338,53 @@ class TestCliJson:
             parser.parse_args(["run", "fig7a", "--num-mappings", "4"])
         args = parser.parse_args(["run", "fig6", "--num-mappings", "4"])
         assert args.num_mappings == 4
+
+
+class TestSimStallStats:
+    """Pipeline/executor aggregation of the simulator's stall counters."""
+
+    def test_pipeline_aggregates_sim_counters(self):
+        from repro.api import EvaluationRequest, Pipeline
+
+        pipeline = Pipeline()
+        request = EvaluationRequest(method="random", capacity=4)
+        pipeline.evaluate(request)
+        stats = pipeline.stats
+        # The random mapping of a K=4 factory stalls; whatever the exact
+        # values, the three counters must satisfy the engine relations.
+        assert stats.sim_distinct_stalls > 0
+        assert stats.sim_wakeups <= stats.sim_stall_events
+        before = stats.snapshot()
+        # A cached re-evaluation reports the same workload counters again.
+        pipeline.evaluate(request)
+        delta = pipeline.stats.delta(before)
+        assert delta.sim_cache_hits == 1
+        assert delta.sim_stall_events == before.sim_stall_events
+        assert delta.sim_distinct_stalls == before.sim_distinct_stalls
+        assert delta.sim_wakeups == before.sim_wakeups
+
+    def test_executor_stats_round_trip_sim_counters(self):
+        from repro.api import SweepExecutor, SweepPlan
+
+        plan = SweepPlan.from_grid(methods=("random",), capacities=(4,))
+        result = SweepExecutor(workers=1).run(plan)
+        stats = result.stats.to_dict()
+        assert stats["sim_distinct_stalls"] > 0
+        assert stats["sim_wakeups"] <= stats["sim_stall_events"]
+
+    def test_evaluation_result_carries_counters(self):
+        from repro.analysis.volume import evaluate_mapping
+        from repro.circuits import cnot
+        from repro.routing import SimulatorConfig
+
+        placement = Placement(
+            width=6,
+            height=1,
+            positions={0: (0, 0), 1: (0, 3), 2: (0, 1), 3: (0, 4)},
+        )
+        evaluation = evaluate_mapping(
+            [cnot(0, 1), cnot(2, 3)], placement, SimulatorConfig(max_candidates=1)
+        )
+        assert evaluation.stall_events == 1
+        assert evaluation.distinct_stalls == 1
+        assert evaluation.wakeups == 1

@@ -381,3 +381,38 @@ class TestBenchCommand:
         assert entry["workers"] == 2
         assert entry["cache"]["workers"] == 2
         assert entry["cache"]["requests"] == entry["evaluations"]
+
+
+class TestSimCongestionBench:
+    def test_bench_smoke_sim_congestion(self, tmp_path):
+        """The sim-congestion case emits engine-vs-reference timings."""
+        from repro.cli import main
+
+        output = tmp_path / "BENCH_sim.json"
+        code = main(
+            [
+                "bench",
+                "--smoke",
+                "--experiments",
+                "sim-congestion",
+                "--output",
+                str(output),
+            ]
+        )
+        assert code == 0
+        record = json.loads(output.read_text())
+        [entry] = record["experiments"]
+        assert entry["experiment"] == "sim-congestion"
+        sim = entry["sim"]
+        assert sim["cases"], "at least one congestion case must run"
+        for case in sim["cases"]:
+            assert case["mask_seconds"] >= 0
+            assert case["reference_seconds"] >= 0
+            assert case["stall_events"] >= case["wakeups"] >= 0
+        assert sim["mask_total_seconds"] > 0
+        assert sim["reference_total_seconds"] > 0
+
+    def test_bench_default_experiments_include_sim_congestion(self):
+        from repro.cli import DEFAULT_BENCH_EXPERIMENTS, SIM_CONGESTION_BENCH
+
+        assert SIM_CONGESTION_BENCH in DEFAULT_BENCH_EXPERIMENTS

@@ -202,3 +202,45 @@ class TestPackPlacements:
     def test_pack_requires_blocks(self):
         with pytest.raises(ValueError):
             pack_placements([])
+
+
+class TestFingerprint:
+    """The memoized placement fingerprint used by simulation cache keys."""
+
+    def test_content_and_identity(self):
+        placement = Placement(width=3, height=2, positions={1: (0, 2), 0: (1, 1)})
+        fp = placement.fingerprint()
+        assert fp == (3, 2, ((0, (1, 1)), (1, (0, 2))))
+        # Memoized: repeated probes return the identical tuple object.
+        assert placement.fingerprint() is fp
+
+    def test_invalidated_by_place(self):
+        placement = Placement(width=3, height=2, positions={0: (0, 0)})
+        before = placement.fingerprint()
+        placement.place(1, (1, 1))
+        after = placement.fingerprint()
+        assert after != before
+        assert after == (3, 2, ((0, (0, 0)), (1, (1, 1))))
+
+    def test_invalidated_by_swap_and_move(self):
+        placement = Placement(
+            width=3, height=2, positions={0: (0, 0), 1: (0, 1)}
+        )
+        placement.fingerprint()
+        placement.swap(0, 1)
+        assert placement.fingerprint()[2] == ((0, (0, 1)), (1, (0, 0)))
+        placement.move(0, (1, 2))
+        assert placement.fingerprint()[2] == ((0, (1, 2)), (1, (0, 0)))
+
+    def test_direct_mutation_resynced_by_validate(self):
+        placement = Placement(width=3, height=2, positions={0: (0, 0)})
+        placement.fingerprint()
+        placement.positions[0] = (1, 1)  # bypasses the mutation helpers
+        placement.validate()
+        assert placement.fingerprint()[2] == ((0, (1, 1)),)
+
+    def test_copy_has_independent_fingerprint(self):
+        placement = Placement(width=3, height=2, positions={0: (0, 0)})
+        clone = placement.copy()
+        clone.place(0, (1, 1))
+        assert placement.fingerprint() != clone.fingerprint()

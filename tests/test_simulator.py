@@ -14,7 +14,14 @@ from repro.circuits import (
 )
 from repro.circuits.gates import DEFAULT_DURATIONS, GateKind
 from repro.mapping import Placement, linear_factory_placement, random_circuit_placement
-from repro.routing import SimulatorConfig, simulate, simulate_latency
+from repro.routing import (
+    BraidRouter,
+    RoutingDeadlockError,
+    SimulatorConfig,
+    simulate,
+    simulate_latency,
+    simulate_reference,
+)
 
 
 def line_placement(num_qubits, width=None):
@@ -147,6 +154,144 @@ class TestGateKinds:
             [cnot(0, 1)], placement, SimulatorConfig(hops={0: (5, 2)})
         )
         assert via_hop.total_braid_cells > direct.total_braid_cells
+
+
+class TestStallCounters:
+    """Pinned reference-engine stall accounting (see SimulationResult docs).
+
+    ``stall_events`` is the legacy retry count (one per stalled gate per
+    completion event), ``distinct_stalls`` counts gates that ever stalled,
+    ``wakeups`` counts parked-gate retries triggered by a freed blocker.
+    The literals below were produced by ``simulate_reference`` and pin the
+    semantics for both engines.
+    """
+
+    def crossing_case(self):
+        placement = Placement(
+            width=6,
+            height=1,
+            positions={0: (0, 0), 1: (0, 3), 2: (0, 1), 3: (0, 4)},
+        )
+        return [cnot(0, 1), cnot(2, 3)], placement, SimulatorConfig(max_candidates=1)
+
+    def test_crossing_braids_pinned_counters(self):
+        gates, placement, config = self.crossing_case()
+        for engine in (simulate, simulate_reference):
+            result = engine(gates, placement, config)
+            assert result.stall_events == 1
+            assert result.distinct_stalls == 1
+            assert result.wakeups == 1
+            assert result.stall_cycles == 2
+
+    def test_factory_random_placement_pinned_counters(self, single_level_k8):
+        placement = random_circuit_placement(single_level_k8.circuit, seed=1)
+        config = SimulatorConfig(max_candidates=2)
+        for engine in (simulate, simulate_reference):
+            result = engine(single_level_k8.circuit, placement, config)
+            assert result.stall_events == 63
+            assert result.distinct_stalls == 20
+            assert result.wakeups == 49
+            assert result.stall_cycles == 126
+            assert result.latency == 74
+
+    def test_counter_relations(self, single_level_k8):
+        placement = random_circuit_placement(single_level_k8.circuit, seed=2)
+        result = simulate(single_level_k8.circuit, placement)
+        # Every stalled gate stalls at least once; every wakeup retries a
+        # previously stalled gate, and a gate is woken at most once per
+        # completion event, so wakeups never exceed the legacy retry count.
+        assert 0 < result.distinct_stalls <= result.stall_events
+        assert result.distinct_stalls <= result.wakeups <= result.stall_events
+
+    def test_unstalled_run_reports_zero(self):
+        placement = Placement(
+            width=8,
+            height=3,
+            positions={0: (0, 0), 1: (0, 7), 2: (2, 0), 3: (2, 7)},
+        )
+        result = simulate([cnot(0, 1), cnot(2, 3)], placement)
+        assert result.stall_events == 0
+        assert result.distinct_stalls == 0
+        assert result.wakeups == 0
+
+    def test_empty_circuit_counters(self):
+        result = simulate([], line_placement(1))
+        assert result.stall_events == 0
+        assert result.distinct_stalls == 0
+        assert result.wakeups == 0
+
+
+class TestRoutingDeadlock:
+    """The deadlock path: ready braids, idle mesh, no route.
+
+    The real router always finds a route on an idle mesh (rectilinear
+    candidates exist for every pair), so the error is exercised with a
+    router that can never route — both engines must diagnose the same
+    deadlock rather than spinning.
+    """
+
+    #: The wakeup engine handles plain pairs inline; routing through the
+    #: (monkeypatched) router requires a config whose gates take the router
+    #: path, which ``allow_detour`` guarantees.
+    ROUTER_PATH_CONFIG = SimulatorConfig(allow_detour=True)
+
+    def _break_router(self, monkeypatch):
+        monkeypatch.setattr(
+            BraidRouter, "route_pair", lambda self, a, b, locked, hop=None: None
+        )
+        monkeypatch.setattr(
+            BraidRouter,
+            "route_pair_masked",
+            lambda self, a, b, locked_mask, hop=None: (False, 0),
+        )
+
+    def test_wakeup_engine_raises(self, monkeypatch):
+        self._break_router(monkeypatch)
+        with pytest.raises(RoutingDeadlockError, match="1 gates cannot be routed"):
+            simulate([cnot(0, 1)], line_placement(2), self.ROUTER_PATH_CONFIG)
+
+    def test_reference_engine_raises(self, monkeypatch):
+        self._break_router(monkeypatch)
+        with pytest.raises(RoutingDeadlockError, match="1 gates cannot be routed"):
+            simulate_reference(
+                [cnot(0, 1)], line_placement(2), track_wakeups=False
+            )
+
+    def test_deadlock_waits_for_inflight_braids(self, monkeypatch):
+        # With a braid already in flight the stalled gate is not a deadlock
+        # yet; the error fires once the mesh is idle and it still cannot
+        # route.
+        calls = {"n": 0}
+
+        def flaky_pair(self, a, b, locked, hop=None):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                return original(self, a, b, locked, hop=hop)
+            return None
+
+        original = BraidRouter.route_pair
+        original_masked = BraidRouter.route_pair_masked
+        monkeypatch.setattr(BraidRouter, "route_pair", flaky_pair)
+        with pytest.raises(RoutingDeadlockError):
+            simulate_reference(
+                [cnot(0, 1), cnot(2, 3)], line_placement(4), track_wakeups=False
+            )
+
+        calls["n"] = 0
+
+        def flaky_masked(self, a, b, locked_mask, hop=None):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                return original_masked(self, a, b, locked_mask, hop=hop)
+            return False, 0
+
+        monkeypatch.setattr(BraidRouter, "route_pair_masked", flaky_masked)
+        with pytest.raises(RoutingDeadlockError):
+            simulate(
+                [cnot(0, 1), cnot(2, 3)],
+                line_placement(4),
+                self.ROUTER_PATH_CONFIG,
+            )
 
 
 class TestResultFields:
