@@ -1,0 +1,91 @@
+"""Benchmark: resumable sweeps against the persistent result store.
+
+The contract checked here mirrors the executor benchmark: attaching a
+store never changes results (byte-identical serialized output), and a
+*resumed* run of an already-stored plan answers every point from disk —
+no factory builds, no simulation — which must be dramatically cheaper
+than computing the sweep.
+"""
+
+from __future__ import annotations
+
+import json
+
+from conftest import run_once, single_level_capacities
+from repro.api import ResultStore, SweepExecutor, SweepPlan
+
+STORE_METHODS = ("force_directed", "graph_partition")
+
+
+def store_plan() -> SweepPlan:
+    return SweepPlan.from_grid(
+        methods=STORE_METHODS, capacities=single_level_capacities(), levels=1
+    )
+
+
+def test_bench_cold_sweep_with_store(benchmark, tmp_path):
+    """Timing baseline: the full plan computed once, persisting every point."""
+    store = ResultStore(tmp_path / "store")
+    result = run_once(
+        benchmark, SweepExecutor(workers=1, store=store).run, store_plan()
+    )
+    assert len(result.evaluations) == len(store_plan())
+    assert len(store) == len(store_plan())
+
+
+def test_bench_resumed_sweep_is_store_served(benchmark, tmp_path):
+    """A resumed run of a fully stored plan does zero evaluation work."""
+    plan = store_plan()
+    store = ResultStore(tmp_path / "store")
+    SweepExecutor(workers=1, store=store).run(plan)
+
+    result = run_once(
+        benchmark,
+        SweepExecutor(workers=1, store=store).run,
+        plan,
+        resume=True,
+    )
+    stats = result.stats
+    assert stats.store_hits == len(plan)
+    assert stats.evaluations == 0
+    assert stats.factory_builds == 0
+    assert stats.sim_cache_hits == 0
+
+
+def test_store_never_changes_results(tmp_path):
+    """Cold, store-backed, and resumed runs serialize byte-identically."""
+    plan = store_plan()
+    reference = json.dumps(
+        SweepExecutor(workers=1).run(plan).to_dict(), sort_keys=True
+    )
+    store = ResultStore(tmp_path / "store")
+    cold = SweepExecutor(workers=1, store=store).run(plan, resume=True)
+    resumed = SweepExecutor(workers=1, store=store).run(plan, resume=True)
+    assert json.dumps(cold.to_dict(), sort_keys=True) == reference
+    assert json.dumps(resumed.to_dict(), sort_keys=True) == reference
+
+
+def test_resumed_run_is_much_faster_than_cold(tmp_path):
+    """The point of persistence: resuming a stored sweep is nearly free.
+
+    The cold run simulates every point (seconds); the resumed run reads a
+    handful of JSON files.  A 5x margin keeps this robust on slow CI disks
+    while still catching an accidentally disabled store probe.
+    """
+    import time
+
+    plan = store_plan()
+    store = ResultStore(tmp_path / "store")
+    tick = time.perf_counter()
+    SweepExecutor(workers=1, store=store).run(plan)
+    cold_seconds = time.perf_counter() - tick
+
+    tick = time.perf_counter()
+    result = SweepExecutor(workers=1, store=store).run(plan, resume=True)
+    resumed_seconds = time.perf_counter() - tick
+
+    assert result.stats.store_hits == len(plan)
+    assert resumed_seconds * 5 < cold_seconds, (
+        f"resumed run ({resumed_seconds:.3f}s) should be at least 5x faster "
+        f"than the cold run ({cold_seconds:.3f}s)"
+    )

@@ -18,6 +18,10 @@ The core abstractions:
 * :class:`SweepPlan` / :class:`SweepExecutor` — explicit sweep plans
   (parameter grids expanded into independent requests) scheduled serially
   or across worker processes with deterministic result ordering;
+* :class:`ResultStore` — the on-disk, content-addressed result store that
+  memoizes evaluations *across* processes and machines (keyed by
+  :func:`request_fingerprint`), making sweeps resumable (``resume=True``)
+  and CI bench comparisons possible;
 * :class:`ExperimentSpec` / :class:`ParamSpec` — declarative experiments
   whose typed parameters drive the auto-generated CLI options.
 """
@@ -66,6 +70,15 @@ from .pipeline import (
 )
 from .registry import Registry, RegistryError
 from .results import FactoryEvaluation, from_json, to_json
+from .store import (
+    STORE_SCHEMA_VERSION,
+    GcReport,
+    ResultStore,
+    ResultStoreWarning,
+    current_git_sha,
+    request_fingerprint,
+    store_metadata,
+)
 
 __all__ = [
     "ExecutorStats",
@@ -107,4 +120,11 @@ __all__ = [
     "FactoryEvaluation",
     "from_json",
     "to_json",
+    "STORE_SCHEMA_VERSION",
+    "GcReport",
+    "ResultStore",
+    "ResultStoreWarning",
+    "current_git_sha",
+    "request_fingerprint",
+    "store_metadata",
 ]

@@ -1,0 +1,449 @@
+"""Field-by-field comparison of two ``BENCH_*.json`` performance records.
+
+``repro-msfu bench`` emits machine-readable records of the repository's
+performance trajectory; this module turns two of them into a regression
+verdict that CI can gate on:
+
+* experiments are matched by name; for each match the wall-time ratio
+  ``new / old`` is computed and compared against a configurable slowdown
+  threshold (with an absolute-growth floor, so a 3x blowup of a 2ms smoke
+  case is noise, not a regression), and drifts in the deterministic
+  workload fields (``evaluations``, ``sim_cycles``, ``stall_cycles``,
+  ``workers``, ``params``) are reported as notes — a row whose workload
+  drifted never *gates* on wall time (the comparison is not like-for-like),
+  it is annotated instead, and the synthetic ``TOTAL`` row sums only the
+  experiments matched in both records with unchanged workloads;
+* an experiment present in the old record but **missing from the new one
+  gates like a regression**: a vanished benchmark must not silently pass
+  the gate that existed to watch it (experiments new to the new record
+  never gate);
+* record **provenance** (platform, CPU count, Python version, smoke flag —
+  the fields ``repro-msfu bench`` stamps into every header) decides whether
+  the comparison is *gating* or *advisory*: two records from different
+  machines or different sweep scales still get the full diff table, but
+  regressions only drive a nonzero exit when the records are comparable
+  (or ``strict`` is forced).  The git SHA deliberately does **not** affect
+  comparability — new code versus old code on the same machine is exactly
+  the comparison the gate exists for.
+
+Exit-code contract of :meth:`BenchComparison.exit_code` (used by
+``repro-msfu bench --compare``): ``0`` — no gating regression; ``1`` — at
+least one gating regression.  Unreadable records are the CLI's problem and
+exit ``2`` there.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+#: Header fields that must match for a wall-time comparison to be gating.
+#: ``git_sha`` is intentionally absent: comparing across commits is the point.
+PROVENANCE_KEYS: Tuple[str, ...] = ("platform", "cpu_count", "python_version", "smoke")
+
+#: Deterministic per-experiment fields whose drift is worth a note: they
+#: describe the workload, so a change means the timing comparison is not
+#: like-for-like (different code semantics or different parameters).
+WORKLOAD_KEYS: Tuple[str, ...] = ("evaluations", "sim_cycles", "stall_cycles", "workers")
+
+
+class BenchRecordError(ValueError):
+    """A bench record file is missing, unparsable, or not a bench record."""
+
+
+def load_bench_record(path: str) -> Dict[str, Any]:
+    """Load one ``BENCH_*.json`` record, validating the basic shape."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            record = json.load(handle)
+    except OSError as error:
+        raise BenchRecordError(f"cannot read bench record {path}: {error}") from error
+    except ValueError as error:
+        raise BenchRecordError(f"{path} is not valid JSON: {error}") from error
+    if not isinstance(record, dict) or not isinstance(record.get("experiments"), list):
+        raise BenchRecordError(
+            f"{path} is not a repro-msfu bench record (no 'experiments' list)"
+        )
+    return record
+
+
+def record_python_version(record: Mapping[str, Any]) -> Optional[str]:
+    """Python version of a record, tolerating the pre-provenance key name."""
+    return record.get("python_version") or record.get("python")
+
+
+def _provenance(record: Mapping[str, Any]) -> Dict[str, Any]:
+    values = {key: record.get(key) for key in PROVENANCE_KEYS}
+    values["python_version"] = record_python_version(record)
+    return values
+
+
+@dataclass
+class ExperimentDelta:
+    """The comparison of one experiment present in either record."""
+
+    experiment: str
+    old_wall: Optional[float]
+    new_wall: Optional[float]
+    ratio: Optional[float]
+    regression: bool
+    missing: bool = False
+    drifted: bool = False
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def status(self) -> str:
+        if self.old_wall is None:
+            return "new"
+        if self.missing:
+            return "MISSING"
+        if self.regression:
+            return "REGRESSION"
+        return "ok"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "experiment": self.experiment,
+            "old_wall_seconds": self.old_wall,
+            "new_wall_seconds": self.new_wall,
+            "ratio": self.ratio,
+            "status": self.status,
+            "missing": self.missing,
+            "drifted": self.drifted,
+            "notes": list(self.notes),
+        }
+
+
+@dataclass
+class BenchComparison:
+    """The full old-vs-new verdict, renderable as a table or JSON."""
+
+    old_meta: Dict[str, Any]
+    new_meta: Dict[str, Any]
+    comparable: bool
+    advisory_reasons: List[str]
+    max_slowdown: float
+    deltas: List[ExperimentDelta]
+
+    @property
+    def regressions(self) -> List[ExperimentDelta]:
+        """Regressed *experiment* rows (the synthetic TOTAL row excluded).
+
+        TOTAL breaching alongside a regressed experiment is the same event,
+        not a second regression — it is tracked via :attr:`total_regressed`
+        so counts never inflate.
+        """
+        return [
+            delta
+            for delta in self.deltas
+            if delta.regression and delta.experiment != "TOTAL"
+        ]
+
+    @property
+    def total_regressed(self) -> bool:
+        """Whether the aggregate TOTAL row breached the threshold.
+
+        Gates on its own too: per-experiment creep can stay under the ratio
+        individually while the run as a whole regresses.
+        """
+        return any(
+            delta.regression for delta in self.deltas if delta.experiment == "TOTAL"
+        )
+
+    @property
+    def missing(self) -> List[ExperimentDelta]:
+        """Experiments in the old record that the new record lost."""
+        return [delta for delta in self.deltas if delta.missing]
+
+    def exit_code(self, strict: bool = False) -> int:
+        """``1`` when regressions or lost experiments should gate, else ``0``.
+
+        Cross-machine / cross-scale comparisons are advisory: the diff is
+        reported but does not fail unless ``strict`` forces it.
+        """
+        problems = self.regressions or self.total_regressed or self.missing
+        if problems and (self.comparable or strict):
+            return 1
+        return 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "old": self.old_meta,
+            "new": self.new_meta,
+            "comparable": self.comparable,
+            "advisory_reasons": list(self.advisory_reasons),
+            "max_slowdown": self.max_slowdown,
+            "experiments": [delta.to_dict() for delta in self.deltas],
+            "regressions": len(self.regressions),
+            "total_regressed": self.total_regressed,
+            "missing": len(self.missing),
+        }
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def format_table(self, strict: bool = False) -> str:
+        """The human-readable diff table printed in CI job logs.
+
+        ``strict`` must match what :meth:`exit_code` will be called with,
+        so the printed verdict ("advisory" or not) agrees with the exit
+        code the caller is about to return.
+        """
+
+        def _meta_line(label: str, meta: Mapping[str, Any]) -> str:
+            sha = meta.get("git_sha")
+            return (
+                f"  {label}: created {meta.get('created_utc') or '?'}, "
+                f"python {meta.get('python_version') or '?'}, "
+                f"{meta.get('cpu_count') or '?'} cpu, "
+                f"smoke={meta.get('smoke')}, "
+                f"git={sha[:12] if isinstance(sha, str) else '?'}\n"
+                f"       {meta.get('platform') or '?'}"
+            )
+
+        lines = ["bench compare (wall-time gate: new/old > "
+                 f"{self.max_slowdown:g}x fails)"]
+        lines.append(_meta_line("old", self.old_meta))
+        lines.append(_meta_line("new", self.new_meta))
+        if not self.comparable:
+            suffix = (
+                "regressions gate anyway (--strict)"
+                if strict
+                else "regressions reported but not gating"
+            )
+            lines.append(
+                "  ADVISORY: records are not directly comparable ("
+                + "; ".join(self.advisory_reasons)
+                + ") — "
+                + suffix
+            )
+        lines.append("")
+        header = (
+            f"  {'experiment':<20} {'old(s)':>10} {'new(s)':>10} "
+            f"{'ratio':>8}  {'status':<10} notes"
+        )
+        lines.append(header)
+        lines.append("  " + "-" * (len(header) - 2))
+        for delta in self.deltas:
+            old_text = f"{delta.old_wall:.3f}" if delta.old_wall is not None else "-"
+            new_text = f"{delta.new_wall:.3f}" if delta.new_wall is not None else "-"
+            ratio_text = f"{delta.ratio:.2f}x" if delta.ratio is not None else "-"
+            lines.append(
+                f"  {delta.experiment:<20} {old_text:>10} {new_text:>10} "
+                f"{ratio_text:>8}  {delta.status:<10} {'; '.join(delta.notes)}"
+            )
+        problems = []
+        if self.regressions:
+            problems.append(
+                f"{len(self.regressions)} regression(s) beyond "
+                f"{self.max_slowdown:g}x"
+            )
+        if self.total_regressed and not self.regressions:
+            problems.append(
+                f"total wall time regressed beyond {self.max_slowdown:g}x"
+            )
+        if self.missing:
+            problems.append(
+                f"{len(self.missing)} experiment(s) missing from the new record"
+            )
+        if problems:
+            advisory = not (self.comparable or strict)
+            verdict = "  " + " and ".join(problems) + (
+                " (advisory)" if advisory else ""
+            )
+        else:
+            verdict = "  no regressions beyond the threshold"
+        lines.append("")
+        lines.append(verdict)
+        return "\n".join(lines)
+
+
+def _experiment_map(record: Mapping[str, Any]) -> Dict[str, Mapping[str, Any]]:
+    ordered: Dict[str, Mapping[str, Any]] = {}
+    for entry in record.get("experiments", []):
+        if isinstance(entry, Mapping) and isinstance(entry.get("experiment"), str):
+            # First occurrence wins; duplicate names would make the
+            # comparison ambiguous, and bench never emits them.
+            ordered.setdefault(entry["experiment"], entry)
+    return ordered
+
+
+def _wall(entry: Optional[Mapping[str, Any]]) -> Optional[float]:
+    if entry is None:
+        return None
+    value = entry.get("wall_seconds")
+    return float(value) if isinstance(value, (int, float)) else None
+
+
+def _workload_notes(
+    old_entry: Mapping[str, Any], new_entry: Mapping[str, Any]
+) -> List[str]:
+    notes = []
+    for key in WORKLOAD_KEYS:
+        old_value, new_value = old_entry.get(key), new_entry.get(key)
+        if old_value != new_value:
+            notes.append(f"{key} {old_value} -> {new_value}")
+    if old_entry.get("params") != new_entry.get("params"):
+        notes.append(
+            f"params differ ({old_entry.get('params')} -> {new_entry.get('params')})"
+        )
+    return notes
+
+
+
+
+def _wall_regression(
+    old_wall: Optional[float],
+    new_wall: Optional[float],
+    ratio: Optional[float],
+    max_slowdown: float,
+    min_slowdown_seconds: float,
+) -> bool:
+    """Whether a wall-time pair is a gating slowdown.
+
+    A ratio breach only gates when the absolute growth also exceeds
+    ``min_slowdown_seconds`` — a 3x blowup of a 2ms smoke case is timing
+    noise.  An old wall time of exactly 0 (rounded away) has no ratio;
+    there, absolute growth beyond the floor gates on its own.
+    """
+    if old_wall is None or new_wall is None:
+        return False
+    grew = (new_wall - old_wall) > min_slowdown_seconds
+    if ratio is not None:
+        return ratio > max_slowdown and grew
+    return grew  # old_wall == 0: any real growth is an infinite-ratio slowdown
+
+
+def compare_bench_records(
+    old: Mapping[str, Any],
+    new: Mapping[str, Any],
+    max_slowdown: float = 1.5,
+    min_slowdown_seconds: float = 0.05,
+) -> BenchComparison:
+    """Diff two bench records into a :class:`BenchComparison`.
+
+    ``max_slowdown`` is the gating wall-time ratio: an experiment whose
+    ``new/old`` wall time exceeds it — by more than ``min_slowdown_seconds``
+    of absolute growth — is a regression.  The total wall time is compared
+    as a synthetic ``TOTAL`` row under the same thresholds.
+    """
+    if max_slowdown <= 0:
+        raise ValueError(f"max_slowdown must be > 0, got {max_slowdown}")
+    if min_slowdown_seconds < 0:
+        raise ValueError(
+            f"min_slowdown_seconds must be >= 0, got {min_slowdown_seconds}"
+        )
+    old_provenance = _provenance(old)
+    new_provenance = _provenance(new)
+    advisory: List[str] = []
+    for key in ("platform", "cpu_count", "smoke"):
+        if old_provenance.get(key) != new_provenance.get(key):
+            advisory.append(
+                f"{key} differs ({old_provenance.get(key)!r} vs "
+                f"{new_provenance.get(key)!r})"
+            )
+    if old_provenance["python_version"] != new_provenance["python_version"]:
+        advisory.append(
+            f"python differs ({old_provenance['python_version']!r} vs "
+            f"{new_provenance['python_version']!r})"
+        )
+
+    old_entries = _experiment_map(old)
+    new_entries = _experiment_map(new)
+    deltas: List[ExperimentDelta] = []
+    names = list(old_entries)
+    names.extend(name for name in new_entries if name not in old_entries)
+    for name in names:
+        old_entry = old_entries.get(name)
+        new_entry = new_entries.get(name)
+        old_wall = _wall(old_entry)
+        new_wall = _wall(new_entry)
+        ratio = (
+            new_wall / old_wall
+            if old_wall is not None and new_wall is not None and old_wall > 0
+            else None
+        )
+        notes: List[str] = []
+        missing = False
+        drifted = False
+        if old_entry is None:
+            notes.append("not in old record")
+        elif new_entry is None or new_wall is None:
+            # A benchmark the gate was watching vanished (or lost its wall
+            # time) — that must gate, not silently pass.
+            missing = True
+            notes.append("not in new record" if new_entry is None else "no wall time")
+        else:
+            notes.extend(_workload_notes(old_entry, new_entry))
+            drifted = bool(notes)
+        gating = _wall_regression(
+            old_wall, new_wall, ratio, max_slowdown, min_slowdown_seconds
+        )
+        if gating and drifted:
+            # The recorded workload changed (workers, params, simulated
+            # cycles), so the timing comparison is not like-for-like:
+            # annotate instead of gating.
+            gating = False
+            notes.append("wall gating skipped: workload drifted")
+        deltas.append(
+            ExperimentDelta(
+                experiment=name,
+                old_wall=old_wall,
+                new_wall=new_wall,
+                ratio=ratio,
+                regression=gating,
+                missing=missing,
+                drifted=drifted,
+                notes=notes,
+            )
+        )
+
+    # The TOTAL row sums only experiments present in both records with an
+    # unchanged workload: adding a benchmark to the suite (or changing one's
+    # parameters) must not read as a wall-time regression of the whole run.
+    matched = [
+        delta
+        for delta in deltas
+        if delta.old_wall is not None
+        and delta.new_wall is not None
+        and not delta.drifted
+    ]
+    if matched:
+        total_old = sum(delta.old_wall for delta in matched)
+        total_new = sum(delta.new_wall for delta in matched)
+        total_ratio = total_new / total_old if total_old > 0 else None
+        total_notes = (
+            ["comparable experiments only"] if len(matched) != len(deltas) else []
+        )
+        deltas.append(
+            ExperimentDelta(
+                experiment="TOTAL",
+                old_wall=total_old,
+                new_wall=total_new,
+                ratio=total_ratio,
+                regression=_wall_regression(
+                    total_old,
+                    total_new,
+                    total_ratio,
+                    max_slowdown,
+                    min_slowdown_seconds,
+                ),
+                notes=total_notes,
+            )
+        )
+
+    def _meta(record: Mapping[str, Any], provenance: Dict[str, Any]) -> Dict[str, Any]:
+        meta = dict(provenance)
+        meta["created_utc"] = record.get("created_utc")
+        meta["git_sha"] = record.get("git_sha")
+        return meta
+
+    return BenchComparison(
+        old_meta=_meta(old, old_provenance),
+        new_meta=_meta(new, new_provenance),
+        comparable=not advisory,
+        advisory_reasons=advisory,
+        max_slowdown=max_slowdown,
+        deltas=deltas,
+    )

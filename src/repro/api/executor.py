@@ -23,7 +23,13 @@ Below the executor, every worker's :class:`~repro.api.pipeline.Pipeline`
 memoizes :class:`~repro.routing.simulator.SimulationResult`s keyed by
 (circuit fingerprint, placement, config) — see
 :class:`~repro.routing.simulator.SimulationCache` — so repeated sweep
-points never re-simulate even across distinct requests.
+points never re-simulate even across distinct requests.  Above it, an
+optional persistent :class:`~repro.api.store.ResultStore` makes sweeps
+*resumable across processes*: attach ``store=`` and run with
+``resume=True`` and already-stored plan entries are answered from disk
+(``stats.store_hits``) while fresh results are persisted the moment they
+complete, so a killed sweep restarts where it died with byte-identical
+output.
 
 .. code-block:: python
 
@@ -44,8 +50,9 @@ from __future__ import annotations
 import json
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..mapping.force_directed import ForceDirectedConfig
@@ -53,6 +60,7 @@ from ..mapping.stitching import StitchingConfig
 from ..routing.simulator import SimulationCache, SimulatorConfig
 from .pipeline import EvaluationRequest, Pipeline, PipelineStats
 from .results import FactoryEvaluation
+from .store import ResultStore, as_result_store
 
 
 def _as_tuple(value: Union[Any, Sequence[Any]]) -> Tuple[Any, ...]:
@@ -175,13 +183,17 @@ class ExecutorStats:
     ``sim_stall_events`` (legacy retry count) / ``sim_distinct_stalls`` /
     ``sim_wakeups`` aggregate the simulator's stall counters over every
     evaluation — see :class:`~repro.routing.simulator.SimulationResult` for
-    their semantics.  The invariant
-    ``requests == duplicate_hits + evaluations`` always holds.
+    their semantics.  ``store_hits`` counts plan entries answered from the
+    persistent :class:`~repro.api.store.ResultStore` during a resumed run
+    (unique requests only — a duplicate of a stored request still counts as
+    a ``duplicate_hit``).  The invariant
+    ``requests == duplicate_hits + store_hits + evaluations`` always holds.
     """
 
     requests: int = 0
     evaluations: int = 0
     duplicate_hits: int = 0
+    store_hits: int = 0
     factory_builds: int = 0
     factory_cache_hits: int = 0
     sim_cache_hits: int = 0
@@ -199,6 +211,7 @@ class ExecutorStats:
         self.factory_builds += delta.factory_builds
         self.factory_cache_hits += delta.cache_hits
         self.sim_cache_hits += delta.sim_cache_hits
+        self.store_hits += delta.store_hits
         self.fd_sweeps += delta.fd_sweeps
         self.fd_moves_accepted += delta.fd_moves_accepted
         self.sim_stall_events += delta.sim_stall_events
@@ -211,6 +224,7 @@ class ExecutorStats:
             "requests": self.requests,
             "evaluations": self.evaluations,
             "duplicate_hits": self.duplicate_hits,
+            "store_hits": self.store_hits,
             "factory_builds": self.factory_builds,
             "factory_cache_hits": self.factory_cache_hits,
             "sim_cache_hits": self.sim_cache_hits,
@@ -287,12 +301,13 @@ def _worker_pipeline() -> Pipeline:
 
 def _worker_evaluate(
     request: EvaluationRequest,
-) -> Tuple[FactoryEvaluation, PipelineStats]:
-    """Evaluate one request in a worker; returns the point and its stat delta."""
+) -> Tuple[FactoryEvaluation, PipelineStats, float]:
+    """Evaluate one request in a worker; returns point, stat delta, wall time."""
     pipeline = _worker_pipeline()
     before = pipeline.stats.snapshot()
+    started = time.perf_counter()
     evaluation = pipeline.evaluate(request)
-    return evaluation, pipeline.stats.delta(before)
+    return evaluation, pipeline.stats.delta(before), time.perf_counter() - started
 
 
 def _request_key(request: EvaluationRequest) -> str:
@@ -320,6 +335,19 @@ class SweepExecutor:
         own ``sim_config`` takes precedence), forwarded to each worker.
     cache_size / sim_cache_size:
         Per-worker factory-cache and simulation-cache bounds.
+    store:
+        Optional persistent :class:`~repro.api.store.ResultStore` (or a
+        path, wrapped automatically).  When attached, every completed
+        evaluation is persisted **as soon as it finishes** — in completion
+        order, not plan order — so a killed sweep keeps everything it
+        already computed.  Reads happen only on a *resumed* run (see
+        ``resume``): plan entries already in the store are answered without
+        dispatching any work, counted exactly in ``stats.store_hits``.
+    resume:
+        Default for :meth:`run`'s ``resume`` flag.  ``resume=True`` requires
+        a store and makes the run skip already-stored requests; the output
+        is byte-identical to an uninterrupted run either way, because
+        evaluation is deterministic in the request.
 
     Notes
     -----
@@ -343,6 +371,8 @@ class SweepExecutor:
         sim_config: Optional[SimulatorConfig] = None,
         cache_size: int = 8,
         sim_cache_size: int = 512,
+        store: Optional[Union[ResultStore, str, Path]] = None,
+        resume: bool = False,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -350,6 +380,10 @@ class SweepExecutor:
         self.sim_config = sim_config
         self.cache_size = cache_size
         self.sim_cache_size = sim_cache_size
+        self.store = as_result_store(store)
+        if resume and self.store is None:
+            raise ValueError("resume=True requires a result store (store=...)")
+        self.resume = resume
         self._pipeline: Optional[Pipeline] = None
 
     # ------------------------------------------------------------------
@@ -369,16 +403,26 @@ class SweepExecutor:
     # Execution
     # ------------------------------------------------------------------
     def run(
-        self, plan: Union[SweepPlan, Iterable[EvaluationRequest]]
+        self,
+        plan: Union[SweepPlan, Iterable[EvaluationRequest]],
+        resume: Optional[bool] = None,
     ) -> SweepRunResult:
         """Execute every request of ``plan``; results come back in plan order.
 
         Identical requests are evaluated once (the first occurrence) and
         fanned out to every duplicate position — a pure optimization, since
-        evaluation is deterministic in the request.
+        evaluation is deterministic in the request.  With a store attached
+        and ``resume=True`` (per call, or the executor default), requests
+        already persisted are answered from the store without dispatching
+        any work — which is how a killed sweep restarts where it died — and
+        every freshly computed result is persisted the moment it completes.
+        The assembled output is byte-identical with or without the store.
         """
         if not isinstance(plan, SweepPlan):
             plan = SweepPlan.from_requests(plan)
+        resume = self.resume if resume is None else resume
+        if resume and self.store is None:
+            raise ValueError("resume=True requires a result store (store=...)")
         started = time.perf_counter()
         stats = ExecutorStats(requests=len(plan), workers=self.workers)
 
@@ -397,10 +441,26 @@ class SweepExecutor:
                 stats.duplicate_hits += 1
             slots.append(slot)
 
-        if self.workers == 1 or len(unique) <= 1:
-            unique_results = self._run_serial(unique, stats)
-        else:
-            unique_results = self._run_parallel(unique, stats)
+        # On a resumed run, answer already-stored requests before scheduling
+        # anything: a 10k-point sweep killed at 9k re-executes only 1k.
+        unique_results: List[Optional[FactoryEvaluation]] = [None] * len(unique)
+        pending = list(range(len(unique)))
+        if resume and self.store is not None:
+            still_pending: List[int] = []
+            for index in pending:
+                stored = self.store.get(self._storage_request(unique[index]))
+                if stored is not None:
+                    unique_results[index] = stored
+                    stats.store_hits += 1
+                else:
+                    still_pending.append(index)
+            pending = still_pending
+
+        if pending:
+            if self.workers == 1 or len(pending) <= 1:
+                self._run_serial(unique, unique_results, pending, stats)
+            else:
+                self._run_parallel(unique, unique_results, pending, stats)
 
         evaluations = [unique_results[slot] for slot in slots]
         stats.wall_seconds = time.perf_counter() - started
@@ -409,35 +469,75 @@ class SweepExecutor:
         _LAST_RUN_STATS = stats
         return result
 
+    def _storage_request(self, request: EvaluationRequest) -> EvaluationRequest:
+        """The store identity of a request under this executor's defaults."""
+        return request.with_effective_sim_config(self.sim_config)
+
     def _run_serial(
-        self, requests: Sequence[EvaluationRequest], stats: ExecutorStats
-    ) -> List[FactoryEvaluation]:
+        self,
+        unique: Sequence[EvaluationRequest],
+        unique_results: List[Optional[FactoryEvaluation]],
+        pending: Sequence[int],
+        stats: ExecutorStats,
+    ) -> None:
         pipeline = self.pipeline()
-        results: List[FactoryEvaluation] = []
-        for request in requests:
+        for index in pending:
             before = pipeline.stats.snapshot()
-            results.append(pipeline.evaluate(request))
+            tick = time.perf_counter()
+            evaluation = pipeline.evaluate(unique[index])
+            wall = time.perf_counter() - tick
+            unique_results[index] = evaluation
             stats.add_pipeline_delta(pipeline.stats.delta(before))
-        return results
+            # Persist immediately: if the process dies on a later request,
+            # everything up to here survives for a resumed run.
+            if self.store is not None:
+                self.store.try_put(
+                    self._storage_request(unique[index]), evaluation, wall_seconds=wall
+                )
 
     def _run_parallel(
-        self, requests: Sequence[EvaluationRequest], stats: ExecutorStats
-    ) -> List[FactoryEvaluation]:
-        workers = min(self.workers, len(requests))
+        self,
+        unique: Sequence[EvaluationRequest],
+        unique_results: List[Optional[FactoryEvaluation]],
+        pending: Sequence[int],
+        stats: ExecutorStats,
+    ) -> None:
+        workers = min(self.workers, len(pending))
         with ProcessPoolExecutor(
             max_workers=workers,
             initializer=_worker_init,
             initargs=(self.sim_config, self.cache_size, self.sim_cache_size),
         ) as pool:
-            futures = [pool.submit(_worker_evaluate, request) for request in requests]
-            results: List[FactoryEvaluation] = []
-            # Collect in submission order: completion order does not matter,
-            # so the output is deterministic whatever the scheduling.
-            for future in futures:
-                evaluation, delta = future.result()
-                results.append(evaluation)
+            futures = {
+                pool.submit(_worker_evaluate, unique[index]): index
+                for index in pending
+            }
+            # Collect in completion order so each result is persisted the
+            # moment it exists (crash durability); results land in their
+            # unique slot, so the assembled output stays deterministic
+            # whatever the scheduling.  On a worker failure, keep draining:
+            # the pool shutdown runs every submitted request to completion
+            # anyway, so persisting the successes before re-raising means a
+            # resumed run re-executes only the genuinely failed work.
+            first_error: Optional[BaseException] = None
+            for future in as_completed(futures):
+                index = futures[future]
+                try:
+                    evaluation, delta, wall = future.result()
+                except Exception as error:
+                    if first_error is None:
+                        first_error = error
+                    continue
+                unique_results[index] = evaluation
                 stats.add_pipeline_delta(delta)
-        return results
+                if self.store is not None:
+                    self.store.try_put(
+                        self._storage_request(unique[index]),
+                        evaluation,
+                        wall_seconds=wall,
+                    )
+            if first_error is not None:
+                raise first_error
 
 
 #: Stats of the most recent ``SweepExecutor.run`` in this process — set even
@@ -459,9 +559,13 @@ def run_sweep(
     plan: Union[SweepPlan, Iterable[EvaluationRequest]],
     workers: int = 1,
     sim_config: Optional[SimulatorConfig] = None,
+    store: Optional[Union[ResultStore, str, Path]] = None,
+    resume: bool = False,
 ) -> SweepRunResult:
     """One-shot convenience: execute a plan on a fresh :class:`SweepExecutor`."""
-    return SweepExecutor(workers=workers, sim_config=sim_config).run(plan)
+    return SweepExecutor(
+        workers=workers, sim_config=sim_config, store=store, resume=resume
+    ).run(plan)
 
 
 def recommended_workers() -> int:

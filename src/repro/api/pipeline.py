@@ -16,9 +16,23 @@ delegates to.
 from __future__ import annotations
 
 import dataclasses
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+if TYPE_CHECKING:  # imported only for annotations: store.py imports this module
+    from .store import ResultStore
 
 from ..circuits.gates import GateKind
 from ..distillation.block_code import (
@@ -81,6 +95,23 @@ class EvaluationRequest:
     def spec(self) -> FactorySpec:
         """The factory spec this request evaluates."""
         return FactorySpec.from_capacity(self.capacity, self.levels)
+
+    def with_effective_sim_config(
+        self, default: Optional[SimulatorConfig] = None
+    ) -> "EvaluationRequest":
+        """This request with its *effective* simulator config made explicit.
+
+        A request whose ``sim_config`` is ``None`` inherits a pipeline or
+        executor default at evaluation time, so any **storage identity**
+        (e.g. :func:`repro.api.store.request_fingerprint`) must be taken
+        over this resolved form — otherwise two runs with different
+        defaults would alias each other's persisted entries.  This is the
+        single definition of that resolution rule.
+        """
+        effective = self.sim_config or default or SimulatorConfig()
+        if effective is self.sim_config:
+            return self
+        return replace(self, sim_config=effective)
 
     # ------------------------------------------------------------------
     # Serialization
@@ -163,12 +194,19 @@ class PipelineStats:
     evaluation, cached or not — they describe the evaluated workloads, not
     the simulation work this process performed, so the numbers are stable
     across cache states and worker counts.
+
+    ``store_hits`` counts requests answered whole from the attached
+    :class:`~repro.api.store.ResultStore` — those runs skip mapping and
+    simulation entirely, so they increment *only* this counter (not
+    ``evaluations`` and not the per-workload sim counters above):
+    ``store_hits + evaluations`` is the number of ``evaluate`` calls.
     """
 
     factory_builds: int = 0
     cache_hits: int = 0
     evaluations: int = 0
     sim_cache_hits: int = 0
+    store_hits: int = 0
     fd_sweeps: int = 0
     fd_moves_accepted: int = 0
     sim_stall_events: int = 0
@@ -206,6 +244,13 @@ class Pipeline:
         pass ``None``-disabling is not supported because memoization never
         changes results — share one cache between pipelines instead when
         coordinating sweeps.
+    store:
+        Optional :class:`~repro.api.store.ResultStore` (or anything with its
+        ``get``/``put`` contract).  When set, every request is probed in the
+        store *before* building or simulating — a hit returns the persisted
+        :class:`FactoryEvaluation` (counted in ``stats.store_hits``) and a
+        miss persists the freshly computed one, so results amortize across
+        processes and machine reboots, not just within this process.
     """
 
     def __init__(
@@ -213,12 +258,14 @@ class Pipeline:
         sim_config: Optional[SimulatorConfig] = None,
         cache_size: int = 8,
         sim_cache: Optional[SimulationCache] = None,
+        store: Optional["ResultStore"] = None,
     ) -> None:
         if cache_size < 1:
             raise ValueError(f"cache_size must be >= 1, got {cache_size}")
         self.sim_config = sim_config
         self.cache_size = cache_size
         self.sim_cache = sim_cache if sim_cache is not None else SimulationCache()
+        self.store = store
         self.stats = PipelineStats()
         self._factories: "OrderedDict[Tuple[int, int, ReusePolicy], Factory]" = (
             OrderedDict()
@@ -266,6 +313,18 @@ class Pipeline:
         mapper = get_mapper(request.method)
         spec = request.spec()
         sim_config = request.sim_config or self.sim_config or SimulatorConfig()
+
+        # Probe the persistent store before any build or simulation work,
+        # keyed on the request with its effective simulator config made
+        # explicit (see EvaluationRequest.with_effective_sim_config).
+        if self.store is not None:
+            storage_request = request.with_effective_sim_config(self.sim_config)
+            stored = self.store.get(storage_request)
+            if stored is not None:
+                self.stats.store_hits += 1
+                return stored
+
+        evaluation_started = time.perf_counter()
         factory = self.factory(request.capacity, request.levels, request.reuse)
 
         # Attribute only the refinements this mapper run causes: records
@@ -304,7 +363,7 @@ class Pipeline:
         self.stats.sim_stall_events += evaluation.stall_events
         self.stats.sim_distinct_stalls += evaluation.distinct_stalls
         self.stats.sim_wakeups += evaluation.wakeups
-        return FactoryEvaluation(
+        result = FactoryEvaluation(
             method=request.method,
             capacity=request.capacity,
             levels=request.levels,
@@ -318,6 +377,13 @@ class Pipeline:
             critical_area=factory_area_lower_bound(spec),
             stall_cycles=evaluation.stall_cycles,
         )
+        if self.store is not None:
+            self.store.try_put(
+                storage_request,
+                result,
+                wall_seconds=time.perf_counter() - evaluation_started,
+            )
+        return result
 
     def run(self, requests: Iterable[EvaluationRequest]) -> List[FactoryEvaluation]:
         """Evaluate many requests, sharing the factory cache."""

@@ -1,0 +1,459 @@
+"""On-disk, content-addressed persistence of evaluation results.
+
+Every in-process cache of the toolchain (the factory LRU, the
+:class:`~repro.routing.simulator.SimulationCache`) dies with its process:
+a crashed 10k-point capacity sweep, a re-run CI job, or two analysts
+sweeping overlapping grids all pay full simulation cost again.
+:class:`ResultStore` is the cross-run layer below them — a directory of
+sharded JSON payloads, one per evaluated
+:class:`~repro.api.pipeline.EvaluationRequest`, addressed by a canonical
+**fingerprint** of the request:
+
+* :func:`request_fingerprint` — blake2b over the sorted-key JSON encoding
+  of ``request.to_dict()``, salted with a schema/version tag.  Evaluation
+  is deterministic in the request, so two equal fingerprints are guaranteed
+  to name the same result, which makes the store a pure optimization;
+* payloads carry the full ``EvaluationResult.to_dict()`` form plus
+  provenance metadata (git SHA, platform, Python version, wall time,
+  timestamps) so stored numbers can be audited and cross-machine
+  comparisons annotated;
+* a bump of :data:`STORE_SCHEMA_VERSION` changes every fingerprint, so old
+  entries become unreachable (and are reported as stale by
+  :meth:`ResultStore.status` / reaped by :meth:`ResultStore.gc`) instead of
+  being misread.
+
+The store is deliberately dependency-free and concurrency-tolerant: writes
+go through a per-process temporary file and an atomic :func:`os.replace`,
+reads treat truncated or garbage payloads as misses (with a
+:class:`ResultStoreWarning`), and two processes racing to store the same
+fingerprint simply write the same bytes.
+
+Layout on disk (two-hex-digit sharding keeps directories small even at
+hundreds of thousands of entries)::
+
+    .repro-store/
+        ab/
+            ab3f...9c.json
+        c0/
+            c04d...11.json
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+import os
+import platform
+import subprocess
+import time
+import warnings
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
+
+from ..persistutil import atomic_write_json, tagged_fingerprint
+from .pipeline import EvaluationRequest
+from .results import FactoryEvaluation
+
+#: Version tag folded into every fingerprint.  Bump it whenever the meaning
+#: of a stored payload changes (request encoding, result fields, simulator
+#: semantics): old entries become unreachable misses rather than wrong hits.
+STORE_SCHEMA_VERSION = 1
+
+#: Default store root, relative to the current working directory.
+DEFAULT_STORE_ROOT = ".repro-store"
+
+_FINGERPRINT_TAG = "repro-msfu-store/v{version}"
+
+
+class ResultStoreWarning(UserWarning):
+    """A store entry was unreadable (truncated, garbage, or mislabelled)."""
+
+
+def request_fingerprint(
+    request: EvaluationRequest, schema_version: int = STORE_SCHEMA_VERSION
+) -> str:
+    """Canonical content address of one evaluation request.
+
+    blake2b over the sorted-key, separator-normalized JSON encoding of
+    ``request.to_dict()``, salted with the schema/version tag — so the
+    fingerprint is stable across processes and machines, and a schema bump
+    re-addresses every request.
+    """
+    canonical = json.dumps(
+        request.to_dict(), sort_keys=True, separators=(",", ":")
+    )
+    return tagged_fingerprint(
+        _FINGERPRINT_TAG.format(version=schema_version), canonical
+    )
+
+
+@functools.lru_cache(maxsize=None)
+def _git_sha_for(cwd: str) -> Optional[str]:
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if completed.returncode != 0:
+        return None
+    sha = completed.stdout.strip()
+    return sha or None
+
+
+def current_git_sha(cwd: Optional[Union[str, Path]] = None) -> Optional[str]:
+    """The repository HEAD SHA, or ``None`` outside a git checkout.
+
+    Memoized per directory: :meth:`ResultStore.put` stamps provenance on
+    every persisted result, and a 10k-point sweep must not pay 10k
+    ``git rev-parse`` subprocess launches.  (A HEAD moved *during* a run
+    keeps the SHA observed first, which is the honest provenance anyway.)
+    """
+    return _git_sha_for(os.path.abspath(os.fspath(cwd)) if cwd is not None else os.getcwd())
+
+
+def store_metadata(wall_seconds: Optional[float] = None) -> Dict[str, Any]:
+    """Provenance attached to every stored payload (and bench record)."""
+    now = time.time()
+    return {
+        "git_sha": current_git_sha(),
+        "python_version": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "wall_seconds": wall_seconds,
+        "created_unix": now,
+        "created_utc": datetime.fromtimestamp(now, tz=timezone.utc).strftime(
+            "%Y-%m-%dT%H:%M:%SZ"
+        ),
+    }
+
+
+@dataclass
+class GcReport:
+    """Outcome of one :meth:`ResultStore.gc` pass."""
+
+    removed: List[str] = field(default_factory=list)
+    kept: int = 0
+    dry_run: bool = False
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "removed": len(self.removed),
+            "kept": self.kept,
+            "dry_run": self.dry_run,
+        }
+
+
+class ResultStore:
+    """Content-addressed on-disk memo of :class:`FactoryEvaluation` payloads.
+
+    Parameters
+    ----------
+    root:
+        Store directory (created lazily on first write).  Defaults to
+        ``.repro-store`` under the current working directory.
+    schema_version:
+        Fingerprint schema tag; exposed for tests and migrations, normally
+        left at :data:`STORE_SCHEMA_VERSION`.
+
+    Notes
+    -----
+    ``hits`` / ``misses`` / ``puts`` / ``corrupt_skipped`` are
+    process-lifetime counters on the *lookup* path, making the executor's
+    ``store_hits`` accounting exact (maintenance scans — ``status``,
+    ``gc`` — do not move them).  Entries are plain JSON files, so a store
+    can be rsynced, committed, or inspected with ``jq``.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path] = DEFAULT_STORE_ROOT,
+        schema_version: int = STORE_SCHEMA_VERSION,
+    ) -> None:
+        self.root = Path(root)
+        self.schema_version = schema_version
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+        self.corrupt_skipped = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ResultStore root={str(self.root)!r} v{self.schema_version}>"
+
+    # ------------------------------------------------------------------
+    # Addressing
+    # ------------------------------------------------------------------
+    def fingerprint(self, request: EvaluationRequest) -> str:
+        """The content address this store uses for ``request``."""
+        return request_fingerprint(request, self.schema_version)
+
+    def path_for(self, fingerprint: str) -> Path:
+        """Sharded payload path of a fingerprint."""
+        return self.root / fingerprint[:2] / f"{fingerprint}.json"
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+    def _read_payload(
+        self, path: Path, count_corrupt: bool = True
+    ) -> Optional[Dict[str, Any]]:
+        """Parse one payload file; corrupt files are warnings, not crashes.
+
+        ``count_corrupt=False`` keeps maintenance scans (``status``/``gc``
+        iterating every entry) from inflating the ``corrupt_skipped``
+        counter, which counts skips on the *lookup* path only.
+        """
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError, UnicodeDecodeError) as error:
+            if count_corrupt:
+                self.corrupt_skipped += 1
+            warnings.warn(
+                f"result store: skipping unreadable entry {path} ({error})",
+                ResultStoreWarning,
+                stacklevel=3,
+            )
+            return None
+        if not isinstance(payload, dict):
+            if count_corrupt:
+                self.corrupt_skipped += 1
+            warnings.warn(
+                f"result store: skipping non-object entry {path}",
+                ResultStoreWarning,
+                stacklevel=3,
+            )
+            return None
+        return payload
+
+    def get(self, request: EvaluationRequest) -> Optional[FactoryEvaluation]:
+        """The stored evaluation of ``request``, or ``None`` (a miss).
+
+        Payloads whose embedded schema version or fingerprint does not match
+        the probe — manual edits, partial writes that survived as valid
+        JSON, foreign-schema leftovers — are treated as misses with a
+        :class:`ResultStoreWarning`, never as crashes or wrong answers.
+        """
+        fingerprint = self.fingerprint(request)
+        payload = self._read_payload(self.path_for(fingerprint))
+        if payload is None:
+            self.misses += 1
+            return None
+        if (
+            payload.get("schema_version") != self.schema_version
+            or payload.get("fingerprint") != fingerprint
+        ):
+            self.corrupt_skipped += 1
+            warnings.warn(
+                f"result store: entry {fingerprint} is mislabelled "
+                f"(schema_version={payload.get('schema_version')!r}); skipping",
+                ResultStoreWarning,
+                stacklevel=2,
+            )
+            self.misses += 1
+            return None
+        try:
+            result = FactoryEvaluation.from_dict(payload["result"])
+        except (AttributeError, KeyError, TypeError, ValueError) as error:
+            self.corrupt_skipped += 1
+            warnings.warn(
+                f"result store: entry {fingerprint} has an undecodable "
+                f"result ({error}); skipping",
+                ResultStoreWarning,
+                stacklevel=2,
+            )
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def contains(self, request: EvaluationRequest) -> bool:
+        """Whether a readable, correctly labelled entry exists (no counters)."""
+        hits, misses, corrupt = self.hits, self.misses, self.corrupt_skipped
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", ResultStoreWarning)
+            found = self.get(request)
+        self.hits, self.misses, self.corrupt_skipped = hits, misses, corrupt
+        return found is not None
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+    def put(
+        self,
+        request: EvaluationRequest,
+        evaluation: FactoryEvaluation,
+        wall_seconds: Optional[float] = None,
+    ) -> str:
+        """Persist one evaluation; returns its fingerprint.
+
+        The write is atomic (temporary file + :func:`os.replace`), so a
+        killed sweep never leaves a half-written entry under the final
+        name, and two processes storing the same fingerprint are safe.
+        """
+        fingerprint = self.fingerprint(request)
+        path = self.path_for(fingerprint)
+        payload = {
+            "schema_version": self.schema_version,
+            "fingerprint": fingerprint,
+            "request": request.to_dict(),
+            "result": evaluation.to_dict(),
+            "meta": store_metadata(wall_seconds),
+        }
+        atomic_write_json(path, payload, indent=2, sort_keys=True)
+        self.puts += 1
+        return fingerprint
+
+    def try_put(
+        self,
+        request: EvaluationRequest,
+        evaluation: FactoryEvaluation,
+        wall_seconds: Optional[float] = None,
+    ) -> Optional[str]:
+        """:meth:`put`, degrading write failures to a warning.
+
+        The pipeline and executor treat the store as a pure optimization:
+        a full disk or permission error must cost the *persistence* of a
+        result, never the sweep that computed it.  Returns the fingerprint,
+        or ``None`` when the write failed.
+        """
+        try:
+            return self.put(request, evaluation, wall_seconds)
+        except OSError as error:
+            warnings.warn(
+                f"result store: could not persist an entry under "
+                f"{self.root} ({error}); continuing without it",
+                ResultStoreWarning,
+                stacklevel=2,
+            )
+            return None
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def _entry_paths(self) -> Iterator[Path]:
+        if not self.root.is_dir():
+            return
+        for shard in sorted(self.root.iterdir()):
+            if not shard.is_dir():
+                continue
+            for path in sorted(shard.glob("*.json")):
+                yield path
+
+    def entries(self) -> Iterator[Tuple[Path, Optional[Dict[str, Any]]]]:
+        """Every entry path with its parsed payload (``None`` if corrupt).
+
+        A maintenance scan, not a lookup: corrupt entries are reported in
+        the yielded pairs without touching the ``corrupt_skipped`` counter.
+        """
+        for path in self._entry_paths():
+            yield path, self._read_payload(path, count_corrupt=False)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._entry_paths())
+
+    def _entry_age_seconds(
+        self, path: Path, payload: Optional[Dict[str, Any]], now: float
+    ) -> float:
+        """Entry age: recorded creation time, file mtime for corrupt files."""
+        if payload is not None:
+            created = (payload.get("meta") or {}).get("created_unix")
+            if isinstance(created, (int, float)):
+                return now - float(created)
+        try:
+            return now - path.stat().st_mtime
+        except OSError:  # pragma: no cover - raced with a concurrent gc
+            return 0.0
+
+    def status(self) -> Dict[str, Any]:
+        """Aggregate view of the store for ``repro-msfu sweep status``."""
+        entry_count = 0
+        total_bytes = 0
+        corrupt = 0
+        stale_schema = 0
+        oldest: Optional[float] = None
+        newest: Optional[float] = None
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", ResultStoreWarning)
+            for path, payload in self.entries():
+                entry_count += 1
+                try:
+                    total_bytes += path.stat().st_size
+                except OSError:  # pragma: no cover - raced with deletion
+                    pass
+                if payload is None:
+                    corrupt += 1
+                    continue
+                if payload.get("schema_version") != self.schema_version:
+                    stale_schema += 1
+                created = (payload.get("meta") or {}).get("created_unix")
+                if isinstance(created, (int, float)):
+                    created = float(created)
+                    oldest = created if oldest is None else min(oldest, created)
+                    newest = created if newest is None else max(newest, created)
+
+        def _utc(stamp: Optional[float]) -> Optional[str]:
+            if stamp is None:
+                return None
+            return datetime.fromtimestamp(stamp, tz=timezone.utc).strftime(
+                "%Y-%m-%dT%H:%M:%SZ"
+            )
+
+        return {
+            "root": str(self.root),
+            "schema_version": self.schema_version,
+            "entries": entry_count,
+            "total_bytes": total_bytes,
+            "corrupt": corrupt,
+            "stale_schema": stale_schema,
+            "oldest_utc": _utc(oldest),
+            "newest_utc": _utc(newest),
+        }
+
+    def gc(
+        self,
+        keep_days: float,
+        dry_run: bool = False,
+        now: Optional[float] = None,
+    ) -> GcReport:
+        """Remove entries older than ``keep_days`` days; keep everything else.
+
+        Age comes from each payload's recorded creation time; corrupt
+        payloads (whose metadata is unreadable) age by file mtime.  With
+        ``dry_run`` nothing is deleted, only reported.
+        """
+        if keep_days < 0:
+            raise ValueError(f"keep_days must be >= 0, got {keep_days}")
+        reference = time.time() if now is None else now
+        horizon = keep_days * 86400.0
+        report = GcReport(dry_run=dry_run)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", ResultStoreWarning)
+            for path, payload in self.entries():
+                if self._entry_age_seconds(path, payload, reference) > horizon:
+                    report.removed.append(path.stem)
+                    if not dry_run:
+                        try:
+                            path.unlink()
+                        except OSError:  # pragma: no cover - concurrent gc
+                            pass
+                else:
+                    report.kept += 1
+        return report
+
+
+def as_result_store(
+    store: Optional[Union["ResultStore", str, Path]]
+) -> Optional[ResultStore]:
+    """Normalize a store argument: pass instances through, wrap paths."""
+    if store is None or isinstance(store, ResultStore):
+        return store
+    return ResultStore(store)

@@ -28,6 +28,18 @@ Benchmark the experiment suite and record the perf trajectory point::
 
     repro-msfu bench --workers 4 --output BENCH_fig7.json
     repro-msfu bench --smoke           # reduced sweep, writes BENCH_<timestamp>.json
+
+Diff two bench records and fail on slowdowns (the CI regression gate)::
+
+    repro-msfu bench --compare BENCH_old.json BENCH_new.json --max-slowdown 3.0
+
+Run a resumable sweep against the persistent result store, inspect it,
+and expire old entries::
+
+    repro-msfu sweep run --methods linear,force_directed --capacities 2,4,8 \
+        --store .repro-store --resume --workers 4 --json --output sweep.json
+    repro-msfu sweep status --store .repro-store
+    repro-msfu sweep gc --store .repro-store --keep-days 30
 """
 
 from __future__ import annotations
@@ -41,7 +53,12 @@ import time
 from datetime import datetime, timezone
 from typing import Any, Dict, List, Optional, Sequence
 
-from .api.executor import take_last_run_stats
+from .api.benchcompare import (
+    BenchRecordError,
+    compare_bench_records,
+    load_bench_record,
+)
+from .api.executor import SweepExecutor, SweepPlan, take_last_run_stats
 from .api.experiments import (
     ExperimentSpec,
     available_experiments,
@@ -49,6 +66,7 @@ from .api.experiments import (
     parse_int_list,
 )
 from .api.pipeline import default_pipeline
+from .api.store import DEFAULT_STORE_ROOT, ResultStore, current_git_sha
 
 
 def _parse_capacities(text: str) -> List[int]:
@@ -145,7 +163,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser.add_argument(
         "--experiments",
         metavar="NAMES",
-        default=",".join(DEFAULT_BENCH_EXPERIMENTS),
+        default=None,
         help=(
             "comma-separated experiment names to benchmark "
             f"(default: {','.join(DEFAULT_BENCH_EXPERIMENTS)})"
@@ -171,7 +189,158 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="record path (default: BENCH_<UTC timestamp>.json in the current directory)",
     )
+    bench_parser.add_argument(
+        "--compare",
+        nargs=2,
+        metavar=("OLD", "NEW"),
+        default=None,
+        help=(
+            "compare two BENCH_*.json records instead of benchmarking: print "
+            "a field-by-field diff table and exit nonzero on wall-time "
+            "regressions beyond --max-slowdown (cross-machine diffs are "
+            "advisory unless --strict)"
+        ),
+    )
+    bench_parser.add_argument(
+        "--max-slowdown",
+        type=float,
+        default=None,
+        metavar="RATIO",
+        help="failing new/old wall-time ratio for --compare (default: 1.5)",
+    )
+    bench_parser.add_argument(
+        "--min-slowdown-seconds",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "absolute wall-time growth below which a ratio breach is noise, "
+            "not a regression (--compare only; default: 0.05)"
+        ),
+    )
+    bench_parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="make --compare regressions gate even across machines/scales",
+    )
+
+    _add_sweep_parsers(subparsers)
     return parser
+
+
+def _add_sweep_parsers(subparsers) -> None:
+    """The ``sweep run / status / gc`` command family (persistent store)."""
+    sweep_parser = subparsers.add_parser(
+        "sweep",
+        help="resumable sweeps backed by the persistent result store",
+        description=(
+            "Run explicit sweep plans against the on-disk result store "
+            "(.repro-store by default): a killed or re-run sweep re-executes "
+            "only the requests not already stored, with byte-identical output."
+        ),
+    )
+    sweep_sub = sweep_parser.add_subparsers(dest="sweep_command", required=True)
+
+    run_parser = sweep_sub.add_parser(
+        "run", help="execute a sweep plan (grid options or --plan FILE)"
+    )
+    run_parser.add_argument(
+        "--methods",
+        metavar="NAMES",
+        default=None,
+        help="comma-separated mapper names (e.g. linear,force_directed)",
+    )
+    run_parser.add_argument(
+        "--capacities",
+        type=_parse_capacities,
+        metavar="LIST",
+        default=None,
+        help="comma-separated factory capacities (e.g. 2,4,8)",
+    )
+    run_parser.add_argument(
+        "--levels",
+        type=_parse_capacities,
+        metavar="LIST",
+        default=None,
+        help="comma-separated factory levels (default: 1)",
+    )
+    run_parser.add_argument(
+        "--seeds",
+        type=_parse_capacities,
+        metavar="LIST",
+        default=None,
+        help="comma-separated mapper seeds (default: 0)",
+    )
+    run_parser.add_argument(
+        "--reuse", action="store_true", help="sweep with qubit reuse enabled"
+    )
+    run_parser.add_argument(
+        "--plan",
+        metavar="FILE",
+        default=None,
+        help="JSON sweep plan (SweepPlan.to_dict form) instead of grid options",
+    )
+    run_parser.add_argument(
+        "--workers", type=int, default=1, help="worker processes (1 = serial)"
+    )
+    run_parser.add_argument(
+        "--store",
+        metavar="DIR",
+        default=DEFAULT_STORE_ROOT,
+        help=f"result store root (default: {DEFAULT_STORE_ROOT})",
+    )
+    run_parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip requests already in the store (restart a killed sweep)",
+    )
+    run_parser.add_argument(
+        "--json", action="store_true", help="emit the structured result as JSON"
+    )
+    run_parser.add_argument(
+        "--output",
+        metavar="FILE",
+        default=None,
+        help="write the result to FILE instead of stdout",
+    )
+
+    status_parser = sweep_sub.add_parser(
+        "status", help="summarize the result store (entries, size, staleness)"
+    )
+    status_parser.add_argument(
+        "--store",
+        metavar="DIR",
+        default=DEFAULT_STORE_ROOT,
+        help=f"result store root (default: {DEFAULT_STORE_ROOT})",
+    )
+    status_parser.add_argument(
+        "--json", action="store_true", help="emit the status as JSON"
+    )
+
+    gc_parser = sweep_sub.add_parser(
+        "gc", help="remove store entries older than --keep-days"
+    )
+    gc_parser.add_argument(
+        "--store",
+        metavar="DIR",
+        default=DEFAULT_STORE_ROOT,
+        help=f"result store root (default: {DEFAULT_STORE_ROOT})",
+    )
+    gc_parser.add_argument(
+        "--keep-days",
+        type=float,
+        required=True,
+        metavar="DAYS",
+        help="keep entries newer than this many days; remove the rest",
+    )
+    gc_parser.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report what would be removed without deleting anything",
+    )
+    gc_parser.add_argument(
+        "--json", action="store_true", help="emit the gc report as JSON"
+    )
 
 
 #: Experiments benchmarked by ``repro-msfu bench`` when none are named: the
@@ -516,6 +685,7 @@ def _bench_one(name: str, args: argparse.Namespace) -> Dict[str, Any]:
             "factory_builds": delta.factory_builds,
             "factory_cache_hits": delta.cache_hits,
             "sim_cache_hits": delta.sim_cache_hits,
+            "store_hits": delta.store_hits,
             "fd_sweeps": delta.fd_sweeps,
             "fd_moves_accepted": delta.fd_moves_accepted,
             "sim_stall_events": delta.sim_stall_events,
@@ -526,9 +696,74 @@ def _bench_one(name: str, args: argparse.Namespace) -> Dict[str, Any]:
     return record
 
 
+def run_bench_compare(args: argparse.Namespace) -> int:
+    """The ``bench --compare`` mode: diff two records, gate on slowdowns."""
+    ignored = [
+        flag
+        for flag, used in (
+            ("--experiments", args.experiments is not None),
+            ("--output", args.output is not None),
+            ("--smoke", args.smoke),
+            ("--workers", args.workers != 1),
+            ("--seed", args.seed is not None),
+        )
+        if used
+    ]
+    if ignored:
+        print(
+            f"bench --compare: {', '.join(ignored)} only apply when "
+            f"benchmarking, not when comparing records",
+            file=sys.stderr,
+        )
+        return 2
+    old_path, new_path = args.compare
+    try:
+        old_record = load_bench_record(old_path)
+        new_record = load_bench_record(new_path)
+        comparison = compare_bench_records(
+            old_record,
+            new_record,
+            max_slowdown=(
+                args.max_slowdown if args.max_slowdown is not None else 1.5
+            ),
+            min_slowdown_seconds=(
+                args.min_slowdown_seconds
+                if args.min_slowdown_seconds is not None
+                else 0.05
+            ),
+        )
+    except (BenchRecordError, ValueError) as error:
+        print(f"bench --compare: {error}", file=sys.stderr)
+        return 2
+    print(comparison.format_table(strict=args.strict))
+    return comparison.exit_code(strict=args.strict)
+
+
 def run_bench(args: argparse.Namespace) -> int:
     """The ``bench`` command: time experiments and write the perf record."""
-    names = [name.strip() for name in args.experiments.split(",") if name.strip()]
+    if args.compare is not None:
+        return run_bench_compare(args)
+    compare_only = [
+        flag
+        for flag, used in (
+            ("--max-slowdown", args.max_slowdown is not None),
+            ("--min-slowdown-seconds", args.min_slowdown_seconds is not None),
+            ("--strict", args.strict),
+        )
+        if used
+    ]
+    if compare_only:
+        print(
+            f"bench: {', '.join(compare_only)} only apply with --compare",
+            file=sys.stderr,
+        )
+        return 2
+    experiments = (
+        args.experiments
+        if args.experiments is not None
+        else ",".join(DEFAULT_BENCH_EXPERIMENTS)
+    )
+    names = [name.strip() for name in experiments.split(",") if name.strip()]
     if args.workers < 1:
         print(f"bench: --workers must be >= 1, got {args.workers}", file=sys.stderr)
         return 2
@@ -569,8 +804,12 @@ def run_bench(args: argparse.Namespace) -> int:
         # records what actually ran (experiments without a workers param
         # always run serially).
         "requested_workers": args.workers,
+        # Provenance: lets `bench --compare` gate same-machine diffs hard and
+        # annotate cross-machine diffs as advisory instead of failing them.
+        "git_sha": current_git_sha(),
         "cpu_count": os.cpu_count(),
-        "python": platform.python_version(),
+        "python": platform.python_version(),  # legacy key, kept for old tooling
+        "python_version": platform.python_version(),
         "platform": platform.platform(),
         "experiments": records,
         "total_wall_seconds": round(
@@ -584,6 +823,142 @@ def run_bench(args: argparse.Namespace) -> int:
         json.dump(payload, handle, indent=2)
         handle.write("\n")
     print(f"[bench record -> {output}]", file=sys.stderr)
+    return 0
+
+
+def _sweep_plan_from_args(args: argparse.Namespace) -> SweepPlan:
+    """Build the plan for ``sweep run`` from ``--plan`` or the grid options."""
+    if args.plan is not None:
+        grid_flags_used = (
+            args.methods is not None
+            or args.capacities is not None
+            or args.levels is not None
+            or args.seeds is not None
+            or args.reuse
+        )
+        if grid_flags_used:
+            raise ValueError(
+                "--plan and the grid options (--methods/--capacities/--levels/"
+                "--seeds/--reuse) are mutually exclusive: a plan file fully "
+                "determines its requests"
+            )
+        with open(args.plan, "r", encoding="utf-8") as handle:
+            try:
+                plan = SweepPlan.from_dict(json.load(handle))
+            except (AttributeError, KeyError, TypeError, ValueError) as error:
+                raise ValueError(
+                    f"{args.plan} is not a valid sweep plan "
+                    f"(SweepPlan.to_dict form): {error}"
+                ) from error
+    else:
+        if args.methods is None or args.capacities is None:
+            raise ValueError(
+                "sweep run needs --methods and --capacities (or --plan FILE)"
+            )
+        methods = [name.strip() for name in args.methods.split(",") if name.strip()]
+        if not methods:
+            raise ValueError("--methods must name at least one mapper")
+        plan = SweepPlan.from_grid(
+            methods=methods,
+            capacities=args.capacities,
+            levels=args.levels if args.levels is not None else [1],
+            reuse=args.reuse,
+            seeds=args.seeds if args.seeds is not None else [0],
+        )
+    # Fail fast on unknown mapper names — a clean exit-2 message beats a
+    # traceback out of the executor (or a worker process) mid-run.
+    from .api.mappers import get_mapper
+
+    for name in sorted({request.method for request in plan}):
+        get_mapper(name)  # RegistryError (a ValueError) lists what exists
+    return plan
+
+
+def _emit(text: str, output: Optional[str]) -> None:
+    """Write rendered command output to stdout or ``--output FILE``."""
+    if output:
+        with open(output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"[-> {output}]", file=sys.stderr)
+    else:
+        print(text)
+
+
+def run_sweep_command(args: argparse.Namespace) -> int:
+    """The ``sweep`` command family: run / status / gc on the result store."""
+    store = ResultStore(args.store)
+
+    if args.sweep_command == "status":
+        status = store.status()
+        if args.json:
+            print(json.dumps(status, indent=2))
+        else:
+            print(f"result store {status['root']} (schema v{status['schema_version']})")
+            print(f"  entries:      {status['entries']}")
+            print(f"  total bytes:  {status['total_bytes']}")
+            print(f"  corrupt:      {status['corrupt']}")
+            print(f"  stale schema: {status['stale_schema']}")
+            print(f"  oldest:       {status['oldest_utc'] or '-'}")
+            print(f"  newest:       {status['newest_utc'] or '-'}")
+        return 0
+
+    if args.sweep_command == "gc":
+        try:
+            report = store.gc(keep_days=args.keep_days, dry_run=args.dry_run)
+        except ValueError as error:
+            print(f"sweep gc: {error}", file=sys.stderr)
+            return 2
+        if args.json:
+            print(json.dumps(report.to_dict(), indent=2))
+        else:
+            verb = "would remove" if args.dry_run else "removed"
+            print(
+                f"sweep gc: {verb} {len(report.removed)} entries older than "
+                f"{args.keep_days:g} days, kept {report.kept}"
+            )
+        return 0
+
+    # sweep run
+    if args.workers < 1:
+        print(f"sweep run: --workers must be >= 1, got {args.workers}", file=sys.stderr)
+        return 2
+    try:
+        plan = _sweep_plan_from_args(args)
+    except (OSError, ValueError) as error:
+        print(f"sweep run: {error}", file=sys.stderr)
+        return 2
+    executor = SweepExecutor(workers=args.workers, store=store)
+    started = time.time()
+    result = executor.run(plan, resume=args.resume)
+    elapsed = time.time() - started
+    stats = result.stats
+    print(
+        f"[sweep run: {stats.requests} requests -> {stats.evaluations} evaluated, "
+        f"{stats.store_hits} from store, {stats.duplicate_hits} duplicates "
+        f"in {elapsed:.1f}s]",
+        file=sys.stderr,
+    )
+    if args.json:
+        payload = {
+            "schema": "repro-msfu-sweep/v1",
+            "store": str(store.root),
+            "resumed": bool(args.resume),
+            "stats": stats.to_dict(),
+            "evaluations": [evaluation.to_dict() for evaluation in result.evaluations],
+        }
+        _emit(json.dumps(payload, indent=2), args.output)
+        return 0
+    lines = [
+        f"{'method':<18} {'capacity':>8} {'levels':>6} {'reuse':>5} {'seed':>4} "
+        f"{'latency':>8} {'area':>6} {'volume':>10}"
+    ]
+    for request, evaluation in zip(plan, result.evaluations):
+        lines.append(
+            f"{evaluation.method:<18} {evaluation.capacity:>8} "
+            f"{evaluation.levels:>6} {str(evaluation.reuse):>5} {request.seed:>4} "
+            f"{evaluation.latency:>8} {evaluation.area:>6} {evaluation.volume:>10}"
+        )
+    _emit("\n".join(lines), args.output)
     return 0
 
 
@@ -666,6 +1041,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.command == "bench":
         return run_bench(args)
+
+    if args.command == "sweep":
+        return run_sweep_command(args)
 
     spec = get_experiment(args.experiment)
     kwargs = _experiment_kwargs(spec, args)

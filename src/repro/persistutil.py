@@ -1,0 +1,65 @@
+"""Shared persistence primitives for the on-disk caches and stores.
+
+Both persistence layers — :class:`repro.api.store.ResultStore` (above the
+pipeline) and :class:`repro.routing.simulator.SimulationCache` (below it) —
+need the same two disciplines, kept here so durability fixes land in one
+place (routing cannot import :mod:`repro.api`, so the helpers live below
+both):
+
+* :func:`tagged_fingerprint` — blake2b over a canonical byte encoding,
+  salted with a NUL-separated schema/version tag, so equal fingerprints
+  name identical payloads and a schema bump re-addresses everything;
+* :func:`atomic_write_json` — temporary file + :func:`os.replace`, so a
+  killed process never leaves a half-written payload under the final name
+  and concurrent writers of the same content are safe.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any, Optional, Union
+
+
+def tagged_fingerprint(
+    tag: str, payload: Union[bytes, str], digest_size: int = 20
+) -> str:
+    """Hex blake2b content address of ``payload`` salted with ``tag``.
+
+    The tag (e.g. ``"repro-msfu-store/v1"``) is folded in ahead of a NUL
+    separator, so bumping a schema version changes every address instead of
+    letting old payloads be misread under a new format.
+    """
+    digest = hashlib.blake2b(digest_size=digest_size)
+    digest.update(tag.encode("ascii"))
+    digest.update(b"\x00")
+    digest.update(payload if isinstance(payload, bytes) else payload.encode("utf-8"))
+    return digest.hexdigest()
+
+
+def atomic_write_json(
+    path: Union[str, "os.PathLike[str]"],
+    payload: Any,
+    indent: Optional[int] = None,
+    sort_keys: bool = False,
+) -> None:
+    """Write ``payload`` as JSON to ``path`` atomically.
+
+    Creates parent directories, writes to a per-process temporary file
+    beside the target, and publishes with :func:`os.replace`; the
+    temporary file is removed if the write fails mid-way.
+    """
+    path = os.fspath(path)
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    tmp_path = f"{path}.{os.getpid()}.tmp"
+    try:
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=indent, sort_keys=sort_keys)
+            handle.write("\n")
+        os.replace(tmp_path, path)
+    finally:
+        if os.path.exists(tmp_path):  # pragma: no cover - failed write only
+            os.unlink(tmp_path)

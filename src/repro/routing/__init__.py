@@ -33,6 +33,7 @@ from .router import BraidRouter, bfs_detour, bfs_detour_mask, rectilinear_candid
 from .simulator import (
     RoutingDeadlockError,
     SimulationCache,
+    SimulationCacheWarning,
     SimulationResult,
     SimulatorConfig,
     circuit_fingerprint,
@@ -40,6 +41,7 @@ from .simulator import (
     simulate_latency,
     simulate_reference,
     simulation_cache_key,
+    simulation_fingerprint,
 )
 
 __all__ = [
@@ -56,6 +58,7 @@ __all__ = [
     "rectilinear_candidates",
     "RoutingDeadlockError",
     "SimulationCache",
+    "SimulationCacheWarning",
     "SimulationResult",
     "SimulatorConfig",
     "circuit_fingerprint",
@@ -63,4 +66,5 @@ __all__ = [
     "simulate_latency",
     "simulate_reference",
     "simulation_cache_key",
+    "simulation_fingerprint",
 ]

@@ -1,0 +1,358 @@
+"""Tests for the bench-record comparison tool and its CLI gate.
+
+The contract: same-provenance records gate hard on wall-time slowdowns
+beyond the threshold, cross-machine / cross-scale records are advisory
+(full diff, exit 0) unless ``--strict``, and workload drifts are annotated
+field by field.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api.benchcompare import (
+    BenchRecordError,
+    compare_bench_records,
+    load_bench_record,
+    record_python_version,
+)
+from repro.cli import main
+
+
+def bench_record(**overrides):
+    """A minimal, valid bench record; keyword overrides patch the header."""
+    record = {
+        "schema": "repro-msfu-bench/v1",
+        "created_utc": "2026-07-28T12:00:00Z",
+        "smoke": True,
+        "requested_workers": 1,
+        "git_sha": "a" * 40,
+        "cpu_count": 4,
+        "python": "3.12.1",
+        "python_version": "3.12.1",
+        "platform": "Linux-test",
+        "experiments": [
+            {
+                "experiment": "fig7a",
+                "params": {},
+                "workers": 1,
+                "wall_seconds": 2.0,
+                "sim_cycles": 1000,
+                "stall_cycles": 500,
+                "evaluations": 10,
+            },
+            {
+                "experiment": "table1-level1",
+                "params": {},
+                "workers": 1,
+                "wall_seconds": 1.0,
+                "sim_cycles": 400,
+                "stall_cycles": 100,
+                "evaluations": 5,
+            },
+        ],
+        "total_wall_seconds": 3.0,
+    }
+    record.update(overrides)
+    return record
+
+
+def scaled(record, factor):
+    """A copy of ``record`` with every wall time multiplied by ``factor``."""
+    copy = json.loads(json.dumps(record))
+    for entry in copy["experiments"]:
+        entry["wall_seconds"] = entry["wall_seconds"] * factor
+    copy["total_wall_seconds"] = copy["total_wall_seconds"] * factor
+    return copy
+
+
+class TestCompareVerdicts:
+    def test_identical_records_pass(self):
+        old = bench_record()
+        comparison = compare_bench_records(old, scaled(old, 1.0), max_slowdown=1.5)
+        assert comparison.comparable
+        assert comparison.regressions == []
+        assert comparison.exit_code() == 0
+
+    def test_slowdown_beyond_threshold_is_gating_regression(self):
+        old = bench_record()
+        comparison = compare_bench_records(old, scaled(old, 2.0), max_slowdown=1.5)
+        assert comparison.comparable
+        # The TOTAL row is tracked separately so regression counts do not
+        # inflate: 2 regressed experiments, not 3.
+        names = {delta.experiment for delta in comparison.regressions}
+        assert names == {"fig7a", "table1-level1"}
+        assert comparison.total_regressed
+        assert comparison.exit_code() == 1
+
+    def test_total_only_creep_still_gates(self):
+        """Per-experiment creep under the noise floor can still regress the run."""
+        old = bench_record()
+        old["experiments"][0]["wall_seconds"] = 0.04
+        old["experiments"][1]["wall_seconds"] = 0.02
+        old["total_wall_seconds"] = 0.06
+        new = scaled(old, 1.0)
+        # Each row grows 30ms (under the 50ms floor: no row regression)...
+        new["experiments"][0]["wall_seconds"] = 0.07
+        new["experiments"][1]["wall_seconds"] = 0.05
+        new["total_wall_seconds"] = 0.12
+        comparison = compare_bench_records(old, new, max_slowdown=1.5)
+        assert comparison.regressions == []
+        # ...but the run as a whole doubled, 60ms over: TOTAL gates alone.
+        assert comparison.total_regressed
+        assert comparison.exit_code() == 1
+        assert "total wall time regressed" in comparison.format_table()
+
+    def test_slowdown_within_threshold_passes(self):
+        old = bench_record()
+        comparison = compare_bench_records(old, scaled(old, 1.4), max_slowdown=1.5)
+        assert comparison.exit_code() == 0
+
+    def test_speedup_is_never_a_regression(self):
+        old = bench_record()
+        comparison = compare_bench_records(old, scaled(old, 0.1), max_slowdown=1.5)
+        assert comparison.regressions == []
+
+    def test_cross_machine_regression_is_advisory(self):
+        old = bench_record()
+        new = scaled(old, 10.0)
+        new["platform"] = "Darwin-other-machine"
+        comparison = compare_bench_records(old, new, max_slowdown=1.5)
+        assert not comparison.comparable
+        assert any("platform" in reason for reason in comparison.advisory_reasons)
+        assert comparison.regressions  # reported...
+        assert comparison.exit_code() == 0  # ...but not gating
+        assert comparison.exit_code(strict=True) == 1  # unless forced
+
+    def test_cpu_count_python_and_smoke_affect_comparability(self):
+        old = bench_record()
+        for key, value in (
+            ("cpu_count", 1),
+            ("python_version", "3.9.0"),
+            ("smoke", False),
+        ):
+            new = scaled(old, 1.0)
+            new[key] = value
+            if key == "python_version":
+                new["python"] = value
+            comparison = compare_bench_records(old, new)
+            assert not comparison.comparable, key
+
+    def test_git_sha_difference_does_not_affect_comparability(self):
+        old = bench_record()
+        new = scaled(old, 1.0)
+        new["git_sha"] = "b" * 40
+        assert compare_bench_records(old, new).comparable
+
+    def test_legacy_python_key_is_understood(self):
+        old = bench_record()
+        del old["python_version"]  # pre-provenance records only had "python"
+        assert record_python_version(old) == "3.12.1"
+        comparison = compare_bench_records(old, bench_record())
+        assert comparison.comparable
+
+
+class TestCompareDiffDetails:
+    def test_workload_drift_is_annotated(self):
+        old = bench_record()
+        new = scaled(old, 1.0)
+        new["experiments"][0]["sim_cycles"] = 2222
+        new["experiments"][0]["params"] = {"capacities": [2]}
+        comparison = compare_bench_records(old, new)
+        [fig7a] = [d for d in comparison.deltas if d.experiment == "fig7a"]
+        assert any("sim_cycles 1000 -> 2222" in note for note in fig7a.notes)
+        assert any("params differ" in note for note in fig7a.notes)
+
+    def test_missing_experiment_gates_like_a_regression(self):
+        """A vanished benchmark must not silently pass the gate watching it."""
+        old = bench_record()
+        new = scaled(old, 1.0)
+        new["experiments"] = new["experiments"][:1]
+        new["experiments"].append(
+            {"experiment": "brand-new", "wall_seconds": 0.5, "params": {}}
+        )
+        comparison = compare_bench_records(old, new)
+        by_name = {delta.experiment: delta for delta in comparison.deltas}
+        assert by_name["table1-level1"].status == "MISSING"
+        assert by_name["brand-new"].status == "new"
+        assert [delta.experiment for delta in comparison.missing] == ["table1-level1"]
+        assert comparison.exit_code() == 1  # comparable records: gates
+        assert "missing from the new record" in comparison.format_table()
+        # New experiments never gate on their own.
+        assert compare_bench_records(old, bench_record()).exit_code() == 0
+
+    def test_missing_experiment_is_advisory_cross_machine(self):
+        old = bench_record()
+        new = scaled(old, 1.0)
+        new["experiments"] = new["experiments"][:1]
+        new["platform"] = "Darwin-other"
+        comparison = compare_bench_records(old, new)
+        assert comparison.exit_code() == 0
+        assert comparison.exit_code(strict=True) == 1
+
+    def test_tiny_absolute_slowdowns_are_noise_not_regressions(self):
+        """A 10x ratio on a 3ms case is under the absolute floor: no gate."""
+        old = bench_record()
+        for entry in old["experiments"]:
+            entry["wall_seconds"] = 0.002
+        old["total_wall_seconds"] = 0.004
+        new = scaled(old, 10.0)  # 2ms -> 20ms (total 40ms): under the 50ms floor
+        comparison = compare_bench_records(old, new, max_slowdown=1.5)
+        assert comparison.regressions == []
+        assert comparison.exit_code() == 0
+        # The same ratio above a tighter floor gates.
+        tighter = compare_bench_records(
+            old, new, max_slowdown=1.5, min_slowdown_seconds=0.01
+        )
+        assert tighter.exit_code() == 1
+
+    def test_zero_old_wall_gates_on_absolute_growth(self):
+        old = bench_record()
+        old["experiments"][0]["wall_seconds"] = 0.0
+        new = scaled(old, 1.0)
+        new["experiments"][0]["wall_seconds"] = 0.5  # grew from nothing
+        comparison = compare_bench_records(old, new, max_slowdown=3.0)
+        [fig7a] = [d for d in comparison.deltas if d.experiment == "fig7a"]
+        assert fig7a.ratio is None and fig7a.regression
+        assert comparison.exit_code() == 1
+
+    def test_added_experiment_does_not_regress_total(self):
+        """Extending the bench suite must not read as a total-wall slowdown."""
+        old = bench_record()
+        new = scaled(old, 1.0)
+        new["experiments"].append(
+            {"experiment": "brand-new", "wall_seconds": 50.0, "params": {}}
+        )
+        new["total_wall_seconds"] = old["total_wall_seconds"] + 50.0
+        comparison = compare_bench_records(old, new, max_slowdown=1.5)
+        [total] = [d for d in comparison.deltas if d.experiment == "TOTAL"]
+        assert total.old_wall == total.new_wall == 3.0  # matched rows only
+        assert not total.regression
+        assert "comparable experiments only" in total.notes
+        assert comparison.exit_code() == 0
+
+    def test_workload_drift_demotes_wall_gating_to_advisory(self):
+        """workers 4 -> 1 making a sweep slower is not a code regression."""
+        old = bench_record()
+        new = scaled(old, 6.0)
+        for entry in new["experiments"]:
+            entry["workers"] = 4  # old recorded workers=1
+        comparison = compare_bench_records(old, new, max_slowdown=1.5)
+        for delta in comparison.deltas:
+            assert not delta.regression, delta.experiment
+        [fig7a] = [d for d in comparison.deltas if d.experiment == "fig7a"]
+        assert any("workers" in note for note in fig7a.notes)
+        assert any("wall gating skipped" in note for note in fig7a.notes)
+        assert comparison.exit_code() == 0
+        # An identical-workload slowdown of the same size still gates.
+        assert compare_bench_records(old, scaled(old, 6.0)).exit_code() == 1
+
+    def test_strict_verdict_label_is_not_advisory(self):
+        old = bench_record()
+        new = scaled(old, 10.0)
+        new["platform"] = "Darwin-other"
+        comparison = compare_bench_records(old, new, max_slowdown=1.5)
+        table = comparison.format_table()
+        assert "(advisory)" in table
+        assert "not gating" in table
+        # With strict=True the same comparison gates, and every line of the
+        # table agrees with the exit code.
+        strict_table = comparison.format_table(strict=True)
+        assert "(advisory)" not in strict_table
+        assert "not gating" not in strict_table
+        assert "gate anyway" in strict_table
+
+    def test_format_table_mentions_every_experiment(self):
+        old = bench_record()
+        comparison = compare_bench_records(old, scaled(old, 2.0), max_slowdown=1.5)
+        table = comparison.format_table()
+        assert "fig7a" in table and "table1-level1" in table and "TOTAL" in table
+        assert "REGRESSION" in table
+
+    def test_to_dict_round_trips_through_json(self):
+        old = bench_record()
+        comparison = compare_bench_records(old, scaled(old, 2.0))
+        payload = json.loads(json.dumps(comparison.to_dict()))
+        assert payload["regressions"] == 2  # experiment rows only
+        assert payload["total_regressed"] is True
+        assert payload["comparable"] is True
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            compare_bench_records(bench_record(), bench_record(), max_slowdown=0)
+
+
+class TestLoadBenchRecord:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(BenchRecordError):
+            load_bench_record(str(tmp_path / "nope.json"))
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{ nope")
+        with pytest.raises(BenchRecordError):
+            load_bench_record(str(path))
+
+    def test_not_a_bench_record(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"something": "else"}))
+        with pytest.raises(BenchRecordError):
+            load_bench_record(str(path))
+
+
+class TestCompareCli:
+    def _write(self, tmp_path, name, record):
+        path = tmp_path / name
+        path.write_text(json.dumps(record))
+        return str(path)
+
+    def test_cli_pass_and_table(self, tmp_path, capsys):
+        old = self._write(tmp_path, "old.json", bench_record())
+        new = self._write(tmp_path, "new.json", scaled(bench_record(), 1.0))
+        assert main(["bench", "--compare", old, new]) == 0
+        out = capsys.readouterr().out
+        assert "bench compare" in out and "fig7a" in out
+
+    def test_cli_regression_exits_1(self, tmp_path):
+        old = self._write(tmp_path, "old.json", bench_record())
+        new = self._write(tmp_path, "slow.json", scaled(bench_record(), 10.0))
+        assert main(["bench", "--compare", old, new, "--max-slowdown", "3.0"]) == 1
+
+    def test_cli_generous_threshold_passes_small_slowdown(self, tmp_path):
+        old = self._write(tmp_path, "old.json", bench_record())
+        new = self._write(tmp_path, "meh.json", scaled(bench_record(), 2.5))
+        assert main(["bench", "--compare", old, new, "--max-slowdown", "3.0"]) == 0
+
+    def test_cli_cross_machine_advisory_and_strict(self, tmp_path):
+        slow = scaled(bench_record(), 10.0)
+        slow["platform"] = "Darwin-arm64"
+        old = self._write(tmp_path, "old.json", bench_record())
+        new = self._write(tmp_path, "cross.json", slow)
+        assert main(["bench", "--compare", old, new, "--max-slowdown", "3.0"]) == 0
+        assert (
+            main(["bench", "--compare", old, new, "--max-slowdown", "3.0", "--strict"])
+            == 1
+        )
+
+    def test_cli_unreadable_record_exits_2(self, tmp_path):
+        old = self._write(tmp_path, "old.json", bench_record())
+        assert main(["bench", "--compare", old, str(tmp_path / "missing.json")]) == 2
+
+    def test_cli_compare_rejects_benchmarking_flags(self, tmp_path, capsys):
+        old = self._write(tmp_path, "old.json", bench_record())
+        new = self._write(tmp_path, "new.json", bench_record())
+        for extra in (
+            ["--output", str(tmp_path / "diff.json")],
+            ["--smoke"],
+            ["--workers", "4"],
+            ["--experiments", "fig7a"],
+        ):
+            assert main(["bench", "--compare", old, new] + extra) == 2, extra
+            assert "only apply when benchmarking" in capsys.readouterr().err
+
+    def test_cli_bench_rejects_compare_only_flags(self, capsys):
+        for extra in (["--strict"], ["--max-slowdown", "2.0"]):
+            assert main(["bench", "--smoke"] + extra) == 2, extra
+            assert "only apply with --compare" in capsys.readouterr().err
