@@ -30,6 +30,7 @@ from .executor import (
     ExecutorStats,
     SweepExecutor,
     SweepPlan,
+    SweepProgress,
     SweepRunResult,
     recommended_workers,
     run_sweep,
@@ -84,6 +85,7 @@ __all__ = [
     "ExecutorStats",
     "SweepExecutor",
     "SweepPlan",
+    "SweepProgress",
     "SweepRunResult",
     "recommended_workers",
     "run_sweep",

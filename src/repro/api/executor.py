@@ -53,7 +53,18 @@ import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from ..mapping.force_directed import ForceDirectedConfig
 from ..mapping.stitching import StitchingConfig
@@ -238,6 +249,31 @@ class ExecutorStats:
         }
 
 
+@dataclass(frozen=True)
+class SweepProgress:
+    """One progress event of a running sweep (see ``SweepExecutor.run``).
+
+    Fired once per *unique* request the moment it resolves — from the store
+    on a resumed run (``source == "store"``) or from a completed evaluation
+    (``source == "evaluated"``).  ``plan_indices`` are the plan positions
+    this event resolves (the first occurrence plus every duplicate, which is
+    why ``done``/``total`` count plan entries, not unique requests).
+    ``done`` is cumulative and reaches ``total`` exactly when the run
+    completes without errors.
+    """
+
+    done: int
+    total: int
+    source: str
+    plan_indices: Tuple[int, ...]
+    request: EvaluationRequest
+    evaluation: FactoryEvaluation
+
+
+#: Signature of the optional ``progress=`` callback of ``SweepExecutor.run``.
+ProgressCallback = Callable[[SweepProgress], None]
+
+
 @dataclass
 class SweepRunResult:
     """The outcome of executing one :class:`SweepPlan`.
@@ -406,6 +442,7 @@ class SweepExecutor:
         self,
         plan: Union[SweepPlan, Iterable[EvaluationRequest]],
         resume: Optional[bool] = None,
+        progress: Optional[ProgressCallback] = None,
     ) -> SweepRunResult:
         """Execute every request of ``plan``; results come back in plan order.
 
@@ -417,6 +454,13 @@ class SweepExecutor:
         any work — which is how a killed sweep restarts where it died — and
         every freshly computed result is persisted the moment it completes.
         The assembled output is byte-identical with or without the store.
+
+        ``progress`` is called with one :class:`SweepProgress` per unique
+        request the moment it resolves (after any store persistence), in
+        completion order — the hook long-running drivers (the sweep service
+        job queue) use to report completed/total counts and partial results
+        while the run is still going.  Exceptions from the callback
+        propagate and abort the run.
         """
         if not isinstance(plan, SweepPlan):
             plan = SweepPlan.from_requests(plan)
@@ -441,6 +485,28 @@ class SweepExecutor:
                 stats.duplicate_hits += 1
             slots.append(slot)
 
+        # Progress accounting is over plan entries: resolving a unique slot
+        # resolves its first occurrence plus every duplicate at once.
+        indices_of_slot: List[List[int]] = [[] for _ in unique]
+        for position, slot in enumerate(slots):
+            indices_of_slot[slot].append(position)
+        done_entries = 0
+
+        def report(slot: int, source: str, evaluation: FactoryEvaluation) -> None:
+            nonlocal done_entries
+            done_entries += len(indices_of_slot[slot])
+            if progress is not None:
+                progress(
+                    SweepProgress(
+                        done=done_entries,
+                        total=len(slots),
+                        source=source,
+                        plan_indices=tuple(indices_of_slot[slot]),
+                        request=unique[slot],
+                        evaluation=evaluation,
+                    )
+                )
+
         # On a resumed run, answer already-stored requests before scheduling
         # anything: a 10k-point sweep killed at 9k re-executes only 1k.
         unique_results: List[Optional[FactoryEvaluation]] = [None] * len(unique)
@@ -452,15 +518,16 @@ class SweepExecutor:
                 if stored is not None:
                     unique_results[index] = stored
                     stats.store_hits += 1
+                    report(index, "store", stored)
                 else:
                     still_pending.append(index)
             pending = still_pending
 
         if pending:
             if self.workers == 1 or len(pending) <= 1:
-                self._run_serial(unique, unique_results, pending, stats)
+                self._run_serial(unique, unique_results, pending, stats, report)
             else:
-                self._run_parallel(unique, unique_results, pending, stats)
+                self._run_parallel(unique, unique_results, pending, stats, report)
 
         evaluations = [unique_results[slot] for slot in slots]
         stats.wall_seconds = time.perf_counter() - started
@@ -479,6 +546,7 @@ class SweepExecutor:
         unique_results: List[Optional[FactoryEvaluation]],
         pending: Sequence[int],
         stats: ExecutorStats,
+        report: Callable[[int, str, FactoryEvaluation], None],
     ) -> None:
         pipeline = self.pipeline()
         for index in pending:
@@ -494,6 +562,7 @@ class SweepExecutor:
                 self.store.try_put(
                     self._storage_request(unique[index]), evaluation, wall_seconds=wall
                 )
+            report(index, "evaluated", evaluation)
 
     def _run_parallel(
         self,
@@ -501,6 +570,7 @@ class SweepExecutor:
         unique_results: List[Optional[FactoryEvaluation]],
         pending: Sequence[int],
         stats: ExecutorStats,
+        report: Callable[[int, str, FactoryEvaluation], None],
     ) -> None:
         workers = min(self.workers, len(pending))
         with ProcessPoolExecutor(
@@ -536,6 +606,7 @@ class SweepExecutor:
                         evaluation,
                         wall_seconds=wall,
                     )
+                report(index, "evaluated", evaluation)
             if first_error is not None:
                 raise first_error
 

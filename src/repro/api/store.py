@@ -339,11 +339,21 @@ class ResultStore:
     # ------------------------------------------------------------------
     # Maintenance
     # ------------------------------------------------------------------
+    @staticmethod
+    def _is_shard_name(name: str) -> bool:
+        """Whether a directory name is a two-hex-digit payload shard.
+
+        Anything else under the root — e.g. the ``jobs/`` directory the
+        sweep service keeps its job records in — belongs to another layer
+        and must stay invisible to ``status``/``gc``/``len`` scans.
+        """
+        return len(name) == 2 and all(c in "0123456789abcdef" for c in name)
+
     def _entry_paths(self) -> Iterator[Path]:
         if not self.root.is_dir():
             return
         for shard in sorted(self.root.iterdir()):
-            if not shard.is_dir():
+            if not shard.is_dir() or not self._is_shard_name(shard.name):
                 continue
             for path in sorted(shard.glob("*.json")):
                 yield path
@@ -372,6 +382,20 @@ class ResultStore:
             return now - path.stat().st_mtime
         except OSError:  # pragma: no cover - raced with a concurrent gc
             return 0.0
+
+    def counters(self) -> Dict[str, int]:
+        """Process-lifetime lookup-path counters (``/v1/status`` reporting).
+
+        These are the counters documented on the class: ``hits`` /
+        ``misses`` / ``puts`` / ``corrupt_skipped`` move only on the
+        lookup/write path, never during maintenance scans.
+        """
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "corrupt_skipped": self.corrupt_skipped,
+        }
 
     def status(self) -> Dict[str, Any]:
         """Aggregate view of the store for ``repro-msfu sweep status``."""

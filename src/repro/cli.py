@@ -40,6 +40,11 @@ and expire old entries::
         --store .repro-store --resume --workers 4 --json --output sweep.json
     repro-msfu sweep status --store .repro-store
     repro-msfu sweep gc --store .repro-store --keep-days 30
+
+Serve the evaluation API over HTTP (shared store, job queue, request
+coalescing, fingerprint-ETag revalidation)::
+
+    repro-msfu serve --host 127.0.0.1 --port 8765 --store .repro-store --workers 4
 """
 
 from __future__ import annotations
@@ -225,7 +230,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     _add_sweep_parsers(subparsers)
+    _add_serve_parser(subparsers)
     return parser
+
+
+def _add_serve_parser(subparsers) -> None:
+    """The ``serve`` command: the long-running sweep service."""
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="serve the evaluation API over HTTP (job queue + result store)",
+        description=(
+            "Run the stdlib-only sweep service: POST /v1/evaluate for one "
+            "synchronous evaluation, POST /v1/sweeps to queue a sweep plan, "
+            "GET /v1/jobs/<id> for progress, GET /v1/status for counters. "
+            "Identical in-flight requests coalesce into one evaluation, "
+            "warm clients revalidate by fingerprint ETag (304), and every "
+            "result persists through the content-addressed store, so a "
+            "killed server restarted on the same store resumes its jobs."
+        ),
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=8765, help="bind port (default: 8765; 0 = ephemeral)"
+    )
+    serve_parser.add_argument(
+        "--store",
+        metavar="DIR",
+        default=DEFAULT_STORE_ROOT,
+        help=f"result store root (default: {DEFAULT_STORE_ROOT})",
+    )
+    serve_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes per sweep job (1 = serial)",
+    )
 
 
 def _add_sweep_parsers(subparsers) -> None:
@@ -828,6 +869,10 @@ def run_bench(args: argparse.Namespace) -> int:
 
 def _sweep_plan_from_args(args: argparse.Namespace) -> SweepPlan:
     """Build the plan for ``sweep run`` from ``--plan`` or the grid options."""
+    # The validating wire decoder is shared with the HTTP service, so a bad
+    # plan file gets the same field-naming message an HTTP 400 body would.
+    from .service.wire import decode_sweep_plan, validate_plan_mappers
+
     if args.plan is not None:
         grid_flags_used = (
             args.methods is not None
@@ -844,8 +889,8 @@ def _sweep_plan_from_args(args: argparse.Namespace) -> SweepPlan:
             )
         with open(args.plan, "r", encoding="utf-8") as handle:
             try:
-                plan = SweepPlan.from_dict(json.load(handle))
-            except (AttributeError, KeyError, TypeError, ValueError) as error:
+                plan = decode_sweep_plan(json.load(handle))
+            except ValueError as error:  # WireFormatError and bad JSON text
                 raise ValueError(
                     f"{args.plan} is not a valid sweep plan "
                     f"(SweepPlan.to_dict form): {error}"
@@ -865,12 +910,10 @@ def _sweep_plan_from_args(args: argparse.Namespace) -> SweepPlan:
             reuse=args.reuse,
             seeds=args.seeds if args.seeds is not None else [0],
         )
-    # Fail fast on unknown mapper names — a clean exit-2 message beats a
-    # traceback out of the executor (or a worker process) mid-run.
-    from .api.mappers import get_mapper
-
-    for name in sorted({request.method for request in plan}):
-        get_mapper(name)  # RegistryError (a ValueError) lists what exists
+    # Fail fast on unknown mapper names — a clean exit-2 message listing the
+    # registered names beats a traceback out of the executor (or a worker
+    # process) mid-run.  Applies to plan files and grid flags alike.
+    validate_plan_mappers(plan)
     return plan
 
 
@@ -962,6 +1005,48 @@ def run_sweep_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def run_serve(args: argparse.Namespace) -> int:
+    """The ``serve`` command: run the sweep service until interrupted."""
+    if args.workers < 1:
+        print(f"serve: --workers must be >= 1, got {args.workers}", file=sys.stderr)
+        return 2
+    # Imported lazily: the service layer is not needed by any other command.
+    import signal
+
+    from .service.server import serve as build_service
+
+    service, server = build_service(
+        store=args.store, host=args.host, port=args.port, workers=args.workers
+    )
+    host, port = server.server_address[:2]
+    recovered = service.jobs.jobs_in_flight()
+    print(
+        f"[serve: http://{host}:{port} store={args.store} "
+        f"workers={args.workers}"
+        + (f", resuming {recovered} unfinished job(s)" if recovered else "")
+        + "]",
+        file=sys.stderr,
+    )
+
+    # Graceful shutdown on SIGTERM too: Ctrl-C never reaches a process
+    # backgrounded by a non-interactive shell (CI runs `serve &` and later
+    # `kill`s it), so plain termination must also close the job queue and
+    # flush state, not die mid-write.
+    def _sigterm(signum, frame):  # pragma: no cover - signal plumbing
+        raise KeyboardInterrupt
+
+    previous_sigterm = signal.signal(signal.SIGTERM, _sigterm)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("[serve: shutting down]", file=sys.stderr)
+    finally:
+        signal.signal(signal.SIGTERM, previous_sigterm)
+        server.server_close()
+        service.close()
+    return 0
+
+
 def run_experiment(name: str, **kwargs) -> str:
     """Run an experiment by name and return its formatted result.
 
@@ -1044,6 +1129,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.command == "sweep":
         return run_sweep_command(args)
+
+    if args.command == "serve":
+        return run_serve(args)
 
     spec = get_experiment(args.experiment)
     kwargs = _experiment_kwargs(spec, args)

@@ -19,6 +19,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import tempfile
 from typing import Any, Optional, Union
 
 
@@ -46,17 +47,21 @@ def atomic_write_json(
 ) -> None:
     """Write ``payload`` as JSON to ``path`` atomically.
 
-    Creates parent directories, writes to a per-process temporary file
-    beside the target, and publishes with :func:`os.replace`; the
+    Creates parent directories, writes to a uniquely named temporary file
+    beside the target (:func:`tempfile.mkstemp`, so concurrent writers —
+    including *threads* of one process, which share a PID — never collide
+    on the scratch file), and publishes with :func:`os.replace`; the
     temporary file is removed if the write fails mid-way.
     """
     path = os.fspath(path)
     parent = os.path.dirname(path)
     if parent:
         os.makedirs(parent, exist_ok=True)
-    tmp_path = f"{path}.{os.getpid()}.tmp"
+    fd, tmp_path = tempfile.mkstemp(
+        prefix=f"{os.path.basename(path)}.", suffix=".tmp", dir=parent or None
+    )
     try:
-        with open(tmp_path, "w", encoding="utf-8") as handle:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=indent, sort_keys=sort_keys)
             handle.write("\n")
         os.replace(tmp_path, path)

@@ -1,0 +1,47 @@
+"""The sweep service: HTTP API, job queue, and wire-format validation.
+
+``repro-msfu serve`` exposes the evaluation pipeline as a long-running
+shared endpoint: clients POST ``EvaluationRequest``/``SweepPlan`` JSON,
+identical in-flight requests coalesce into one evaluation, warm clients
+revalidate by fingerprint ETag (``304``), and every result persists
+through the content-addressed :class:`~repro.api.store.ResultStore` so a
+killed server resumes its jobs on restart.  See
+:mod:`repro.service.server` for the endpoint table.
+"""
+
+from .jobs import Job, JobManager, JobState, plan_fingerprint
+from .server import (
+    SERVICE_VERSION,
+    EvaluateOutcome,
+    ServiceCounters,
+    SweepService,
+    build_handler,
+    create_server,
+    serve,
+)
+from .wire import (
+    WireFormatError,
+    decode_evaluation_request,
+    decode_sweep_plan,
+    validate_mapper_name,
+    validate_plan_mappers,
+)
+
+__all__ = [
+    "Job",
+    "JobManager",
+    "JobState",
+    "plan_fingerprint",
+    "SERVICE_VERSION",
+    "EvaluateOutcome",
+    "ServiceCounters",
+    "SweepService",
+    "build_handler",
+    "create_server",
+    "serve",
+    "WireFormatError",
+    "decode_evaluation_request",
+    "decode_sweep_plan",
+    "validate_mapper_name",
+    "validate_plan_mappers",
+]

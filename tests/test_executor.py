@@ -16,6 +16,7 @@ from repro.api import (
     Pipeline,
     SweepExecutor,
     SweepPlan,
+    SweepProgress,
     SweepRunResult,
     capacity_sweep,
     recommended_workers,
@@ -416,3 +417,86 @@ class TestSimCongestionBench:
         from repro.cli import DEFAULT_BENCH_EXPERIMENTS, SIM_CONGESTION_BENCH
 
         assert SIM_CONGESTION_BENCH in DEFAULT_BENCH_EXPERIMENTS
+
+
+# ----------------------------------------------------------------------
+# The progress callback (the sweep service's window into a running plan)
+# ----------------------------------------------------------------------
+class TestSweepProgress:
+    def collect(self, plan, **executor_kwargs):
+        events = []
+        result = SweepExecutor(**executor_kwargs).run(plan, progress=events.append)
+        return result, events
+
+    def test_one_event_per_unique_request_covering_every_plan_index(self):
+        plan = small_plan()
+        result, events = self.collect(plan)
+        assert len(events) == len(plan)  # no duplicates in the grid
+        assert all(isinstance(event, SweepProgress) for event in events)
+        assert all(event.total == len(plan) for event in events)
+        covered = sorted(i for event in events for i in event.plan_indices)
+        assert covered == list(range(len(plan)))
+
+    def test_done_is_monotone_and_reaches_total(self):
+        plan = small_plan()
+        _, events = self.collect(plan)
+        done = [event.done for event in events]
+        assert done == sorted(done)
+        assert done[-1] == len(plan)
+        # Each event advances done by exactly the indices it resolves.
+        deltas = [b - a for a, b in zip([0] + done, done)]
+        assert deltas == [len(event.plan_indices) for event in events]
+
+    def test_event_carries_the_resolving_evaluation(self):
+        plan = small_plan()
+        result, events = self.collect(plan)
+        for event in events:
+            for index in event.plan_indices:
+                assert result.evaluations[index] == event.evaluation
+                assert plan.requests[index] == event.request
+
+    def test_duplicates_resolve_with_their_first_occurrence(self):
+        request = EvaluationRequest(method="linear", capacity=2)
+        other = EvaluationRequest(method="linear", capacity=3)
+        plan = SweepPlan.from_requests([request, other, request, request])
+        result, events = self.collect(plan)
+        assert len(events) == 2  # one per unique request
+        [dup_event] = [e for e in events if len(e.plan_indices) > 1]
+        assert dup_event.plan_indices == (0, 2, 3)
+        assert result.stats.duplicate_hits == 2
+
+    def test_sources_match_stats_on_a_resumed_run(self, tmp_path):
+        store = tmp_path / "store"
+        plan = small_plan()
+        seeded = SweepPlan.from_requests(list(plan)[:2])
+        SweepExecutor(store=store).run(seeded)
+
+        result, events = self.collect(plan, store=store, resume=True)
+        by_source = {"store": 0, "evaluated": 0}
+        for event in events:
+            by_source[event.source] += 1
+        assert by_source["store"] == result.stats.store_hits == 2
+        assert by_source["evaluated"] == result.stats.evaluations == 2
+
+    def test_parallel_run_fires_the_same_events(self, tmp_path):
+        plan = small_plan()
+        serial_result, serial_events = self.collect(plan)
+        parallel_result, parallel_events = self.collect(
+            plan, workers=2, store=tmp_path / "store"
+        )
+        assert len(parallel_events) == len(serial_events)
+        assert [e.to_dict() for e in parallel_result.evaluations] == [
+            e.to_dict() for e in serial_result.evaluations
+        ]
+        covered = sorted(
+            i for event in parallel_events for i in event.plan_indices
+        )
+        assert covered == list(range(len(plan)))
+        assert max(event.done for event in parallel_events) == len(plan)
+
+    def test_callback_errors_abort_the_run(self):
+        def explode(event):
+            raise RuntimeError("observer failure")
+
+        with pytest.raises(RuntimeError, match="observer failure"):
+            SweepExecutor().run(small_plan(), progress=explode)

@@ -702,3 +702,106 @@ class TestSimulationCachePersistence:
         loaded = SimulationCache.load(path)
         loaded.clear()
         assert len(loaded._persisted) == 0
+
+
+# ----------------------------------------------------------------------
+# Concurrency: the store is shared by HTTP handler threads, the sweep
+# service job worker, and parallel executors — all at once
+# ----------------------------------------------------------------------
+class TestStoreConcurrency:
+    REQUESTS_PER_THREAD = 25
+
+    def _hammer(self, store, requests, evaluations, thread_count=8):
+        """N threads interleave put/try_put/get over overlapping requests."""
+        import threading
+
+        errors = []
+        observed = [[] for _ in range(thread_count)]
+        barrier = threading.Barrier(thread_count)
+
+        def worker(worker_index):
+            try:
+                barrier.wait()
+                for step in range(self.REQUESTS_PER_THREAD):
+                    pick = (worker_index + step) % len(requests)
+                    request, evaluation = requests[pick], evaluations[pick]
+                    op = (worker_index + step) % 3
+                    if op == 0:
+                        store.put(request, evaluation)
+                    elif op == 1:
+                        store.try_put(request, evaluation)
+                    else:
+                        observed[worker_index].append(
+                            (pick, store.get(request))
+                        )
+            except Exception as error:  # pragma: no cover - the assertion
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,))
+            for i in range(thread_count)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not any(thread.is_alive() for thread in threads)
+        return errors, observed
+
+    def test_hammered_store_never_tears_or_loses_entries(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        requests = [
+            a_request(),
+            a_request(capacity=3),
+            a_request(method="graph_partition"),
+            a_request(method="graph_partition", capacity=3),
+        ]
+        pipeline = Pipeline()
+        evaluations = [pipeline.evaluate(request) for request in requests]
+
+        errors, observed = self._hammer(store, requests, evaluations)
+        assert errors == []
+
+        # No lost entries: every request hammered is present and exact.
+        assert len(store) == len(requests)
+        for request, evaluation in zip(requests, evaluations):
+            assert store.get(request) == evaluation
+        # No torn reads: every concurrent get saw nothing or the one true
+        # value for that fingerprint — never corrupt bytes (atomic
+        # temp-file + rename means a reader can't observe a partial write).
+        assert store.corrupt_skipped == 0
+        for per_thread in observed:
+            for pick, result in per_thread:
+                assert result is None or result == evaluations[pick]
+
+    def test_concurrent_writers_one_winner_per_fingerprint(self, tmp_path):
+        import threading
+
+        store = ResultStore(tmp_path / "store")
+        request = a_request()
+        evaluation = Pipeline().evaluate(request)
+        thread_count = 8
+        barrier = threading.Barrier(thread_count)
+        fingerprints = []
+        lock = threading.Lock()
+
+        def writer():
+            barrier.wait()
+            fingerprint = store.put(request, evaluation)
+            with lock:
+                fingerprints.append(fingerprint)
+
+        threads = [
+            threading.Thread(target=writer) for _ in range(thread_count)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+
+        assert len(set(fingerprints)) == 1
+        assert len(store) == 1  # last atomic rename wins; never a dup
+        assert store.get(request) == evaluation
+        # The payload on disk is whole, parseable JSON (no interleaving).
+        payload = json.loads(store.path_for(fingerprints[0]).read_text())
+        assert payload["fingerprint"] == fingerprints[0]

@@ -205,6 +205,53 @@ class TestSweepRun:
             assert code == 2, content
             assert "not a valid sweep plan" in capsys.readouterr().err
 
+    def test_plan_with_unknown_mapper_exit_2_lists_registered(
+        self, tmp_path, capsys
+    ):
+        """Mapper names in a --plan file are validated before any work runs."""
+        plan = SweepPlan.from_grid(methods=("linear", "typo"), capacities=(2,))
+        plan_path = tmp_path / "plan.json"
+        plan_path.write_text(json.dumps(plan.to_dict()))
+        code = run_cli(
+            [
+                "sweep",
+                "run",
+                "--plan",
+                str(plan_path),
+                "--store",
+                str(tmp_path / "store"),
+            ]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "'typo'" in err
+        # The registered names are listed so the fix is obvious.
+        assert "linear" in err and "graph_partition" in err
+        # Nothing was evaluated or persisted.
+        assert len(ResultStore(tmp_path / "store")) == 0
+
+    def test_malformed_plan_error_names_the_offending_field(
+        self, tmp_path, capsys
+    ):
+        plan_path = tmp_path / "plan.json"
+        plan_path.write_text(
+            json.dumps({"requests": [{"method": "linear", "capcity": 2}]})
+        )
+        code = run_cli(
+            [
+                "sweep",
+                "run",
+                "--plan",
+                str(plan_path),
+                "--store",
+                str(tmp_path / "store"),
+            ]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "requests[0].capcity" in err
+        assert "not a valid sweep plan" in err
+
     def test_missing_grid_options_exit_2(self, tmp_path, capsys):
         code = run_cli(["sweep", "run", "--store", str(tmp_path / "store")])
         assert code == 2

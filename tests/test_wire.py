@@ -1,0 +1,152 @@
+"""Tests for the validating wire-format decoders (:mod:`repro.service.wire`).
+
+The contract: malformed ``EvaluationRequest``/``SweepPlan`` JSON raises a
+:class:`WireFormatError` *naming the offending field* — never a raw
+``KeyError``/``TypeError`` from deep inside ``from_dict`` — so the service
+can answer a useful 400 and the CLI a useful exit-2 message.  Well-formed
+payloads decode exactly as ``from_dict`` would.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import EvaluationRequest, SweepPlan
+from repro.mapping.force_directed import ForceDirectedConfig
+from repro.routing.simulator import SimulatorConfig
+from repro.service.wire import (
+    WireFormatError,
+    decode_evaluation_request,
+    decode_sweep_plan,
+    validate_mapper_name,
+    validate_plan_mappers,
+)
+
+
+def wire_request(**overrides) -> dict:
+    payload = EvaluationRequest(method="linear", capacity=2).to_dict()
+    payload.update(overrides)
+    return payload
+
+
+class TestDecodeEvaluationRequest:
+    def test_round_trip_matches_from_dict(self):
+        request = EvaluationRequest(
+            method="force_directed",
+            capacity=4,
+            levels=2,
+            reuse=True,
+            seed=3,
+            fd_config=ForceDirectedConfig(seed=7),
+            sim_config=SimulatorConfig(max_candidates=3),
+            options={"k": 1},
+        )
+        data = json.loads(json.dumps(request.to_dict()))
+        assert decode_evaluation_request(data) == EvaluationRequest.from_dict(data)
+
+    def test_minimal_payload_decodes(self):
+        request = decode_evaluation_request({"method": "linear", "capacity": 2})
+        assert request == EvaluationRequest(method="linear", capacity=2)
+
+    @pytest.mark.parametrize(
+        "payload, field",
+        [
+            ([1, 2], None),
+            ("linear", None),
+            ({"capacity": 2}, "method"),
+            ({"method": "", "capacity": 2}, "method"),
+            ({"method": 7, "capacity": 2}, "method"),
+            ({"method": "linear"}, "capacity"),
+            ({"method": "linear", "capacity": "big"}, "capacity"),
+            ({"method": "linear", "capacity": True}, "capacity"),
+            ({"method": "linear", "capacity": 0}, "capacity"),
+            (wire_request(levels=0), "levels"),
+            (wire_request(levels="two"), "levels"),
+            (wire_request(reuse="yes"), "reuse"),
+            (wire_request(seed=1.5), "seed"),
+            (wire_request(options=[1]), "options"),
+            (wire_request(sim_config=5), "sim_config"),
+            (wire_request(mehtod="linear"), "mehtod"),
+        ],
+    )
+    def test_malformed_payload_names_the_field(self, payload, field):
+        with pytest.raises(WireFormatError) as excinfo:
+            decode_evaluation_request(payload)
+        assert excinfo.value.field == field
+        if field:
+            assert field in str(excinfo.value)
+
+    def test_unknown_key_lists_valid_keys(self):
+        with pytest.raises(WireFormatError) as excinfo:
+            decode_evaluation_request(wire_request(capcity=2))
+        assert "'capcity'" in str(excinfo.value)
+        assert "capacity" in str(excinfo.value)
+
+    def test_bad_nested_config_is_wire_error_not_typeerror(self):
+        payload = wire_request(fd_config={"no_such_knob": 1})
+        with pytest.raises(WireFormatError):
+            decode_evaluation_request(payload)
+
+    def test_field_prefix_appears_in_nested_messages(self):
+        with pytest.raises(WireFormatError) as excinfo:
+            decode_evaluation_request({"method": "linear"}, field_prefix="requests[3]")
+        assert excinfo.value.field == "requests[3].capacity"
+
+    def test_error_payload_shape(self):
+        with pytest.raises(WireFormatError) as excinfo:
+            decode_evaluation_request({"method": "linear"})
+        body = excinfo.value.to_dict()
+        assert body["error"]["field"] == "capacity"
+        assert "capacity" in body["error"]["message"]
+
+
+class TestDecodeSweepPlan:
+    def test_round_trip(self):
+        plan = SweepPlan.from_grid(
+            methods=("linear", "graph_partition"), capacities=(2, 3)
+        )
+        decoded = decode_sweep_plan(json.loads(json.dumps(plan.to_dict())))
+        assert decoded == plan
+
+    @pytest.mark.parametrize(
+        "payload, field",
+        [
+            ([1, 2, 3], None),
+            ({}, "requests"),
+            ({"requests": {}}, "requests"),
+            ({"requests": []}, "requests"),
+            ({"requests": [{"method": "linear"}]}, "requests[0].capacity"),
+            (
+                {"requests": [wire_request(), {"method": "linear", "capacity": "x"}]},
+                "requests[1].capacity",
+            ),
+        ],
+    )
+    def test_malformed_plan_names_the_field(self, payload, field):
+        with pytest.raises(WireFormatError) as excinfo:
+            decode_sweep_plan(payload)
+        assert excinfo.value.field == field
+
+
+class TestMapperValidation:
+    def test_known_names_pass(self):
+        validate_mapper_name("linear")
+        validate_plan_mappers(
+            SweepPlan.from_grid(methods=("linear", "random"), capacities=(2,))
+        )
+
+    def test_unknown_name_lists_registered(self):
+        with pytest.raises(WireFormatError) as excinfo:
+            validate_mapper_name("no-such-mapper")
+        message = str(excinfo.value)
+        assert "no-such-mapper" in message
+        assert "linear" in message  # the registered names are listed
+
+    def test_unknown_plan_mapper_lists_registered(self):
+        plan = SweepPlan.from_grid(methods=("linear", "typo"), capacities=(2,))
+        with pytest.raises(WireFormatError) as excinfo:
+            validate_plan_mappers(plan)
+        message = str(excinfo.value)
+        assert "'typo'" in message and "linear" in message
