@@ -23,7 +23,7 @@ import pytest
 from conftest import single_level_capacities, two_level_capacities
 from repro.distillation import FactorySpec, ReusePolicy, build_factory
 from repro.mapping import linear_factory_placement, random_circuit_placement
-from repro.routing import SimulatorConfig, simulate, simulate_reference
+from repro.routing import SimulatorConfig, simulate, simulate_batch, simulate_reference
 
 
 def _fig7_configs():
@@ -58,6 +58,40 @@ def test_mask_engine_equals_reference_on_fig7_factories(capacity, levels):
             mask = simulate(factory.circuit, layout, config)
             reference = simulate_reference(factory.circuit, layout, config)
             assert mask.to_dict() == reference.to_dict()
+
+
+@pytest.mark.parametrize("capacity,levels", _fig7_configs())
+def test_batched_engine_equals_scalar_on_fig7_factories(capacity, levels):
+    """The batched core at paper scale: byte-identical at every chunking.
+
+    Each fig7 factory's sweep points (linear and congested random layouts
+    under several candidate budgets) run through :func:`simulate_batch` at
+    batch sizes 1, 3, 8 and the full point set, and every chunking must
+    reproduce per-point :func:`simulate` output exactly.
+    """
+    factory = _factory(capacity, levels)
+    layouts = [
+        linear_factory_placement(factory),
+        random_circuit_placement(factory.circuit, seed=0),
+    ]
+    configs = [
+        SimulatorConfig(max_candidates=1),
+        SimulatorConfig(max_candidates=2),
+        SimulatorConfig(max_candidates=8),
+    ]
+    points = [
+        (factory.circuit, layout, config)
+        for layout in layouts
+        for config in configs
+    ]
+    expected = [simulate(*point).to_dict() for point in points]
+    for batch_size in (1, 3, 8, len(points)):
+        results = []
+        for start in range(0, len(points), batch_size):
+            results.extend(simulate_batch(points[start:start + batch_size]))
+        assert [result.to_dict() for result in results] == expected, (
+            f"batched run diverged at batch_size={batch_size}"
+        )
 
 
 def test_bench_stall_heavy_speedup(benchmark):

@@ -384,6 +384,15 @@ class SweepExecutor:
         a store and makes the run skip already-stored requests; the output
         is byte-identical to an uninterrupted run either way, because
         evaluation is deterministic in the request.
+    batch:
+        ``True`` routes the pending requests through the serial pipeline's
+        batched evaluation path (:meth:`Pipeline.evaluate_batch`): store
+        and simulation-cache probes still happen per request, and only the
+        cache-missing simulations are grouped into one
+        :func:`~repro.routing.batchsim.simulate_batch` call.  The batch
+        *is* the parallelism, so this mode runs in-process and takes
+        precedence over ``workers > 1``.  Results are byte-identical to the
+        unbatched run in every mode combination.
 
     Notes
     -----
@@ -409,10 +418,12 @@ class SweepExecutor:
         sim_cache_size: int = 512,
         store: Optional[Union[ResultStore, str, Path]] = None,
         resume: bool = False,
+        batch: bool = False,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = workers
+        self.batch = batch
         self.sim_config = sim_config
         self.cache_size = cache_size
         self.sim_cache_size = sim_cache_size
@@ -524,7 +535,9 @@ class SweepExecutor:
             pending = still_pending
 
         if pending:
-            if self.workers == 1 or len(pending) <= 1:
+            if self.batch:
+                self._run_batched(unique, unique_results, pending, stats, report)
+            elif self.workers == 1 or len(pending) <= 1:
                 self._run_serial(unique, unique_results, pending, stats, report)
             else:
                 self._run_parallel(unique, unique_results, pending, stats, report)
@@ -561,6 +574,42 @@ class SweepExecutor:
             if self.store is not None:
                 self.store.try_put(
                     self._storage_request(unique[index]), evaluation, wall_seconds=wall
+                )
+            report(index, "evaluated", evaluation)
+
+    def _run_batched(
+        self,
+        unique: Sequence[EvaluationRequest],
+        unique_results: List[Optional[FactoryEvaluation]],
+        pending: Sequence[int],
+        stats: ExecutorStats,
+        report: Callable[[int, str, FactoryEvaluation], None],
+    ) -> None:
+        """The batching mode: one grouped pass over every pending request.
+
+        Store and simulation-cache probes still happen per request inside
+        :meth:`~repro.api.pipeline.Pipeline.evaluate_batch`; only the
+        cache-missing simulations are batched.  Results land in the same
+        unique slots as the serial runner, so the assembled output is
+        byte-identical.  Persistence happens after the batch completes (the
+        batch is one simulation call), so crash durability is per batch,
+        not per request — a resumed run re-executes the interrupted batch's
+        misses only, since everything stored beforehand is skipped.
+        """
+        pipeline = self.pipeline()
+        before = pipeline.stats.snapshot()
+        tick = time.perf_counter()
+        evaluations = pipeline.evaluate_batch([unique[index] for index in pending])
+        wall = time.perf_counter() - tick
+        stats.add_pipeline_delta(pipeline.stats.delta(before))
+        share = wall / len(pending)
+        for index, evaluation in zip(pending, evaluations):
+            unique_results[index] = evaluation
+            if self.store is not None:
+                self.store.try_put(
+                    self._storage_request(unique[index]),
+                    evaluation,
+                    wall_seconds=share,
                 )
             report(index, "evaluated", evaluation)
 
@@ -632,10 +681,12 @@ def run_sweep(
     sim_config: Optional[SimulatorConfig] = None,
     store: Optional[Union[ResultStore, str, Path]] = None,
     resume: bool = False,
+    batch: bool = False,
 ) -> SweepRunResult:
     """One-shot convenience: execute a plan on a fresh :class:`SweepExecutor`."""
     return SweepExecutor(
-        workers=workers, sim_config=sim_config, store=store, resume=resume
+        workers=workers, sim_config=sim_config, store=store, resume=resume,
+        batch=batch,
     ).run(plan)
 
 

@@ -306,25 +306,13 @@ class Pipeline:
     # ------------------------------------------------------------------
     # Evaluation
     # ------------------------------------------------------------------
-    def evaluate(self, request: EvaluationRequest) -> FactoryEvaluation:
-        """Run one request end to end and return its data point."""
-        # Resolve the mapper first: an unknown name should fail before any
-        # factory is built, with a message listing the registered mappers.
-        mapper = get_mapper(request.method)
-        spec = request.spec()
-        sim_config = request.sim_config or self.sim_config or SimulatorConfig()
+    def _map_request(self, mapper, request: EvaluationRequest, sim_config):
+        """Build the factory and run the mapper for one request.
 
-        # Probe the persistent store before any build or simulation work,
-        # keyed on the request with its effective simulator config made
-        # explicit (see EvaluationRequest.with_effective_sim_config).
-        if self.store is not None:
-            storage_request = request.with_effective_sim_config(self.sim_config)
-            stored = self.store.get(storage_request)
-            if stored is not None:
-                self.stats.store_hits += 1
-                return stored
-
-        evaluation_started = time.perf_counter()
+        Returns the concrete simulation point ``(circuit, placement,
+        config)`` — with hop configs resolved for stitched mappings — after
+        folding the mapper's refinement statistics into :attr:`stats`.
+        """
         factory = self.factory(request.capacity, request.levels, request.reuse)
 
         # Attribute only the refinements this mapper run causes: records
@@ -340,43 +328,65 @@ class Pipeline:
             self.stats.fd_sweeps += refine.sweeps
             self.stats.fd_moves_accepted += refine.accepted_moves
 
-        # Imported lazily: repro.analysis imports this module at package
-        # initialisation, so a top-level import would be circular.
-        from ..analysis.volume import evaluate_mapping
-
-        hits_before = self.sim_cache.hits
         if isinstance(outcome, StitchedMapping):
             hop_config = replace(sim_config, hops=outcome.hops)
-            evaluation = evaluate_mapping(
-                outcome.factory.circuit,
-                outcome.placement,
-                hop_config,
-                cache=self.sim_cache,
-            )
-        else:
-            evaluation = evaluate_mapping(
-                factory.circuit, outcome, sim_config, cache=self.sim_cache
-            )
+            return outcome.factory.circuit, outcome.placement, hop_config
+        return factory.circuit, outcome, sim_config
 
-        self.stats.sim_cache_hits += self.sim_cache.hits - hits_before
+    def _result_point(
+        self, request: EvaluationRequest, sim_config, placement, sim_result
+    ) -> FactoryEvaluation:
+        """Fold one simulation result into the reported data point."""
+        # Imported lazily: repro.analysis imports this module at package
+        # initialisation, so a top-level import would be circular.
+        from ..analysis.volume import mapping_area
+
+        area = mapping_area(placement)
+        spec = request.spec()
         self.stats.evaluations += 1
-        self.stats.sim_stall_events += evaluation.stall_events
-        self.stats.sim_distinct_stalls += evaluation.distinct_stalls
-        self.stats.sim_wakeups += evaluation.wakeups
-        result = FactoryEvaluation(
+        self.stats.sim_stall_events += sim_result.stall_events
+        self.stats.sim_distinct_stalls += sim_result.distinct_stalls
+        self.stats.sim_wakeups += sim_result.wakeups
+        return FactoryEvaluation(
             method=request.method,
             capacity=request.capacity,
             levels=request.levels,
             reuse=request.reuse,
-            latency=evaluation.latency,
-            area=evaluation.area,
-            volume=evaluation.volume,
+            latency=sim_result.latency,
+            area=area,
+            volume=sim_result.latency * area,
             critical_latency=factory_latency_lower_bound(
                 spec, dict(sim_config.durations)
             ),
             critical_area=factory_area_lower_bound(spec),
-            stall_cycles=evaluation.stall_cycles,
+            stall_cycles=sim_result.stall_cycles,
         )
+
+    def evaluate(self, request: EvaluationRequest) -> FactoryEvaluation:
+        """Run one request end to end and return its data point."""
+        # Resolve the mapper first: an unknown name should fail before any
+        # factory is built, with a message listing the registered mappers.
+        mapper = get_mapper(request.method)
+        sim_config = request.sim_config or self.sim_config or SimulatorConfig()
+
+        # Probe the persistent store before any build or simulation work,
+        # keyed on the request with its effective simulator config made
+        # explicit (see EvaluationRequest.with_effective_sim_config).
+        if self.store is not None:
+            storage_request = request.with_effective_sim_config(self.sim_config)
+            stored = self.store.get(storage_request)
+            if stored is not None:
+                self.stats.store_hits += 1
+                return stored
+
+        evaluation_started = time.perf_counter()
+        circuit, placement, point_config = self._map_request(
+            mapper, request, sim_config
+        )
+        hits_before = self.sim_cache.hits
+        sim_result = self.sim_cache.simulate(circuit, placement, point_config)
+        self.stats.sim_cache_hits += self.sim_cache.hits - hits_before
+        result = self._result_point(request, sim_config, placement, sim_result)
         if self.store is not None:
             self.store.try_put(
                 storage_request,
@@ -384,6 +394,126 @@ class Pipeline:
                 wall_seconds=time.perf_counter() - evaluation_started,
             )
         return result
+
+    def evaluate_batch(
+        self, requests: Sequence[EvaluationRequest], engine: str = "auto"
+    ) -> List[FactoryEvaluation]:
+        """Evaluate many requests, batching the cache-missing simulations.
+
+        Semantically identical to ``[self.evaluate(r) for r in requests]``
+        — same results, same store/cache accounting — but the simulations
+        not answered by the :class:`~repro.api.store.ResultStore` or the
+        :class:`~repro.routing.simulator.SimulationCache` are executed in
+        one :func:`~repro.routing.batchsim.simulate_batch` call, which
+        groups same-circuit points and advances them together through the
+        vectorized (or compiled) batched engine.  ``engine`` is forwarded
+        to :func:`~repro.routing.batchsim.simulate_batch`.
+        """
+        # Imported lazily, like the other analysis/routing consumers above.
+        from ..routing.batchsim import simulate_batch
+        from ..routing.simulator import simulation_cache_key
+
+        requests = list(requests)
+        results: List[Optional[FactoryEvaluation]] = [None] * len(requests)
+        points: List[tuple] = []  # unique cache-missing (circuit, placement, config)
+        point_of_key: Dict[tuple, int] = {}
+        # Deferred finishing context per request: (position, storage_request,
+        # sim_config, placement, point, started, point_index).
+        deferred: List[tuple] = []
+
+        for position, request in enumerate(requests):
+            mapper = get_mapper(request.method)
+            sim_config = request.sim_config or self.sim_config or SimulatorConfig()
+            storage_request = None
+            if self.store is not None:
+                storage_request = request.with_effective_sim_config(self.sim_config)
+                stored = self.store.get(storage_request)
+                if stored is not None:
+                    self.stats.store_hits += 1
+                    results[position] = stored
+                    continue
+            started = time.perf_counter()
+            circuit, placement, point_config = self._map_request(
+                mapper, request, sim_config
+            )
+            point = (circuit, placement, point_config)
+            key = simulation_cache_key(circuit, placement, point_config)
+            cached = (
+                self.sim_cache.lookup(circuit, placement, point_config)
+                if key not in point_of_key
+                else None
+            )
+            if cached is not None:
+                self.stats.sim_cache_hits += 1
+                result = self._result_point(request, sim_config, placement, cached)
+                results[position] = result
+                if self.store is not None:
+                    self.store.try_put(
+                        storage_request,
+                        result,
+                        wall_seconds=time.perf_counter() - started,
+                    )
+                continue
+            point_index = point_of_key.get(key)
+            first = point_index is None
+            if first:
+                point_index = len(points)
+                point_of_key[key] = point_index
+                points.append(point)
+            deferred.append(
+                (
+                    position,
+                    storage_request,
+                    sim_config,
+                    placement,
+                    point,
+                    started,
+                    point_index,
+                    first,
+                )
+            )
+
+        if not deferred:
+            return results  # type: ignore[return-value]
+
+        batch_started = time.perf_counter()
+        batch_results = simulate_batch(points, engine=engine)
+        batch_share = (time.perf_counter() - batch_started) / len(points)
+
+        for (
+            position,
+            storage_request,
+            sim_config,
+            placement,
+            point,
+            started,
+            point_index,
+            first,
+        ) in deferred:
+            sim_result = batch_results[point_index]
+            if first:
+                # First occurrence of this simulation point: insert the
+                # batched result into the cache (booked as the miss an
+                # unbatched run would have taken).
+                self.sim_cache.store_result(
+                    point[0], point[1], point[2], sim_result
+                )
+            else:
+                # A later duplicate of an earlier point in this batch: an
+                # unbatched run answers it from the cache, and so does this
+                # one (the first occurrence was inserted above).
+                self.sim_cache.lookup(point[0], point[1], point[2])
+                self.stats.sim_cache_hits += 1
+            request = requests[position]
+            result = self._result_point(request, sim_config, placement, sim_result)
+            results[position] = result
+            if self.store is not None:
+                self.store.try_put(
+                    storage_request,
+                    result,
+                    wall_seconds=(time.perf_counter() - started) + batch_share,
+                )
+        return results  # type: ignore[return-value]
 
     def run(self, requests: Iterable[EvaluationRequest]) -> List[FactoryEvaluation]:
         """Evaluate many requests, sharing the factory cache."""
@@ -471,6 +601,7 @@ def capacity_sweep(
     stitch_config: Optional[StitchingConfig] = None,
     sim_config: Optional[SimulatorConfig] = None,
     workers: int = 1,
+    batch: bool = False,
 ) -> List[FactoryEvaluation]:
     """Evaluate every (method, capacity) combination.
 
@@ -479,11 +610,15 @@ def capacity_sweep(
     calls.  With ``workers > 1`` it is executed by a
     :class:`~repro.api.executor.SweepExecutor` across worker processes;
     results are identical and returned in the same deterministic
-    (capacity-major, method-minor) order.
+    (capacity-major, method-minor) order.  With ``batch=True`` the sweep
+    runs through the executor's batching mode instead: the cache-missing
+    simulations execute together in the batched simulator core (see
+    :func:`~repro.routing.batchsim.simulate_batch`) — again with identical
+    results in the identical order.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
-    if workers > 1:
+    if workers > 1 or batch:
         # Imported lazily: the executor module builds on this one.
         from .executor import SweepExecutor, SweepPlan
 
@@ -497,7 +632,8 @@ def capacity_sweep(
             stitch_config=stitch_config,
             sim_config=sim_config,
         )
-        return SweepExecutor(workers=workers, sim_config=sim_config).run(plan).evaluations
+        executor = SweepExecutor(workers=workers, sim_config=sim_config, batch=batch)
+        return executor.run(plan).evaluations
     return _default_pipeline.sweep(
         methods,
         capacities,

@@ -184,6 +184,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=None, help="random seed forwarded to experiments"
     )
     bench_parser.add_argument(
+        "--batch",
+        action="store_true",
+        help=(
+            "run sweep experiments through the batched simulator core "
+            "(identical results; timing reflects the batched path)"
+        ),
+    )
+    bench_parser.add_argument(
         "--smoke",
         action="store_true",
         help="use reduced parameter ranges so the whole bench finishes in seconds",
@@ -325,6 +333,15 @@ def _add_sweep_parsers(subparsers) -> None:
         "--workers", type=int, default=1, help="worker processes (1 = serial)"
     )
     run_parser.add_argument(
+        "--batch",
+        action="store_true",
+        help=(
+            "evaluate the sweep's cache-missing points through the batched "
+            "simulator core (identical results; takes precedence over "
+            "--workers)"
+        ),
+    )
+    run_parser.add_argument(
         "--store",
         metavar="DIR",
         default=DEFAULT_STORE_ROOT,
@@ -388,14 +405,17 @@ def _add_sweep_parsers(subparsers) -> None:
 #: Fig. 7 scaling sweeps (the canonical parallel-execution workload), the
 #: single-level Table I block (a mapper-diverse, simulation-heavy sweep),
 #: the force-directed mapper case (crossing counting + full exact-cost FD
-#: refinement on a factory-scale graph) and the congestion-stress simulator
-#: case (bitmask/wakeup engine vs the set-based reference engine).
+#: refinement on a factory-scale graph), the congestion-stress simulator
+#: case (bitmask/wakeup engine vs the set-based reference engine) and the
+#: batched-simulator case (one ``simulate_batch`` call over a sweep-shaped
+#: point set vs the per-point engine loop).
 DEFAULT_BENCH_EXPERIMENTS = (
     "fig7a",
     "fig7b",
     "table1-level1",
     "fd-mapper",
     "sim-congestion",
+    "sim-batch",
 )
 
 #: Name of the special bench-only case handled by :func:`_bench_fd_mapper`
@@ -407,6 +427,11 @@ FD_MAPPER_BENCH = "fd-mapper"
 #: :func:`_bench_sim_congestion` (times routing-layer internals: the default
 #: simulation engine against the retained reference engine).
 SIM_CONGESTION_BENCH = "sim-congestion"
+
+#: Name of the special bench-only case handled by :func:`_bench_sim_batch`
+#: (times the batched simulator core against the per-point engine loop on
+#: a sweep-shaped same-circuit point set).
+SIM_BATCH_BENCH = "sim-batch"
 
 #: Reduced ``--smoke`` parameter overrides per experiment, chosen so every
 #: entry completes in seconds.  Unknown experiments with a ``capacities``
@@ -437,6 +462,8 @@ def _bench_kwargs(spec: ExperimentSpec, args: argparse.Namespace) -> Dict[str, A
         kwargs["seed"] = args.seed
     if args.workers != 1 and "workers" in param_names:
         kwargs["workers"] = args.workers
+    if getattr(args, "batch", False) and "batch" in param_names:
+        kwargs["batch"] = True
     return kwargs
 
 
@@ -688,6 +715,106 @@ def _bench_sim_congestion(args: argparse.Namespace) -> Dict[str, Any]:
     }
 
 
+def _bench_sim_batch(args: argparse.Namespace) -> Dict[str, Any]:
+    """Benchmark the batched simulator core against the per-point loop.
+
+    The scenario is the batched engine's target shape — a capacity sweep's
+    cache-miss batch: one circuit (the two-level K=16 factory; single-level
+    K=4 under ``--smoke``) swept over several random placements crossed
+    with a ``max_candidates`` range.  The whole point set is simulated once
+    as a per-point loop over the default bitmask/wakeup engine (the
+    ``sim-congestion`` baseline, one :func:`~repro.routing.simulate` call
+    per point) and once as a single
+    :func:`~repro.routing.batchsim.simulate_batch` call; every point must
+    agree field-for-field on ``to_dict()``.  Wall times are
+    best-of-``repeats``; the headline ``speedup`` is the loop total over
+    the batched total.  The record names the batched engine actually used
+    (``compiled``/``vector``/``scalar``) so cross-machine records stay
+    interpretable.
+    """
+    from .mapping import random_circuit_placement
+    from .routing import SimulatorConfig, simulate
+    from .routing.batchsim import (
+        kernel_available,
+        numpy_available,
+        simulate_batch,
+    )
+    from .routing.simulator import _gate_list
+
+    capacity, levels = (4, 1) if args.smoke else (16, 2)
+    num_placements = 2 if args.smoke else 8
+    candidate_sweep = (2,) if args.smoke else (1, 2, 3, 4, 6, 8)
+    seed = args.seed if args.seed is not None else 0
+    repeats = 1 if args.smoke else 3
+    started = time.perf_counter()
+    factory = default_pipeline().factory(capacity, levels)
+    gates = _gate_list(factory.circuit)
+    placements = [
+        random_circuit_placement(factory.circuit, seed=seed + index)
+        for index in range(num_placements)
+    ]
+    configs = [SimulatorConfig(max_candidates=mc) for mc in candidate_sweep]
+    points = [
+        (gates, placement, config)
+        for placement in placements
+        for config in configs
+    ]
+
+    def best_of(func):
+        best, result = float("inf"), None
+        for _ in range(repeats):
+            tick = time.perf_counter()
+            result = func()
+            best = min(best, time.perf_counter() - tick)
+        return best, result
+
+    loop_seconds, loop_results = best_of(
+        lambda: [simulate(g, p, c) for g, p, c in points]
+    )
+    batch_seconds, batch_results = best_of(lambda: simulate_batch(points))
+    mismatched = sum(
+        1
+        for loop_result, batch_result in zip(loop_results, batch_results)
+        if loop_result.to_dict() != batch_result.to_dict()
+    )
+    if mismatched:
+        raise AssertionError(
+            f"sim-batch: batched engine diverged from the per-point engine "
+            f"on {mismatched} of {len(points)} points"
+        )
+    engine = (
+        "compiled"
+        if kernel_available()
+        else ("vector" if numpy_available() else "scalar")
+    )
+    return {
+        "experiment": SIM_BATCH_BENCH,
+        "params": {
+            "capacity": capacity,
+            "levels": levels,
+            "seed": seed,
+            "repeats": repeats,
+            "placements": num_placements,
+            "candidate_sweep": list(candidate_sweep),
+        },
+        "workers": 1,
+        "wall_seconds": round(time.perf_counter() - started, 4),
+        "sim_cycles": None,
+        "stall_cycles": None,
+        "evaluations": None,
+        "sim": {
+            "engine": engine,
+            "points": len(points),
+            "gates": len(gates),
+            "loop_total_seconds": round(loop_seconds, 4),
+            "batch_total_seconds": round(batch_seconds, 4),
+            "speedup": round(loop_seconds / batch_seconds, 2)
+            if batch_seconds > 0
+            else None,
+        },
+    }
+
+
 def _bench_one(name: str, args: argparse.Namespace) -> Dict[str, Any]:
     """Benchmark one experiment and return its JSON-safe record."""
     spec = get_experiment(name)
@@ -747,6 +874,7 @@ def run_bench_compare(args: argparse.Namespace) -> int:
             ("--smoke", args.smoke),
             ("--workers", args.workers != 1),
             ("--seed", args.seed is not None),
+            ("--batch", args.batch),
         )
         if used
     ]
@@ -808,7 +936,11 @@ def run_bench(args: argparse.Namespace) -> int:
     if args.workers < 1:
         print(f"bench: --workers must be >= 1, got {args.workers}", file=sys.stderr)
         return 2
-    known = set(available_experiments()) | {FD_MAPPER_BENCH, SIM_CONGESTION_BENCH}
+    known = set(available_experiments()) | {
+        FD_MAPPER_BENCH,
+        SIM_CONGESTION_BENCH,
+        SIM_BATCH_BENCH,
+    }
     unknown = [name for name in names if name not in known]
     if unknown:
         print(
@@ -824,6 +956,8 @@ def run_bench(args: argparse.Namespace) -> int:
             record = _bench_fd_mapper(args)
         elif name == SIM_CONGESTION_BENCH:
             record = _bench_sim_congestion(args)
+        elif name == SIM_BATCH_BENCH:
+            record = _bench_sim_batch(args)
         else:
             record = _bench_one(name, args)
         print(
@@ -970,7 +1104,7 @@ def run_sweep_command(args: argparse.Namespace) -> int:
     except (OSError, ValueError) as error:
         print(f"sweep run: {error}", file=sys.stderr)
         return 2
-    executor = SweepExecutor(workers=args.workers, store=store)
+    executor = SweepExecutor(workers=args.workers, store=store, batch=args.batch)
     started = time.time()
     result = executor.run(plan, resume=args.resume)
     elapsed = time.time() - started

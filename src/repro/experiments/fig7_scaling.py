@@ -21,6 +21,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 from ..analysis.sweeps import FactoryEvaluation, capacity_sweep
 from ..api.experiments import (
+    BATCH_PARAM,
     SEED_PARAM,
     WORKERS_PARAM,
     ParamSpec,
@@ -74,6 +75,7 @@ def run_single_level(
     fd_config: Optional[ForceDirectedConfig] = None,
     sim_config: Optional[SimulatorConfig] = None,
     workers: int = 1,
+    batch: bool = False,
 ) -> Fig7Result:
     """Fig. 7a: single-level factories, FD and GP versus the lower bound."""
     capacities = tuple(capacities or DEFAULT_SINGLE_LEVEL_CAPACITIES)
@@ -85,6 +87,7 @@ def run_single_level(
         fd_config=fd_config,
         sim_config=sim_config,
         workers=workers,
+        batch=batch,
     )
     return Fig7Result(levels=1, evaluations=evaluations)
 
@@ -95,6 +98,7 @@ def run_two_level(
     fd_config: Optional[ForceDirectedConfig] = None,
     sim_config: Optional[SimulatorConfig] = None,
     workers: int = 1,
+    batch: bool = False,
 ) -> Fig7Result:
     """Fig. 7b: two-level factories, FD and GP versus the lower bound."""
     capacities = tuple(capacities or DEFAULT_TWO_LEVEL_CAPACITIES)
@@ -106,6 +110,7 @@ def run_two_level(
         fd_config=fd_config,
         sim_config=sim_config,
         workers=workers,
+        batch=batch,
     )
     return Fig7Result(levels=2, evaluations=evaluations)
 
@@ -134,13 +139,13 @@ register_experiment(
     "fig7a",
     run_single_level,
     formatter=format_result,
-    params=(_CAPACITIES_PARAM, SEED_PARAM, WORKERS_PARAM),
+    params=(_CAPACITIES_PARAM, SEED_PARAM, WORKERS_PARAM, BATCH_PARAM),
     description="Fig. 7a: single-level FD/GP latency vs the lower bound",
 )
 register_experiment(
     "fig7b",
     run_two_level,
     formatter=format_result,
-    params=(_CAPACITIES_PARAM, SEED_PARAM, WORKERS_PARAM),
+    params=(_CAPACITIES_PARAM, SEED_PARAM, WORKERS_PARAM, BATCH_PARAM),
     description="Fig. 7b: two-level FD/GP latency vs the lower bound",
 )

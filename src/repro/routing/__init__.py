@@ -21,12 +21,18 @@ schedules on it:
   parks stalled braids on the cells that blocked them (wakeup on release);
   :func:`simulate_reference` retains the set-based retry-every-event
   oracle that the parity suite checks it against, byte for byte;
+* :func:`simulate_batch` — the batched core: groups same-circuit sweep
+  points and advances all of them per event-loop iteration (numpy lanes,
+  plus an optional runtime-compiled C kernel), byte-identical to
+  :func:`simulate` at any batch size and falling back to it point-by-point
+  when numpy is unavailable;
 * :class:`SimulationCache` / :func:`simulation_cache_key` — memoization of
   deterministic simulation results keyed by (circuit fingerprint,
   placement, simulator config), used by the evaluation pipeline so repeated
   sweep points never re-simulate.
 """
 
+from .batchsim import kernel_available, numpy_available, simulate_batch
 from .braid import BraidPath
 from .mesh import Cell, LatticeCell, Mesh, is_channel_cell, lattice_to_tile, tile_to_lattice
 from .router import BraidRouter, bfs_detour, bfs_detour_mask, rectilinear_candidates
@@ -62,7 +68,10 @@ __all__ = [
     "SimulationResult",
     "SimulatorConfig",
     "circuit_fingerprint",
+    "kernel_available",
+    "numpy_available",
     "simulate",
+    "simulate_batch",
     "simulate_latency",
     "simulate_reference",
     "simulation_cache_key",

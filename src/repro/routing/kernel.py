@@ -1,0 +1,197 @@
+"""Runtime-compiled C kernel for the batched simulator (optional).
+
+:mod:`repro.routing.batchsim` vectorizes a group of same-circuit sweep
+points with numpy; this module supplies its compiled fast path.  On
+first use the C source next to this file is built with the host C
+compiler into a shared library and loaded via :mod:`ctypes`.  The
+library is cached keyed by a hash of the source text, so recompilation
+only happens when the kernel changes.
+
+Everything degrades gracefully: no compiler, no writable cache
+directory, or a failed compile simply reports the kernel as unavailable
+and callers stay on the pure-Python engines.  Setting
+``REPRO_NO_KERNEL=1`` disables the kernel outright (used by tests to
+pin the Python paths); ``REPRO_KERNEL_CACHE`` overrides the cache
+directory (default: ``_kernel_cache/`` beside the source, falling back
+to a per-user temp directory when that is not writable).
+"""
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+import threading
+from typing import Optional
+
+_SOURCE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                       "batchsim_kernel.c")
+
+#: Number of int64 counter slots written by ``simulate_point`` (must match
+#: the ``C_*`` enum in batchsim_kernel.c).
+COUNTER_SLOTS = 9
+
+#: ``simulate_point`` return codes.
+OK = 0
+MAX_CYCLES_EXCEEDED = 1
+DEADLOCK = 2
+
+_lock = threading.Lock()
+_cached: Optional["Kernel"] = None
+_tried = False
+
+
+class Kernel:
+    """ctypes façade over the compiled library."""
+
+    def __init__(self, lib: ctypes.CDLL, path: str) -> None:
+        self.path = path
+        self._build = lib.build_pair_plan
+        self._build.restype = ctypes.c_int64
+        self._build.argtypes = [ctypes.c_int64] * 8 + [ctypes.c_void_p] * 3
+        self._build_bulk = lib.build_pair_plans
+        self._build_bulk.restype = None
+        self._build_bulk.argtypes = (
+            [ctypes.c_void_p] + [ctypes.c_int64] * 5 + [ctypes.c_void_p] * 4
+        )
+        self._simulate = lib.simulate_point
+        self._simulate.restype = ctypes.c_int64
+        self._simulate.argtypes = (
+            [ctypes.c_int64, ctypes.c_void_p, ctypes.c_void_p,
+             ctypes.c_void_p, ctypes.c_void_p, ctypes.c_int64]
+            + [ctypes.c_void_p] * 10
+            + [ctypes.c_int64] * 3
+            + [ctypes.c_void_p] * 4
+        )
+
+    def build_pair_plan(self, sr, sc, tr, tc, max_row, max_col,
+                        height, width, rows_out, poff_out, pmask_out) -> int:
+        return self._build(
+            sr, sc, tr, tc, max_row, max_col, height, width,
+            rows_out.ctypes.data, poff_out.ctypes.data, pmask_out.ctypes.data,
+        )
+
+    def build_pair_plans(self, pairs, m, max_row, max_col, height, width,
+                         rows_out, poff_out, pmask_out, kept_out) -> None:
+        """Bulk twin of :meth:`build_pair_plan`: m pairs, one library call."""
+        self._build_bulk(
+            pairs.ctypes.data, m, max_row, max_col, height, width,
+            rows_out.ctypes.data, poff_out.ctypes.data, pmask_out.ctypes.data,
+            kept_out.ctypes.data,
+        )
+
+    def simulate_point(self, n, kind, dur, block, count, max_legs,
+                       star_start, star_count, star_ctrl,
+                       succ_flat, succ_off, pred_count,
+                       matrix, probe_off, probe_mask, pops,
+                       span, height, max_cycles,
+                       gate_start, gate_end, ready_time, counters) -> int:
+        return self._simulate(
+            n, kind.ctypes.data, dur.ctypes.data,
+            block.ctypes.data, count.ctypes.data, max_legs,
+            star_start.ctypes.data, star_count.ctypes.data,
+            star_ctrl.ctypes.data,
+            succ_flat.ctypes.data, succ_off.ctypes.data,
+            pred_count.ctypes.data,
+            matrix.ctypes.data, probe_off.ctypes.data,
+            probe_mask.ctypes.data, pops.ctypes.data,
+            span, height, max_cycles,
+            gate_start.ctypes.data, gate_end.ctypes.data,
+            ready_time.ctypes.data, counters.ctypes.data,
+        )
+
+
+def _compiler() -> Optional[str]:
+    explicit = os.environ.get("CC")
+    if explicit:
+        return shutil.which(explicit) or explicit
+    return shutil.which("cc") or shutil.which("gcc") or shutil.which("clang")
+
+
+def _cache_dirs():
+    override = os.environ.get("REPRO_KERNEL_CACHE")
+    if override:
+        yield override
+        return
+    yield os.path.join(os.path.dirname(_SOURCE), "_kernel_cache")
+    yield os.path.join(tempfile.gettempdir(),
+                       f"repro-kernel-{os.getuid() if hasattr(os, 'getuid') else 'u'}")
+
+
+def _compile(source_path: str, digest: str) -> Optional[str]:
+    compiler = _compiler()
+    if compiler is None:
+        return None
+    for cache_dir in _cache_dirs():
+        so_path = os.path.join(cache_dir, f"batchsim_{digest}.so")
+        if os.path.exists(so_path):
+            return so_path
+        try:
+            os.makedirs(cache_dir, exist_ok=True)
+            fd, tmp_path = tempfile.mkstemp(suffix=".so", dir=cache_dir)
+            os.close(fd)
+        except OSError:
+            continue
+        try:
+            proc = subprocess.run(
+                [compiler, "-O3", "-fPIC", "-shared", "-o", tmp_path,
+                 source_path],
+                capture_output=True,
+                timeout=120,
+            )
+            if proc.returncode != 0:
+                return None
+            os.replace(tmp_path, so_path)  # atomic: racing builds converge
+            return so_path
+        except (OSError, subprocess.SubprocessError):
+            return None
+        finally:
+            if os.path.exists(tmp_path):
+                try:
+                    os.unlink(tmp_path)
+                except OSError:
+                    pass
+    return None
+
+
+def _try_load() -> Optional[Kernel]:
+    if os.environ.get("REPRO_NO_KERNEL"):
+        return None
+    try:
+        with open(_SOURCE, "rb") as handle:
+            source = handle.read()
+    except OSError:
+        return None
+    digest = hashlib.sha256(source).hexdigest()[:16]
+    so_path = _compile(_SOURCE, digest)
+    if so_path is None:
+        return None
+    try:
+        return Kernel(ctypes.CDLL(so_path), so_path)
+    except OSError:
+        return None
+
+
+def load() -> Optional[Kernel]:
+    """The loaded kernel, compiling on first call; None when unavailable."""
+    global _cached, _tried
+    with _lock:
+        if not _tried:
+            _tried = True
+            _cached = _try_load()
+        return _cached
+
+
+def available() -> bool:
+    """Whether the compiled fast path can run in this environment."""
+    return load() is not None
+
+
+def reset() -> None:
+    """Forget the cached load attempt (tests toggle REPRO_NO_KERNEL)."""
+    global _cached, _tried
+    with _lock:
+        _cached = None
+        _tried = False

@@ -889,6 +889,57 @@ class SimulationCache:
         self._insert(key, result)
         return result
 
+    def lookup(
+        self,
+        circuit_or_gates,
+        placement: Placement,
+        config: Optional[SimulatorConfig] = None,
+    ) -> Optional[SimulationResult]:
+        """Probe the memo without simulating on a miss.
+
+        A hit counts as a ``hits`` (exactly like :meth:`simulate`); a miss
+        returns ``None`` *uncounted* — the caller is expected to compute the
+        result some other way (e.g. through the batched engine) and insert
+        it with :meth:`store_result`, which books the miss.  The batched
+        evaluation pipeline uses this pair so its cache accounting is
+        identical to per-request :meth:`simulate` calls.
+        """
+        if not isinstance(circuit_or_gates, Circuit):
+            circuit_or_gates = tuple(circuit_or_gates)
+        key = simulation_cache_key(circuit_or_gates, placement, config)
+        cached = self._entries.get(key)
+        if cached is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return cached
+        if self._persisted:
+            persisted = self._persisted.get(_key_fingerprint(key))
+            if persisted is not None:
+                self.hits += 1
+                self.persisted_hits += 1
+                self._insert(key, persisted)
+                return persisted
+        return None
+
+    def store_result(
+        self,
+        circuit_or_gates,
+        placement: Placement,
+        config: Optional[SimulatorConfig],
+        result: SimulationResult,
+    ) -> None:
+        """Insert an externally computed result, counted as a ``misses``.
+
+        The counterpart of a :meth:`lookup` miss: simulation happened
+        outside the cache (the batched engine), so book the miss here to
+        keep the hit/miss counters byte-identical to an unbatched run.
+        """
+        if not isinstance(circuit_or_gates, Circuit):
+            circuit_or_gates = tuple(circuit_or_gates)
+        key = simulation_cache_key(circuit_or_gates, placement, config)
+        self.misses += 1
+        self._insert(key, result)
+
     def _insert(self, key: Tuple, result: SimulationResult) -> None:
         self._entries[key] = result
         while len(self._entries) > self.max_entries:

@@ -8,6 +8,27 @@ from __future__ import annotations
 
 import pytest
 
+
+def pytest_addoption(parser):
+    """Options of the differential fuzz harness (test_simulator_fuzz.py)."""
+    parser.addoption(
+        "--fuzz-iterations",
+        type=int,
+        default=10,
+        help=(
+            "number of randomized differential-fuzz trials to run "
+            "(tier-1 default: 10; the nightly CI job runs hundreds)"
+        ),
+    )
+    parser.addoption(
+        "--fuzz-seeds",
+        default=None,
+        help=(
+            "comma-separated trial seeds to replay instead of the "
+            "sequential corpus (one-line repro of a reported failure)"
+        ),
+    )
+
 from repro.distillation import (
     FactorySpec,
     ReusePolicy,

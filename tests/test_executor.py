@@ -184,6 +184,72 @@ class TestCacheAccounting:
 
 
 # ----------------------------------------------------------------------
+# Batched evaluation
+# ----------------------------------------------------------------------
+class TestBatchedExecution:
+    def test_batched_run_byte_identical_to_serial(self):
+        plan = small_plan()
+        serial = SweepExecutor(workers=1).run(plan)
+        batched = SweepExecutor(batch=True).run(plan)
+        assert json.dumps(batched.to_dict(), sort_keys=True) == json.dumps(
+            serial.to_dict(), sort_keys=True
+        )
+        assert batched.stats.evaluations == serial.stats.evaluations
+        assert batched.stats.sim_cache_hits == serial.stats.sim_cache_hits
+
+    def test_batch_takes_precedence_over_workers(self):
+        plan = small_plan()
+        serial = SweepExecutor(workers=1).run(plan)
+        batched = SweepExecutor(workers=4, batch=True).run(plan)
+        assert json.dumps(batched.to_dict(), sort_keys=True) == json.dumps(
+            serial.to_dict(), sort_keys=True
+        )
+
+    def test_batched_duplicate_accounting(self):
+        """The accounting invariant holds in batch mode, with exact counts."""
+        base = list(small_plan())
+        plan = SweepPlan.from_requests(base + [base[0], base[-1], base[0]])
+        result = SweepExecutor(batch=True).run(plan)
+        stats = result.stats
+        assert stats.requests == len(base) + 3
+        assert stats.duplicate_hits == 3
+        assert stats.evaluations == len(base)
+        assert stats.requests == (
+            stats.duplicate_hits + stats.store_hits + stats.evaluations
+        )
+        assert result.evaluations[len(base)] == result.evaluations[0]
+
+    def test_pipeline_evaluate_batch_matches_evaluate(self):
+        """evaluate_batch == [evaluate(r) ...], results and stats alike."""
+        requests = list(small_plan())
+        serial_pipeline = Pipeline()
+        serial = [serial_pipeline.evaluate(r) for r in requests]
+        batch_pipeline = Pipeline()
+        batched = batch_pipeline.evaluate_batch(requests)
+        assert batched == serial
+        assert batch_pipeline.stats == serial_pipeline.stats
+
+    def test_pipeline_evaluate_batch_duplicates_count_as_cache_hits(self):
+        """Within-batch duplicate points keep SimulationCache counters
+        byte-identical to the serial loop: the first occurrence simulates,
+        the rest are answered (and counted) as cache hits.
+        """
+        requests = list(small_plan())
+        requests = requests + [requests[0], requests[0]]
+        serial_pipeline = Pipeline()
+        serial = [serial_pipeline.evaluate(r) for r in requests]
+        batch_pipeline = Pipeline()
+        batched = batch_pipeline.evaluate_batch(requests)
+        assert batched == serial
+        assert batch_pipeline.stats == serial_pipeline.stats
+        assert batch_pipeline.sim_cache.hits == serial_pipeline.sim_cache.hits
+        assert batch_pipeline.sim_cache.misses == serial_pipeline.sim_cache.misses
+
+    def test_evaluate_batch_empty(self):
+        assert Pipeline().evaluate_batch([]) == []
+
+
+# ----------------------------------------------------------------------
 # Simulation memoization
 # ----------------------------------------------------------------------
 def tiny_circuit(tag: str = "tiny") -> Circuit:

@@ -446,6 +446,42 @@ class TestExecutorResume:
         finally:
             unregister_mapper("flaky-linear")
 
+    def test_killed_sweep_resumes_batched(self, tmp_path):
+        """``--batch`` resume: the stored prefix is served from the store
+        and only the misses reach the batched simulator core, byte-identical
+        to the unbatched resumed run and to an uninterrupted baseline.
+        """
+        from repro.api import get_mapper
+
+        linear = get_mapper("linear")
+        calls = {"n": 0}
+
+        def flaky(factory, seed=0, context=None):
+            calls["n"] += 1
+            if calls["n"] > 2:
+                raise RuntimeError("simulated crash")
+            return linear.place(factory, seed=seed, context=context)
+
+        plan = SweepPlan.from_grid(methods=("flaky-batch",), capacities=(2, 3, 4, 5))
+        register_mapper(flaky, name="flaky-batch")
+        try:
+            store = ResultStore(tmp_path / "store")
+            with pytest.raises(RuntimeError, match="simulated crash"):
+                SweepExecutor(workers=1, store=store).run(plan, resume=True)
+            assert len(store) == 2  # partial prefix survived the crash
+
+            calls["n"] = -100  # "restart with fixed code": never raise again
+            resumed = SweepExecutor(store=store, batch=True).run(plan, resume=True)
+            assert resumed.stats.store_hits == 2
+            assert resumed.stats.evaluations == 2  # only the misses batched
+
+            unbatched = SweepExecutor(workers=1).run(plan)
+            assert json.dumps(resumed.to_dict(), sort_keys=True) == json.dumps(
+                unbatched.to_dict(), sort_keys=True
+            )
+        finally:
+            unregister_mapper("flaky-batch")
+
     def test_parallel_worker_failure_persists_completed_work(self, tmp_path):
         """A failing request must not throw away its siblings' results.
 
