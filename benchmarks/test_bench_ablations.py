@@ -90,6 +90,9 @@ def test_bench_ablation_routing_flexibility(benchmark):
         return stall_only, flexible, critical_path_length(factory.circuit)
 
     stall_only, flexible, bound = run_once(benchmark, run)
-    print(f"\nlatency stall-only: {stall_only}, detour-capable: {flexible}, bound: {bound}")
+    print(
+        f"\nlatency stall-only: {stall_only}, "
+        f"detour-capable: {flexible}, bound: {bound}"
+    )
     assert flexible <= stall_only
     assert flexible >= bound

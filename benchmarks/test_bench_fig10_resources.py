@@ -16,7 +16,6 @@ def test_bench_fig10_single_level(benchmark):
     print(fig10_resources.format_result(result))
 
     volumes = result.series("volume")
-    latencies = result.series("latency")
     areas = result.series("area")
     capacities = sorted(volumes["linear"])
     for method in volumes:

@@ -6,7 +6,7 @@ from repro.experiments import fig6_correlation
 
 
 def test_bench_fig6_correlation(benchmark):
-    """Fig. 6: crossings/length correlate positively with latency, spacing negatively."""
+    """Fig. 6: crossings/length correlate with latency, spacing negatively."""
     num_mappings = 60 if full_sweep_enabled() else 30
     result = run_once(
         benchmark, fig6_correlation.run, capacity=8, num_mappings=num_mappings, seed=0

@@ -36,7 +36,9 @@ def test_bench_table1_level2(benchmark):
     for row in result.rows():
         if row in paper:
             print(f"  {row:26s}" + "".join(
-                f"{paper[row].get(c, float('nan')):>12.3g}" for c in capacities if c in paper[row]
+                f"{paper[row].get(c, float('nan')):>12.3g}"
+                for c in capacities
+                if c in paper[row]
             ))
 
     volumes = result.volumes

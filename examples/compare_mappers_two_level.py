@@ -31,7 +31,10 @@ def main() -> None:
     print(f"  theoretical lower bounds: latency {bounds['latency']} cycles, "
           f"area {bounds['area']} qubits, volume {bounds['volume']}")
     print()
-    header = f"{'procedure':26s}{'latency':>10s}{'area':>10s}{'volume':>12s}{'vs bound':>10s}"
+    header = (
+        f"{'procedure':26s}{'latency':>10s}{'area':>10s}"
+        f"{'volume':>12s}{'vs bound':>10s}"
+    )
     print(header)
     print("-" * len(header))
 

@@ -1,6 +1,11 @@
 """Evaluation machinery: volume accounting, correlation study, capacity sweeps."""
 
-from .correlation import CorrelationStudy, MappingSample, collect_samples, correlation_study
+from .correlation import (
+    CorrelationStudy,
+    MappingSample,
+    collect_samples,
+    correlation_study,
+)
 from .sweeps import (
     MAPPING_METHODS,
     METHOD_LABELS,

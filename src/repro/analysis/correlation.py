@@ -17,7 +17,7 @@ correlation coefficients, reproducing the bottom row of Fig. 6.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Mapping, Optional, Sequence
+from typing import Any, Dict, List, Mapping, Optional
 
 from ..api.results import filter_fields
 from ..circuits.circuit import Circuit

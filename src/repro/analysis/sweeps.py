@@ -16,18 +16,30 @@ unchanged; new code should prefer :mod:`repro.api` directly.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, Sequence
 
 # Re-exported for backward compatibility: these names historically lived in
-# this module and are imported from here throughout the test-suite.
-from ..api.executor import (  # noqa: F401
+# this module and are imported from here throughout the test-suite.  The
+# __all__ below is what marks them as deliberate re-exports for linters.
+from ..api.executor import (
     SweepExecutor,
     SweepPlan,
     SweepRunResult,
     run_sweep,
 )
-from ..api.pipeline import capacity_sweep, evaluate_factory_mapping  # noqa: F401
-from ..api.results import FactoryEvaluation  # noqa: F401
+from ..api.pipeline import capacity_sweep, evaluate_factory_mapping
+from ..api.results import FactoryEvaluation
+
+__all__ = [
+    "FactoryEvaluation",
+    "MAPPING_METHODS",
+    "SweepExecutor",
+    "SweepPlan",
+    "SweepRunResult",
+    "capacity_sweep",
+    "evaluate_factory_mapping",
+    "run_sweep",
+]
 
 #: Mapping methods shipped with the toolchain, in the order the paper
 #: introduces them.  The authoritative list is the mapper registry
@@ -71,7 +83,9 @@ def best_volume_by_method(
     return table
 
 
-def format_sweep_table(results: Sequence[FactoryEvaluation], value: str = "volume") -> str:
+def format_sweep_table(
+    results: Sequence[FactoryEvaluation], value: str = "volume"
+) -> str:
     """Render a sweep as a fixed-width table (capacities as columns).
 
     ``value`` selects which field to show: ``"volume"``, ``"latency"`` or
@@ -86,7 +100,9 @@ def format_sweep_table(results: Sequence[FactoryEvaluation], value: str = "volum
             methods.append(result.method)
     grouped = best_volume_by_method(results)
 
-    header = ["method".ljust(24)] + [f"K={capacity}".rjust(12) for capacity in capacities]
+    header = ["method".ljust(24)] + [
+        f"K={capacity}".rjust(12) for capacity in capacities
+    ]
     lines = ["".join(header)]
     for method in methods:
         row = [METHOD_LABELS.get(method, method).ljust(24)]

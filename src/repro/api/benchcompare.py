@@ -45,7 +45,12 @@ PROVENANCE_KEYS: Tuple[str, ...] = ("platform", "cpu_count", "python_version", "
 #: Deterministic per-experiment fields whose drift is worth a note: they
 #: describe the workload, so a change means the timing comparison is not
 #: like-for-like (different code semantics or different parameters).
-WORKLOAD_KEYS: Tuple[str, ...] = ("evaluations", "sim_cycles", "stall_cycles", "workers")
+WORKLOAD_KEYS: Tuple[str, ...] = (
+    "evaluations",
+    "sim_cycles",
+    "stall_cycles",
+    "workers",
+)
 
 
 class BenchRecordError(ValueError):
@@ -114,6 +119,24 @@ class ExperimentDelta:
             "notes": list(self.notes),
         }
 
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentDelta":
+        """Inverse of :meth:`to_dict`.
+
+        ``regression`` is recovered from the serialized ``status`` verdict
+        (``to_dict`` emits the derived status, not the raw flag).
+        """
+        return cls(
+            experiment=data["experiment"],
+            old_wall=data.get("old_wall_seconds"),
+            new_wall=data.get("new_wall_seconds"),
+            ratio=data.get("ratio"),
+            regression=data.get("status") == "REGRESSION",
+            missing=bool(data.get("missing", False)),
+            drifted=bool(data.get("drifted", False)),
+            notes=list(data.get("notes", [])),
+        )
+
 
 @dataclass
 class BenchComparison:
@@ -179,6 +202,21 @@ class BenchComparison:
             "total_regressed": self.total_regressed,
             "missing": len(self.missing),
         }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "BenchComparison":
+        """Inverse of :meth:`to_dict` (derived counts are recomputed)."""
+        return cls(
+            old_meta=dict(data.get("old", {})),
+            new_meta=dict(data.get("new", {})),
+            comparable=bool(data.get("comparable", False)),
+            advisory_reasons=list(data.get("advisory_reasons", [])),
+            max_slowdown=float(data.get("max_slowdown", 0.0)),
+            deltas=[
+                ExperimentDelta.from_dict(item)
+                for item in data.get("experiments", [])
+            ],
+        )
 
     # ------------------------------------------------------------------
     # Rendering

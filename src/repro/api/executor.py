@@ -47,6 +47,7 @@ output.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import os
 import time
@@ -247,6 +248,15 @@ class ExecutorStats:
             "workers": self.workers,
             "wall_seconds": self.wall_seconds,
         }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExecutorStats":
+        """Inverse of :meth:`to_dict`; absent counters default to zero."""
+        stats = cls()
+        for counter_field in dataclasses.fields(cls):
+            if counter_field.name in data:
+                setattr(stats, counter_field.name, data[counter_field.name])
+        return stats
 
 
 @dataclass(frozen=True)

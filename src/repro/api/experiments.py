@@ -27,7 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from .registry import Registry, RegistryError
+from .registry import Registry
 
 #: Parameter kinds understood by the CLI generator.
 PARAM_KINDS = ("int", "float", "str", "int_list", "flag")

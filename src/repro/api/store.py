@@ -50,7 +50,7 @@ import warnings
 from dataclasses import dataclass, field
 from datetime import datetime, timezone
 from pathlib import Path
-from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple, Union
 
 from ..persistutil import atomic_write_json, tagged_fingerprint
 from .pipeline import EvaluationRequest
@@ -115,7 +115,9 @@ def current_git_sha(cwd: Optional[Union[str, Path]] = None) -> Optional[str]:
     ``git rev-parse`` subprocess launches.  (A HEAD moved *during* a run
     keeps the SHA observed first, which is the honest provenance anyway.)
     """
-    return _git_sha_for(os.path.abspath(os.fspath(cwd)) if cwd is not None else os.getcwd())
+    return _git_sha_for(
+        os.path.abspath(os.fspath(cwd)) if cwd is not None else os.getcwd()
+    )
 
 
 def store_metadata(wall_seconds: Optional[float] = None) -> Dict[str, Any]:
@@ -145,9 +147,23 @@ class GcReport:
     def to_dict(self) -> Dict[str, Any]:
         return {
             "removed": len(self.removed),
+            "removed_paths": list(self.removed),
             "kept": self.kept,
             "dry_run": self.dry_run,
         }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "GcReport":
+        """Inverse of :meth:`to_dict`.
+
+        Accepts records written before ``removed_paths`` existed; those
+        round-trip with an empty path list (the count key was lossy).
+        """
+        return cls(
+            removed=list(data.get("removed_paths", [])),
+            kept=int(data.get("kept", 0)),
+            dry_run=bool(data.get("dry_run", False)),
+        )
 
 
 class ResultStore:

@@ -9,7 +9,7 @@ emitter) can talk about qubits symbolically ("raw_states[3]", "anc[0]",
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from .gates import DEFAULT_DURATIONS, Gate, GateKind
@@ -43,7 +43,8 @@ class QubitRegister:
             index += self.size
         if not 0 <= index < self.size:
             raise IndexError(
-                f"register {self.name!r} has {self.size} qubits, index {index} is out of range"
+                f"register {self.name!r} has {self.size} qubits, "
+                f"index {index} is out of range"
             )
         return self.start + index
 
@@ -182,7 +183,9 @@ class Circuit:
     # ------------------------------------------------------------------
     # Transformations
     # ------------------------------------------------------------------
-    def remap_qubits(self, mapping: Dict[int, int], name: Optional[str] = None) -> "Circuit":
+    def remap_qubits(
+        self, mapping: Dict[int, int], name: Optional[str] = None
+    ) -> "Circuit":
         """Return a new circuit with qubit indices renamed through ``mapping``.
 
         The new circuit has a single anonymous register spanning the largest
@@ -200,8 +203,10 @@ class Circuit:
             new_circuit.append(gate.remap(mapping))
         return new_circuit
 
-    def subcircuit(self, indices: Sequence[int], name: Optional[str] = None) -> "Circuit":
-        """Return a circuit containing the gates at ``indices`` (same qubit space)."""
+    def subcircuit(
+        self, indices: Sequence[int], name: Optional[str] = None
+    ) -> "Circuit":
+        """Return a circuit of the gates at ``indices`` (same qubit space)."""
         new_circuit = Circuit(name or f"{self.name}_slice")
         if self._num_qubits:
             new_circuit.add_register("q", self._num_qubits)
@@ -209,7 +214,9 @@ class Circuit:
             new_circuit.append(self._gates[index])
         return new_circuit
 
-    def with_gates(self, gates: Sequence[Gate], name: Optional[str] = None) -> "Circuit":
+    def with_gates(
+        self, gates: Sequence[Gate], name: Optional[str] = None
+    ) -> "Circuit":
         """Return a circuit over the same registers but a different gate list."""
         new_circuit = Circuit(name or self.name)
         new_circuit._registers = dict(self._registers)

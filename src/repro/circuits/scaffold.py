@@ -16,7 +16,7 @@ of that pipeline for the reproduced toolchain:
 from __future__ import annotations
 
 import re
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from .circuit import Circuit
 from .gates import Gate, GateKind
@@ -38,10 +38,13 @@ _KIND_TO_MNEMONIC = {
     GateKind.BARRIER: "Barrier",
 }
 
-_MNEMONIC_TO_KIND = {mnemonic.lower(): kind for kind, mnemonic in _KIND_TO_MNEMONIC.items()}
+_MNEMONIC_TO_KIND = {
+    mnemonic.lower(): kind for kind, mnemonic in _KIND_TO_MNEMONIC.items()
+}
 
 _LINE_PATTERN = re.compile(
-    r"^\s*(?P<mnemonic>[A-Za-z_][A-Za-z0-9_]*)\s*\(\s*(?P<operands>[^)]*)\)\s*;?\s*(?:$|//)"
+    r"^\s*(?P<mnemonic>[A-Za-z_][A-Za-z0-9_]*)"
+    r"\s*\(\s*(?P<operands>[^)]*)\)\s*;?\s*(?:$|//)"
 )
 _OPERAND_PATTERN = re.compile(
     r"^(?P<register>[A-Za-z_][A-Za-z0-9_]*)\s*\[\s*(?P<index>\d+)\s*\]$|^(?P<flat>\d+)$"
@@ -110,7 +113,9 @@ def parse_flat_assembly(text: str, name: str = "parsed") -> Circuit:
         if not line or line.startswith("//"):
             continue
         if line.startswith("qbit"):
-            decl = re.match(r"^qbit\s+([A-Za-z_][A-Za-z0-9_]*)\s*\[\s*(\d+)\s*\]\s*;", line)
+            decl = re.match(
+                r"^qbit\s+([A-Za-z_][A-Za-z0-9_]*)\s*\[\s*(\d+)\s*\]\s*;", line
+            )
             if decl is None:
                 raise ValueError(f"cannot parse register declaration {line!r}")
             reg_name, size = decl.group(1), int(decl.group(2))

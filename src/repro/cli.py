@@ -72,6 +72,7 @@ from .api.experiments import (
 )
 from .api.pipeline import default_pipeline
 from .api.store import DEFAULT_STORE_ROOT, ResultStore, current_git_sha
+from .persistutil import atomic_write_json
 
 
 def _parse_capacities(text: str) -> List[int]:
@@ -200,7 +201,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--output",
         metavar="FILE",
         default=None,
-        help="record path (default: BENCH_<UTC timestamp>.json in the current directory)",
+        help=(
+            "record path (default: BENCH_<UTC timestamp>.json in the "
+            "current directory)"
+        ),
     )
     bench_parser.add_argument(
         "--compare",
@@ -261,7 +265,10 @@ def _add_serve_parser(subparsers) -> None:
         "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
     )
     serve_parser.add_argument(
-        "--port", type=int, default=8765, help="bind port (default: 8765; 0 = ephemeral)"
+        "--port",
+        type=int,
+        default=8765,
+        help="bind port (default: 8765; 0 = ephemeral)",
     )
     serve_parser.add_argument(
         "--store",
@@ -275,6 +282,23 @@ def _add_serve_parser(subparsers) -> None:
         default=1,
         help="worker processes per sweep job (1 = serial)",
     )
+
+    lint_parser = subparsers.add_parser(
+        "lint",
+        help="check the codebase against the project-invariant rules",
+        description=(
+            "Static analysis of src/repro against the project's own "
+            "invariants: schema-salted fingerprints, atomic JSON writes, "
+            "lock-guarded service state, deterministic simulation paths, "
+            "and to_dict/from_dict parity. Exits 1 on findings not covered "
+            "by the committed baseline (lint-baseline.json)."
+        ),
+    )
+    # Lazy import: lint is dev tooling, the hot CLI paths shouldn't pay
+    # for it (mirrors how the rules themselves are only needed here).
+    from .lint.cli import add_lint_arguments
+
+    add_lint_arguments(lint_parser)
 
 
 def _add_sweep_parsers(subparsers) -> None:
@@ -633,7 +657,10 @@ def _bench_sim_congestion(args: argparse.Namespace) -> Dict[str, Any]:
     factory_gates = list(factory.circuit.gates)
     stitched_gates = factory_gates + permutation_gates
 
-    cases = [("factory", factory_gates, mc) for mc in ((2,) if args.smoke else (2, 4, 8))]
+    cases = [
+        ("factory", factory_gates, mc)
+        for mc in ((2,) if args.smoke else (2, 4, 8))
+    ]
     if not args.smoke:
         cases.append(("stitched-permutations", stitched_gates, 4))
 
@@ -994,9 +1021,9 @@ def run_bench(args: argparse.Namespace) -> int:
     output = args.output or datetime.now(timezone.utc).strftime(
         "BENCH_%Y%m%dT%H%M%SZ.json"
     )
-    with open(output, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2)
-        handle.write("\n")
+    # Atomic write: a crash mid-dump must never leave a truncated bench
+    # record for the compare gate to choke on (same discipline as the store).
+    atomic_write_json(output, payload, indent=2)
     print(f"[bench record -> {output}]", file=sys.stderr)
     return 0
 
@@ -1192,7 +1219,9 @@ def run_experiment(name: str, **kwargs) -> str:
     return spec.format(spec.run(**kwargs))
 
 
-def _experiment_kwargs(spec: ExperimentSpec, args: argparse.Namespace) -> Dict[str, Any]:
+def _experiment_kwargs(
+    spec: ExperimentSpec, args: argparse.Namespace
+) -> Dict[str, Any]:
     """Collect the declared parameters the user actually set."""
     kwargs: Dict[str, Any] = {}
     for param in spec.params:
@@ -1202,7 +1231,9 @@ def _experiment_kwargs(spec: ExperimentSpec, args: argparse.Namespace) -> Dict[s
     return kwargs
 
 
-def _render(name: str, result: Any, spec: ExperimentSpec, as_json: bool, elapsed: float) -> str:
+def _render(
+    name: str, result: Any, spec: ExperimentSpec, as_json: bool, elapsed: float
+) -> str:
     if not as_json:
         return spec.format(result)
     payload = {
@@ -1240,7 +1271,9 @@ def _normalize_run_argv(argv: Sequence[str]) -> List[str]:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for the ``repro-msfu`` console script."""
     parser = build_parser()
-    args = parser.parse_args(_normalize_run_argv(argv if argv is not None else sys.argv[1:]))
+    args = parser.parse_args(
+        _normalize_run_argv(argv if argv is not None else sys.argv[1:])
+    )
 
     if args.command == "list":
         names = sorted(available_experiments())
@@ -1266,6 +1299,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.command == "serve":
         return run_serve(args)
+
+    if args.command == "lint":
+        from .lint.cli import run_lint
+
+        return run_lint(args)
 
     spec = get_experiment(args.experiment)
     kwargs = _experiment_kwargs(spec, args)

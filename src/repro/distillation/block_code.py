@@ -342,7 +342,6 @@ def build_factory(
     for round_index in range(1, spec.levels + 1):
         num_modules = spec.modules_in_round(round_index)
         round_modules: List[ModuleInstance] = []
-        groups = spec.groups_in_round(round_index - 1) if round_index > 1 else 1
 
         # Assemble the input qubits for this round.
         inputs_per_module: List[List[int]] = [[] for _ in range(num_modules)]

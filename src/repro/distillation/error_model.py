@@ -79,7 +79,9 @@ def bravyi_haah_success_probability(k: int, input_error: float) -> float:
     return min(1.0, max(0.0, 1.0 - (8 + 3 * k) * input_error))
 
 
-def multi_level_output_errors(k: int, levels: int, injection_error: float) -> List[float]:
+def multi_level_output_errors(
+    k: int, levels: int, injection_error: float
+) -> List[float]:
     """Per-round output error rates of an ``l``-level block-code factory.
 
     Element ``r-1`` of the returned list is the error rate of the states

@@ -70,7 +70,12 @@ class Fig10Result:
             )
         return table
 
-    def volume_reduction(self, capacity: int, baseline: str = "linear", best: str = "hierarchical_stitching") -> float:
+    def volume_reduction(
+        self,
+        capacity: int,
+        baseline: str = "linear",
+        best: str = "hierarchical_stitching",
+    ) -> float:
         """Volume of ``baseline`` divided by volume of ``best`` at ``capacity``."""
         volumes = self.series("volume")
         baseline_volume = volumes[baseline][capacity]

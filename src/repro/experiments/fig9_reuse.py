@@ -16,7 +16,7 @@ The paper's qualitative findings, which this experiment checks:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 from ..analysis.sweeps import evaluate_factory_mapping
 from ..api.experiments import SEED_PARAM, ParamSpec, register_experiment
@@ -142,7 +142,11 @@ def format_result(result: Fig9ReuseResult) -> str:
         for capacity in capacities:
             comparison = row.get(capacity)
             cells.append(
-                ("-" if comparison is None else f"{comparison.differential:+.3f}").rjust(10)
+                (
+                    "-"
+                    if comparison is None
+                    else f"{comparison.differential:+.3f}"
+                ).rjust(10)
             )
         lines.append("".join(cells))
     return "\n".join(lines)

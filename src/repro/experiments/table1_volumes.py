@@ -56,7 +56,13 @@ PAPER_LEVEL2_VOLUMES = {
     "linear_reuse": {4: 3.55e5, 16: 1.15e6, 36: 3.80e6, 64: 1.22e7, 100: 2.53e7},
     "force_directed": {4: 3.22e5, 16: 1.15e6, 36: 3.72e6, 64: 9.45e6, 100: 1.98e7},
     "graph_partition": {4: 3.48e5, 16: 9.41e5, 36: 2.24e6, 64: 4.45e6, 100: 8.17e6},
-    "hierarchical_stitching": {4: 2.32e5, 16: 7.93e5, 36: 1.80e6, 64: 4.06e6, 100: 5.93e6},
+    "hierarchical_stitching": {
+        4: 2.32e5,
+        16: 7.93e5,
+        36: 1.80e6,
+        64: 4.06e6,
+        100: 5.93e6,
+    },
     "critical": {4: 1.82e5, 16: 4.48e5, 36: 8.85e5, 64: 1.53e6, 100: 2.43e6},
 }
 

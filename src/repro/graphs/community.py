@@ -57,7 +57,9 @@ def detect_communities(
     if max_communities is not None and len(communities) > max_communities:
         communities.sort(key=len, reverse=True)
         kept = communities[: max_communities - 1]
-        merged = sorted(q for community in communities[max_communities - 1 :] for q in community)
+        merged = sorted(
+            q for community in communities[max_communities - 1 :] for q in community
+        )
         kept.append(merged)
         communities = kept
     return communities
@@ -138,7 +140,9 @@ def kmeans(
                 changed = True
         new_centroids: List[Position] = []
         for cluster in range(len(centroids)):
-            members = [points[i] for i in range(len(points)) if assignment[i] == cluster]
+            members = [
+                points[i] for i in range(len(points)) if assignment[i] == cluster
+            ]
             if members:
                 new_centroids.append(
                     (

@@ -68,7 +68,9 @@ def heavy_edge_matching(graph: nx.Graph, seed: int = 0) -> List[Tuple[int, ...]]
     return groups
 
 
-def contract(graph: nx.Graph, groups: Sequence[Tuple[int, ...]]) -> Tuple[nx.Graph, Dict[int, int]]:
+def contract(
+    graph: nx.Graph, groups: Sequence[Tuple[int, ...]]
+) -> Tuple[nx.Graph, Dict[int, int]]:
     """Build the coarse graph induced by ``groups``.
 
     Returns the coarse graph (nodes are group indices, carrying a ``size``
@@ -238,7 +240,9 @@ def bisect(
             refined = _refine_bisection(graph, projected_left, target_left)
             left = sorted(refined)
             right = sorted(set(vertices) - refined)
-            return Bisection(left=left, right=right, cut_weight=cut_weight(graph, refined))
+            return Bisection(
+                left=left, right=right, cut_weight=cut_weight(graph, refined)
+            )
 
     initial = _initial_bisection(graph, target_left, seed=seed)
     refined = _refine_bisection(graph, initial, target_left)

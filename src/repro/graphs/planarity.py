@@ -14,7 +14,7 @@ test-suite.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, List, Tuple
 
 import networkx as nx
 

@@ -1,0 +1,37 @@
+"""Project-invariant static analysis for the repro codebase.
+
+Seven PRs in, the codebase's correctness rests on conventions — schema-salted
+fingerprints, atomic JSON persistence, lock-guarded service state,
+deterministic simulation paths, symmetric serializers.  This package encodes
+those conventions as stdlib-``ast`` rules so every future change is checked
+mechanically (``repro-msfu lint``) instead of by reviewer memory.
+
+Layout
+------
+* :mod:`repro.lint.findings` — the :class:`Finding` record and baseline keys;
+* :mod:`repro.lint.engine` — file walker, ``Rule`` protocol, suppression
+  comments (``# repro-lint: disable=RULE``), and the runner;
+* :mod:`repro.lint.baseline` — grandfathered-finding files: old findings
+  don't block, new ones gate;
+* :mod:`repro.lint.rules` — the project-specific rules themselves;
+* :mod:`repro.lint.cli` — the ``repro-msfu lint`` entry point.
+"""
+
+from __future__ import annotations
+
+from .baseline import load_baseline, write_baseline
+from .engine import ModuleSource, Rule, iter_sources, run_rules
+from .findings import Finding
+from .rules import ALL_RULES, rules_by_id
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "ModuleSource",
+    "Rule",
+    "iter_sources",
+    "load_baseline",
+    "rules_by_id",
+    "run_rules",
+    "write_baseline",
+]

@@ -1,0 +1,79 @@
+"""Grandfathered-finding baselines.
+
+A baseline is a committed JSON file mapping finding keys
+(``file::rule::message``, see :attr:`Finding.baseline_key`) to occurrence
+counts.  ``repro-msfu lint`` subtracts the baseline from the current run:
+grandfathered findings don't block, anything beyond them gates.  Keys are
+line-insensitive so pure code motion never resurrects an old finding, but
+counts are exact so *adding a second* instance of a grandfathered pattern
+still fails.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Dict, Iterable, List, Tuple
+
+from ..persistutil import atomic_write_json
+from .findings import Finding
+
+#: Bump when the baseline file layout changes.
+BASELINE_SCHEMA_VERSION = 1
+
+
+def load_baseline(path: str) -> Dict[str, int]:
+    """Baseline key counts from ``path`` (missing file = empty baseline)."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except FileNotFoundError:
+        return {}
+    except (OSError, json.JSONDecodeError) as error:
+        raise ValueError(f"unreadable baseline {path}: {error}") from error
+    if payload.get("version") != BASELINE_SCHEMA_VERSION:
+        raise ValueError(
+            f"baseline {path} has schema version {payload.get('version')!r}; "
+            f"this tool reads version {BASELINE_SCHEMA_VERSION}"
+        )
+    entries = payload.get("entries", {})
+    return {str(key): int(count) for key, count in entries.items()}
+
+
+def write_baseline(path: str, findings: Iterable[Finding], note: str = "") -> None:
+    """Persist the current findings as the new baseline (atomically)."""
+    counts = Counter(finding.baseline_key for finding in findings)
+    payload = {
+        "version": BASELINE_SCHEMA_VERSION,
+        "note": note
+        or (
+            "Grandfathered repro-msfu lint findings. Entries map "
+            "'file::rule::message' to occurrence counts; new findings "
+            "beyond these counts fail the lint gate. Regenerate with "
+            "'repro-msfu lint --update-baseline'."
+        ),
+        "entries": {key: counts[key] for key in sorted(counts)},
+    }
+    atomic_write_json(path, payload, indent=2, sort_keys=False)
+
+
+def apply_baseline(
+    findings: List[Finding], baseline: Dict[str, int]
+) -> Tuple[List[Finding], int]:
+    """Split findings into (new, grandfathered-count) against ``baseline``.
+
+    The first ``baseline[key]`` occurrences of each key are grandfathered
+    (lowest line numbers first, since findings arrive sorted); the rest are
+    new and gate.
+    """
+    remaining = dict(baseline)
+    fresh: List[Finding] = []
+    grandfathered = 0
+    for finding in findings:
+        key = finding.baseline_key
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            grandfathered += 1
+        else:
+            fresh.append(finding)
+    return fresh, grandfathered

@@ -1,0 +1,167 @@
+"""The ``repro-msfu lint`` command.
+
+Exit codes: ``0`` — clean (every finding suppressed or grandfathered);
+``1`` — new findings; ``2`` — usage error (unknown rule, unreadable
+baseline).  ``--update-baseline`` rewrites the baseline from the current
+findings and exits 0 — the diff of the committed baseline file then *is*
+the review artifact for grandfathering.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional
+
+from .baseline import apply_baseline, load_baseline, write_baseline
+from .engine import run_rules
+from .findings import Finding
+from .rules import ALL_RULES, rules_by_id
+
+#: Baseline committed at the repo root; resolved against the cwd so CI and
+#: developers invoking from a checkout agree on the file.
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+def default_root() -> str:
+    """The package source tree to scan.
+
+    Prefers ``src/repro`` under the cwd (a repo checkout — scanning the
+    working tree, not whatever is installed); falls back to the imported
+    package's directory so ``repro-msfu lint`` still works from anywhere.
+    """
+    checkout = os.path.join("src", "repro")
+    if os.path.isdir(checkout):
+        return checkout
+    import repro
+
+    return os.path.dirname(os.path.abspath(repro.__file__))
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the ``lint`` options (shared by the subcommand wiring)."""
+    parser.add_argument(
+        "--root",
+        default=None,
+        help="package tree to scan (default: src/repro in a checkout, "
+        "else the installed repro package)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="finding output format (default: text)",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        default=None,
+        metavar="ID",
+        help="run only this rule (repeatable); default: all rules",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE,
+        help=f"grandfathered-findings file (default: {DEFAULT_BASELINE}; "
+        "a missing file is an empty baseline)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline file: every finding gates",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the shipped rules and exit",
+    )
+
+
+def _render_text(
+    new: List[Finding], grandfathered: int, total_files_root: str
+) -> str:
+    lines = [
+        f"{finding.file}:{finding.line}: {finding.rule}: {finding.message}"
+        for finding in new
+    ]
+    summary = (
+        f"repro-lint: {len(new)} new finding(s) in {total_files_root}"
+        if new
+        else f"repro-lint: clean ({total_files_root})"
+    )
+    if grandfathered:
+        summary += f", {grandfathered} grandfathered by baseline"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute ``lint`` from parsed arguments; returns the exit code."""
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.id}: {rule.description}")
+        return 0
+
+    try:
+        rules = rules_by_id(args.rule) if args.rule else ALL_RULES
+    except ValueError as error:
+        print(f"repro-lint: {error}", file=sys.stderr)
+        return 2
+
+    root = args.root or default_root()
+    if not os.path.isdir(root):
+        print(f"repro-lint: scan root {root!r} is not a directory", file=sys.stderr)
+        return 2
+    findings = run_rules(root, rules)
+
+    if args.update_baseline:
+        write_baseline(args.baseline, findings)
+        print(
+            f"repro-lint: baseline {args.baseline} updated with "
+            f"{len(findings)} finding(s)",
+            file=sys.stderr,
+        )
+        return 0
+
+    if args.no_baseline:
+        baseline = {}
+    else:
+        try:
+            baseline = load_baseline(args.baseline)
+        except ValueError as error:
+            print(f"repro-lint: {error}", file=sys.stderr)
+            return 2
+    new, grandfathered = apply_baseline(findings, baseline)
+
+    if args.format == "json":
+        payload = {
+            "root": root,
+            "rules": [rule.id for rule in rules],
+            "new": [finding.to_dict() for finding in new],
+            "grandfathered": grandfathered,
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        print(_render_text(new, grandfathered, root))
+    return 1 if new else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Standalone entry point (``python -m repro.lint.cli``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Project-invariant static analysis for the repro codebase.",
+    )
+    add_lint_arguments(parser)
+    return run_lint(parser.parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover - module entry point
+    raise SystemExit(main())

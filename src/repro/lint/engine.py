@@ -1,0 +1,162 @@
+"""Rule engine: file walker, ``Rule`` protocol, suppressions, runner.
+
+The engine parses each file once and hands the shared :class:`ModuleSource`
+to every rule, so a full run over ``src/repro`` costs one ``ast.parse`` per
+file regardless of how many rules are active.
+
+Suppressions
+------------
+A finding is suppressed when its line carries an inline marker::
+
+    digest = hashlib.blake2b(payload)  # repro-lint: disable=fingerprint-salting
+
+or when the file carries a file-wide marker anywhere (conventionally near
+the top)::
+
+    # repro-lint: disable-file=lock-discipline
+
+Both accept a comma-separated rule list.  Suppressions are for sites where
+the rule's invariant genuinely does not apply; findings that merely predate
+the rule belong in the committed baseline instead, where they stay visible.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass, field
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from .findings import Finding
+
+
+class Rule(Protocol):
+    """What the engine requires of a rule.
+
+    Rules are plain objects: an ``id`` (stable kebab-case slug used by
+    ``--rule``, suppressions, and baselines), a one-line ``description``
+    for ``--list-rules`` style output, and a ``check`` that maps one parsed
+    module to its findings.
+    """
+
+    id: str
+    description: str
+
+    def check(self, module: "ModuleSource") -> List[Finding]: ...
+
+
+@dataclass
+class ModuleSource:
+    """One parsed source file, shared by every rule."""
+
+    #: Path relative to the scan root, posix separators (baseline-stable).
+    path: str
+    source: str
+    tree: ast.AST
+    lines: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.lines:
+            self.lines = self.source.splitlines()
+
+    def line_text(self, lineno: int) -> str:
+        """1-based source line, empty for out-of-range (synthetic nodes)."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+
+_SUPPRESS = re.compile(
+    r"#\s*repro-lint:\s*disable(?P<scope>-file)?\s*=\s*"
+    r"(?P<rules>[A-Za-z0-9_,\- ]+)"
+)
+
+
+def suppressed_rules(module: ModuleSource) -> Tuple[Dict[int, Set[str]], Set[str]]:
+    """Inline and file-wide suppressions declared in ``module``.
+
+    Returns ``(by_line, file_wide)`` where ``by_line`` maps 1-based line
+    numbers to the rule ids disabled on that line.
+    """
+    by_line: Dict[int, Set[str]] = {}
+    file_wide: Set[str] = set()
+    for lineno, text in enumerate(module.lines, 1):
+        match = _SUPPRESS.search(text)
+        if not match:
+            continue
+        rules = {rule.strip() for rule in match.group("rules").split(",")}
+        rules.discard("")
+        if match.group("scope"):
+            file_wide.update(rules)
+        else:
+            by_line.setdefault(lineno, set()).update(rules)
+    return by_line, file_wide
+
+
+def iter_sources(root: str, rel_prefix: str = "") -> Iterator[ModuleSource]:
+    """Walk ``root`` and yield one :class:`ModuleSource` per ``.py`` file.
+
+    Files that fail to parse are skipped (the interpreter or test suite
+    reports syntax errors long before lint does); paths are yielded in
+    sorted order so output and baselines are deterministic.
+    """
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = sorted(
+            name
+            for name in dirnames
+            if name != "__pycache__" and not name.startswith(".")
+        )
+        for filename in sorted(filenames):
+            if not filename.endswith(".py"):
+                continue
+            full = os.path.join(dirpath, filename)
+            rel = os.path.relpath(full, root).replace(os.sep, "/")
+            if rel_prefix:
+                rel = f"{rel_prefix}/{rel}"
+            try:
+                with open(full, "r", encoding="utf-8") as handle:
+                    source = handle.read()
+                tree = ast.parse(source, filename=rel)
+            except (OSError, SyntaxError, ValueError):
+                continue
+            yield ModuleSource(path=rel, source=source, tree=tree)
+
+
+def check_module(module: ModuleSource, rules: Sequence[Rule]) -> List[Finding]:
+    """All findings of ``rules`` on one module, suppressions applied."""
+    by_line, file_wide = suppressed_rules(module)
+    findings: List[Finding] = []
+    for rule in rules:
+        if rule.id in file_wide:
+            continue
+        for finding in rule.check(module):
+            if rule.id in by_line.get(finding.line, ()):
+                continue
+            findings.append(finding)
+    return findings
+
+
+def run_rules(
+    root: str,
+    rules: Sequence[Rule],
+    sources: Optional[Iterable[ModuleSource]] = None,
+) -> List[Finding]:
+    """Run ``rules`` over every module under ``root``, sorted findings.
+
+    ``sources`` overrides the walker for tests that lint in-memory trees.
+    """
+    findings: List[Finding] = []
+    for module in sources if sources is not None else iter_sources(root):
+        findings.extend(check_module(module, rules))
+    return sorted(findings)

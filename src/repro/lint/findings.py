@@ -1,0 +1,49 @@
+"""The :class:`Finding` record emitted by every lint rule."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a specific source location.
+
+    ``file`` is the path relative to the scan root (posix separators), so
+    findings — and the baseline keys derived from them — are stable across
+    checkouts, operating systems, and whether the package is scanned in
+    ``src/`` or installed site-packages.
+    """
+
+    file: str
+    line: int
+    rule: str
+    message: str
+
+    @property
+    def baseline_key(self) -> str:
+        """Line-insensitive identity used by the baseline.
+
+        Deliberately excludes ``line``: pure code motion above a
+        grandfathered finding must not resurrect it as "new".
+        """
+        return f"{self.file}::{self.rule}::{self.message}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "file": self.file,
+            "line": self.line,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Finding":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            file=data["file"],
+            line=int(data["line"]),
+            rule=data["rule"],
+            message=data["message"],
+        )

@@ -1,0 +1,47 @@
+"""The project-specific rule set shipped with ``repro-msfu lint``."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..engine import Rule
+from .determinism import DeterminismRule
+from .locking import LockDisciplineRule
+from .persistence import AtomicPersistenceRule, FingerprintSaltingRule
+from .serialization import SerializationParityRule
+
+#: Every shipped rule, in gate order (stable for output and docs).
+ALL_RULES: List[Rule] = [
+    AtomicPersistenceRule(),
+    DeterminismRule(),
+    FingerprintSaltingRule(),
+    LockDisciplineRule(),
+    SerializationParityRule(),
+]
+
+
+def rules_by_id(ids: Sequence[str]) -> List[Rule]:
+    """Resolve ``--rule`` selections, preserving gate order.
+
+    Raises ``ValueError`` on an unknown id, listing what exists.
+    """
+    known: Dict[str, Rule] = {rule.id: rule for rule in ALL_RULES}
+    unknown = [rule_id for rule_id in ids if rule_id not in known]
+    if unknown:
+        raise ValueError(
+            f"unknown rule id(s) {', '.join(sorted(unknown))}; "
+            f"available: {', '.join(sorted(known))}"
+        )
+    wanted = set(ids)
+    return [rule for rule in ALL_RULES if rule.id in wanted]
+
+
+__all__ = [
+    "ALL_RULES",
+    "AtomicPersistenceRule",
+    "DeterminismRule",
+    "FingerprintSaltingRule",
+    "LockDisciplineRule",
+    "SerializationParityRule",
+    "rules_by_id",
+]

@@ -1,0 +1,108 @@
+"""Rule: simulation, fingerprint, and wire paths must be deterministic.
+
+The evaluation pipeline's caching story (result store, simulation cache,
+request coalescing, differential fuzzing) relies on the same inputs always
+producing the same outputs.  Wall-clock reads and the process-global random
+generator break that silently.  This rule flags, in the deterministic
+subtree of the package:
+
+* ``time.time()`` (and ``time.time_ns()``) — wall clock;
+* ``datetime.now()`` / ``datetime.utcnow()`` / ``datetime.today()`` —
+  wall clock, directly or via the ``datetime`` module;
+* calls through the module-global random generator (``random.random()``,
+  ``random.shuffle()``, …) — unseeded shared state.  Instantiating a
+  seeded ``random.Random(seed)`` is the sanctioned pattern and is allowed.
+
+Provenance and CLI timing sites (``api/store.py`` metadata stamps,
+``cli.py`` elapsed-time prints, the service layer's timestamps) are outside
+the scoped paths by design — recording *when* a result was produced is
+fine; folding wall-clock into *what* is produced is not.  Performance
+accounting via ``time.perf_counter()`` is likewise allowed: it feeds stats
+fields, not results.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from ..engine import ModuleSource
+from ..findings import Finding
+
+#: Package-relative path prefixes (and exact files) that must stay
+#: deterministic.  Everything else — provenance, CLI, service job metadata —
+#: is the allowlist.
+DETERMINISTIC_PATHS = (
+    "routing/",
+    "mapping/",
+    "graphs/",
+    "circuits/",
+    "scheduling/",
+    "distillation/",
+    "persistutil.py",
+    "service/wire.py",
+)
+
+_WALL_CLOCK_TIME = {"time", "time_ns"}
+_WALL_CLOCK_DATETIME = {"now", "utcnow", "today"}
+
+
+def _in_scope(path: str) -> bool:
+    return any(
+        path == prefix or path.startswith(prefix) for prefix in DETERMINISTIC_PATHS
+    )
+
+
+class DeterminismRule:
+    id = "determinism"
+    description = (
+        "no wall-clock or module-global random in simulation/fingerprint/"
+        "wire paths"
+    )
+
+    def check(self, module: ModuleSource) -> List[Finding]:
+        if not _in_scope(module.path):
+            return []
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            owner = func.value
+            # Unwrap `datetime.datetime.now()` to the `datetime` class level.
+            if (
+                isinstance(owner, ast.Attribute)
+                and isinstance(owner.value, ast.Name)
+                and owner.value.id == "datetime"
+            ):
+                owner = ast.Name(id=owner.attr, ctx=ast.Load())
+            if not isinstance(owner, ast.Name):
+                continue
+            message = None
+            if owner.id == "time" and func.attr in _WALL_CLOCK_TIME:
+                message = (
+                    f"wall-clock read time.{func.attr}() in a deterministic "
+                    "path; results must not depend on the clock"
+                )
+            elif owner.id == "datetime" and func.attr in _WALL_CLOCK_DATETIME:
+                message = (
+                    f"wall-clock read datetime.{func.attr}() in a "
+                    "deterministic path; results must not depend on the clock"
+                )
+            elif owner.id == "random" and func.attr != "Random":
+                message = (
+                    f"module-global random.{func.attr}() in a deterministic "
+                    "path; use a seeded random.Random(seed) instance"
+                )
+            if message is not None:
+                findings.append(
+                    Finding(
+                        file=module.path,
+                        line=node.lineno,
+                        rule=self.id,
+                        message=message,
+                    )
+                )
+        return findings

@@ -1,0 +1,240 @@
+"""Rule: shared mutable state must stay under its lock.
+
+The sweep service (:mod:`repro.service`) and the kernel loader
+(:mod:`repro.routing.kernel`) are the two places where threads share
+mutable state.  Their convention: any attribute that is ever written under
+``with self._lock`` (or any ``self._*lock*``) is lock-owned, and every
+*other* write to it must also hold the lock.  ``__init__`` /
+``__post_init__`` are exempt — construction happens before the object is
+shared.
+
+The module-level twin covers :mod:`repro.routing.kernel`'s
+``_lock`` / ``_cached`` / ``_tried`` globals: a global ever assigned inside
+``with _lock`` must only be assigned under it (import-time initialization
+exempt, same reasoning as ``__init__``).
+
+The rule is deliberately syntactic — it sees lock *blocks*, not lock
+*ownership*, so a helper that is only ever called with the lock held will
+be flagged and needs an inline ``# repro-lint: disable=lock-discipline``
+stating that contract.  That trade keeps the checker dependency-free and
+the contract written down at the call site.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+from ..engine import ModuleSource
+from ..findings import Finding
+
+#: Package-relative paths where the lock convention is enforced.
+LOCKED_PATHS = ("service/", "routing/kernel.py")
+
+_CONSTRUCTORS = ("__init__", "__post_init__")
+
+
+def _in_scope(path: str) -> bool:
+    return any(path == p or path.startswith(p) for p in LOCKED_PATHS)
+
+
+def _self_attr_target(target: ast.AST) -> Optional[str]:
+    """The ``self._x`` attribute a write target reaches, if any.
+
+    Unwraps subscripts and attribute chains, so ``self._jobs[k] = v`` and
+    ``self._stats.count = 1`` both resolve to the owning attribute.
+    """
+    node = target
+    while isinstance(node, (ast.Subscript, ast.Attribute)):
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            return node.attr
+        node = node.value
+    return None
+
+
+def _is_self_lock(expr: ast.AST) -> bool:
+    return (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+        and "lock" in expr.attr
+    )
+
+
+def _is_module_lock(expr: ast.AST) -> bool:
+    return isinstance(expr, ast.Name) and "lock" in expr.id
+
+
+def _write_targets(node: ast.stmt) -> Iterator[ast.AST]:
+    if isinstance(node, ast.Assign):
+        yield from node.targets
+    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        yield node.target
+
+
+class _ClassWrites(ast.NodeVisitor):
+    """Collect every ``self._x`` write in one class, with lock context."""
+
+    def __init__(self) -> None:
+        #: (attr, lineno, under_lock, method_name)
+        self.writes: List[Tuple[str, int, bool, str]] = []
+        self._lock_depth = 0
+        self._method: str = "<class body>"
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        previous, self._method = self._method, node.name
+        self.generic_visit(node)
+        self._method = previous
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        # Nested classes own their own state; handled by their own pass.
+        pass
+
+    def visit_With(self, node: ast.With) -> None:
+        locked = any(_is_self_lock(item.context_expr) for item in node.items)
+        if locked:
+            self._lock_depth += 1
+        self.generic_visit(node)
+        if locked:
+            self._lock_depth -= 1
+
+    def _record(self, stmt: ast.stmt) -> None:
+        for target in _write_targets(stmt):
+            attr = _self_attr_target(target)
+            if attr is not None and attr.startswith("_"):
+                self.writes.append(
+                    (attr, stmt.lineno, self._lock_depth > 0, self._method)
+                )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self._record(node)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._record(node)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._record(node)
+        self.generic_visit(node)
+
+
+class _ModuleWrites(ast.NodeVisitor):
+    """Collect module-global writes (via ``global`` decls) with lock context."""
+
+    def __init__(self) -> None:
+        self.writes: List[Tuple[str, int, bool]] = []
+        self._lock_depth = 0
+        self._globals: List[Set[str]] = []
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        pass  # class/instance state is the class pass's job
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        declared: Set[str] = set()
+        for stmt in ast.walk(node):
+            if isinstance(stmt, ast.Global):
+                declared.update(stmt.names)
+        self._globals.append(declared)
+        self.generic_visit(node)
+        self._globals.pop()
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_With(self, node: ast.With) -> None:
+        locked = any(_is_module_lock(item.context_expr) for item in node.items)
+        if locked:
+            self._lock_depth += 1
+        self.generic_visit(node)
+        if locked:
+            self._lock_depth -= 1
+
+    def _record(self, stmt: ast.stmt) -> None:
+        for target in _write_targets(stmt):
+            if isinstance(target, ast.Name):
+                name = target.id
+                in_function = bool(self._globals)
+                is_global = in_function and any(
+                    name in scope for scope in self._globals
+                )
+                if is_global or (not in_function and self._lock_depth > 0):
+                    self.writes.append((name, stmt.lineno, self._lock_depth > 0))
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self._record(node)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._record(node)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._record(node)
+        self.generic_visit(node)
+
+
+class LockDisciplineRule:
+    id = "lock-discipline"
+    description = (
+        "attributes/globals ever written under a lock must always be "
+        "written under it (constructors exempt)"
+    )
+
+    def check(self, module: ModuleSource) -> List[Finding]:
+        if not _in_scope(module.path):
+            return []
+        findings: List[Finding] = []
+
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            collector = _ClassWrites()
+            for stmt in node.body:
+                collector.visit(stmt)
+            guarded = {
+                attr for attr, _, under_lock, _ in collector.writes if under_lock
+            }
+            for attr, lineno, under_lock, method in collector.writes:
+                if under_lock or attr not in guarded:
+                    continue
+                if method in _CONSTRUCTORS:
+                    continue
+                findings.append(
+                    Finding(
+                        file=module.path,
+                        line=lineno,
+                        rule=self.id,
+                        message=(
+                            f"self.{attr} is written under a lock elsewhere "
+                            f"in {node.name} but written without it in "
+                            f"{method}()"
+                        ),
+                    )
+                )
+
+        collector = _ModuleWrites()
+        collector.visit(module.tree)
+        guarded_globals = {
+            name for name, _, under_lock in collector.writes if under_lock
+        }
+        for name, lineno, under_lock in collector.writes:
+            if under_lock or name not in guarded_globals:
+                continue
+            findings.append(
+                Finding(
+                    file=module.path,
+                    line=lineno,
+                    rule=self.id,
+                    message=(
+                        f"global {name} is written under the module lock "
+                        "elsewhere but written without it here"
+                    ),
+                )
+            )
+        return findings

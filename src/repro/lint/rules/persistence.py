@@ -1,0 +1,129 @@
+"""Rules: atomic JSON persistence and schema-salted fingerprints.
+
+Both rules exist because of real bugs in this repo's history:
+
+* **atomic-persistence** — PR 6 shipped a lost-write: a raw ``json.dump``
+  into an ``open(..., "w")`` handle could be observed half-written (and a
+  PID-keyed scratch-file scheme collided across threads).  The fix,
+  :func:`repro.persistutil.atomic_write_json` (mkstemp + ``os.replace``),
+  is the only sanctioned way to persist JSON.  The rule flags direct
+  ``json.dump(...)`` calls and ``.write(json.dumps(...))`` /
+  ``write_text(json.dumps(...))`` patterns everywhere except
+  ``persistutil.py`` itself.
+
+* **fingerprint-salting** — every content address must fold in a schema
+  tag (:func:`repro.persistutil.tagged_fingerprint`) so bumping a schema
+  version re-addresses old payloads instead of misreading them.  A bare
+  ``hashlib.blake2b(...)`` construction outside ``persistutil.py`` builds
+  an unsalted digest that a future schema bump cannot invalidate, so the
+  rule flags it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from ..engine import ModuleSource
+from ..findings import Finding
+
+#: The one module allowed to touch the raw primitives.
+PRIMITIVE_MODULE = "persistutil.py"
+
+
+def _is_json_dumps(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "dumps"
+        and isinstance(node.func.value, ast.Name)
+        and node.func.value.id == "json"
+    )
+
+
+class AtomicPersistenceRule:
+    id = "atomic-persistence"
+    description = (
+        "JSON writes must go through persistutil.atomic_write_json, "
+        "never raw json.dump / handle.write(json.dumps(...))"
+    )
+
+    def check(self, module: ModuleSource) -> List[Finding]:
+        if module.path == PRIMITIVE_MODULE:
+            return []
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if (
+                func.attr == "dump"
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "json"
+            ):
+                findings.append(
+                    Finding(
+                        file=module.path,
+                        line=node.lineno,
+                        rule=self.id,
+                        message=(
+                            "raw json.dump() write; persist JSON via "
+                            "persistutil.atomic_write_json so a crash never "
+                            "leaves a truncated file"
+                        ),
+                    )
+                )
+            elif func.attr in ("write", "write_text") and any(
+                _is_json_dumps(arg) for arg in node.args
+            ):
+                findings.append(
+                    Finding(
+                        file=module.path,
+                        line=node.lineno,
+                        rule=self.id,
+                        message=(
+                            f"non-atomic JSON write via .{func.attr}"
+                            "(json.dumps(...)); persist JSON via "
+                            "persistutil.atomic_write_json"
+                        ),
+                    )
+                )
+        return findings
+
+
+class FingerprintSaltingRule:
+    id = "fingerprint-salting"
+    description = (
+        "content hashes must use persistutil.tagged_fingerprint "
+        "(schema-salted blake2b), not bare hashlib.blake2b"
+    )
+
+    def check(self, module: ModuleSource) -> List[Finding]:
+        if module.path == PRIMITIVE_MODULE:
+            return []
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = None
+            if isinstance(func, ast.Attribute):
+                name = func.attr
+            elif isinstance(func, ast.Name):
+                name = func.id
+            if name == "blake2b":
+                findings.append(
+                    Finding(
+                        file=module.path,
+                        line=node.lineno,
+                        rule=self.id,
+                        message=(
+                            "bare blake2b construction; use "
+                            "persistutil.tagged_fingerprint so a schema "
+                            "bump re-addresses every digest"
+                        ),
+                    )
+                )
+        return findings

@@ -1,4 +1,4 @@
-"""Qubit mapping algorithms: baselines, force-directed, graph partitioning, stitching."""
+"""Qubit mapping: baselines, force-directed, graph partitioning, stitching."""
 
 from .force_directed import (
     ForceDirectedConfig,

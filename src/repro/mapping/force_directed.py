@@ -38,7 +38,11 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 import networkx as nx
 
 from ..circuits.circuit import Circuit
-from ..graphs.community import community_centroid, community_fragmentation, detect_communities
+from ..graphs.community import (
+    community_centroid,
+    community_fragmentation,
+    detect_communities,
+)
 from ..graphs.interaction import interaction_graph
 from ..graphs.metrics import MappingCostTracker
 from .placement import Cell, Placement, grid_dimensions_for, row_major_placement
@@ -98,8 +102,16 @@ def assign_dipole_poles(graph: nx.Graph, seed: int = 0) -> Dict[int, int]:
             for neighbor in graph.neighbors(vertex):
                 if neighbor in poles:
                     continue
-                opposite = sum(1 for n in graph.neighbors(neighbor) if poles.get(n) == -poles[vertex])
-                same = sum(1 for n in graph.neighbors(neighbor) if poles.get(n) == poles[vertex])
+                opposite = sum(
+                    1
+                    for n in graph.neighbors(neighbor)
+                    if poles.get(n) == -poles[vertex]
+                )
+                same = sum(
+                    1
+                    for n in graph.neighbors(neighbor)
+                    if poles.get(n) == poles[vertex]
+                )
                 poles[neighbor] = -poles[vertex] if same >= opposite else poles[vertex]
                 queue.append(neighbor)
     return poles

@@ -14,7 +14,7 @@ permutation edges of a multi-level factory) is optimised directly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import networkx as nx
 
@@ -92,7 +92,11 @@ def _embed_recursive(
         raise ValueError(
             f"region of area {region.area} cannot hold {len(vertices)} qubits"
         )
-    if len(vertices) <= leaf_size or region.area <= leaf_size or min(region.height, region.width) <= 1:
+    if (
+        len(vertices) <= leaf_size
+        or region.area <= leaf_size
+        or min(region.height, region.width) <= 1
+    ):
         cells = region.cells()
         ordered = _order_leaf_vertices(graph, vertices)
         for vertex, cell in zip(ordered, cells):
@@ -181,7 +185,11 @@ def graph_partition_placement(
     """
     if isinstance(circuit_or_graph, Circuit):
         graph = interaction_graph(circuit_or_graph)
-        vertex_list = list(qubits) if qubits is not None else list(range(circuit_or_graph.num_qubits))
+        vertex_list = (
+            list(qubits)
+            if qubits is not None
+            else list(range(circuit_or_graph.num_qubits))
+        )
     else:
         graph = circuit_or_graph
         vertex_list = list(qubits) if qubits is not None else list(graph.nodes())

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 Cell = Tuple[int, int]
 
@@ -127,7 +127,8 @@ class Placement:
         for qubit, cell in self.positions.items():
             if not self.in_bounds(cell):
                 raise ValueError(
-                    f"qubit {qubit} placed at {cell}, outside {self.height}x{self.width} grid"
+                    f"qubit {qubit} placed at {cell}, outside "
+                    f"{self.height}x{self.width} grid"
                 )
             if cell in seen:
                 raise ValueError(
@@ -214,7 +215,9 @@ class Placement:
         }
 
 
-def grid_dimensions_for(num_qubits: int, aspect_ratio: float = 1.0, slack: float = 1.3) -> Tuple[int, int]:
+def grid_dimensions_for(
+    num_qubits: int, aspect_ratio: float = 1.0, slack: float = 1.3
+) -> Tuple[int, int]:
     """Pick grid dimensions able to hold ``num_qubits`` qubits.
 
     ``slack`` controls the extra routing area reserved beyond the minimum

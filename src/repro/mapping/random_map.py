@@ -10,7 +10,7 @@ spacing) and realized latency can be measured.
 from __future__ import annotations
 
 import random
-from typing import Iterable, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from ..circuits.circuit import Circuit
 from .placement import Placement, grid_dimensions_for
@@ -61,7 +61,11 @@ def random_circuit_placement(
 ) -> Placement:
     """Random placement of every qubit of a circuit."""
     return random_placement(
-        list(range(circuit.num_qubits)), width=width, height=height, seed=seed, slack=slack
+        list(range(circuit.num_qubits)),
+        width=width,
+        height=height,
+        seed=seed,
+        slack=slack,
     )
 
 

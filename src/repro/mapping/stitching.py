@@ -30,7 +30,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..distillation.block_code import (
     Factory,
@@ -47,7 +47,7 @@ from .force_directed import ForceDirectedConfig, force_directed_refine
 from .graph_partition import graph_partition_placement
 from .linear import linear_module_cells, linear_module_shape
 from .placement import Cell, Placement
-from ..circuits.gates import Gate, GateKind
+from ..circuits.gates import GateKind
 
 
 @dataclass
@@ -205,7 +205,9 @@ def _arrange_blocks(
 
     slots = [(r, c) for r in range(rows) for c in range(columns)]
     centre = ((rows - 1) / 2.0, (columns - 1) / 2.0)
-    slots.sort(key=lambda slot: (math.hypot(slot[0] - centre[0], slot[1] - centre[1]), slot))
+    slots.sort(
+        key=lambda slot: (math.hypot(slot[0] - centre[0], slot[1] - centre[1]), slot)
+    )
 
     # Later rounds first in the slot ranking (they get the central slots).
     ordered_keys = sorted(block_keys, key=lambda key: (-key[0], key[1]))

@@ -34,7 +34,14 @@ schedules on it:
 
 from .batchsim import kernel_available, numpy_available, simulate_batch
 from .braid import BraidPath
-from .mesh import Cell, LatticeCell, Mesh, is_channel_cell, lattice_to_tile, tile_to_lattice
+from .mesh import (
+    Cell,
+    LatticeCell,
+    Mesh,
+    is_channel_cell,
+    lattice_to_tile,
+    tile_to_lattice,
+)
 from .router import BraidRouter, bfs_detour, bfs_detour_mask, rectilinear_candidates
 from .simulator import (
     RoutingDeadlockError,

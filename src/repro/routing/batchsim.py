@@ -994,7 +994,9 @@ class _ArrayGroup:
         off = self.probe_off[cand]
         locked_flat = self.locked.reshape(-1)
         gathered = locked_flat[
-            (owners * self.span).reshape(owners.shape + (1,) * (cand.ndim - owners.ndim + 1))
+            (owners * self.span).reshape(
+                owners.shape + (1,) * (cand.ndim - owners.ndim + 1)
+            )
             + off
         ]
         hit = gathered & self.probe_mask[cand]

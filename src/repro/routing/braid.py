@@ -8,7 +8,7 @@ the simulator then stalls one of them (Section VIII-A).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import FrozenSet, Iterable, Optional, Sequence, Tuple
 
 from .mesh import LatticeCell

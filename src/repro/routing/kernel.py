@@ -13,7 +13,11 @@ and callers stay on the pure-Python engines.  Setting
 ``REPRO_NO_KERNEL=1`` disables the kernel outright (used by tests to
 pin the Python paths); ``REPRO_KERNEL_CACHE`` overrides the cache
 directory (default: ``_kernel_cache/`` beside the source, falling back
-to a per-user temp directory when that is not writable).
+to a per-user temp directory when that is not writable);
+``REPRO_KERNEL_CFLAGS`` appends extra compiler flags — CI uses it to
+build the kernel under ``-Wall -Wextra -Werror`` and the ASan/UBSan
+sanitizers.  The extra flags are folded into the cache key, so a
+sanitized build never reuses (or poisons) the plain cached library.
 """
 from __future__ import annotations
 
@@ -110,6 +114,11 @@ def _compiler() -> Optional[str]:
     return shutil.which("cc") or shutil.which("gcc") or shutil.which("clang")
 
 
+def _extra_cflags() -> list:
+    """Extra compiler flags from ``REPRO_KERNEL_CFLAGS`` (shlex-free split)."""
+    return os.environ.get("REPRO_KERNEL_CFLAGS", "").split()
+
+
 def _cache_dirs():
     override = os.environ.get("REPRO_KERNEL_CACHE")
     if override:
@@ -136,8 +145,9 @@ def _compile(source_path: str, digest: str) -> Optional[str]:
             continue
         try:
             proc = subprocess.run(
-                [compiler, "-O3", "-fPIC", "-shared", "-o", tmp_path,
-                 source_path],
+                [compiler, "-O3", "-fPIC", "-shared"]
+                + _extra_cflags()
+                + ["-o", tmp_path, source_path],
                 capture_output=True,
                 timeout=120,
             )
@@ -164,7 +174,12 @@ def _try_load() -> Optional[Kernel]:
             source = handle.read()
     except OSError:
         return None
-    digest = hashlib.sha256(source).hexdigest()[:16]
+    # The cache key covers the source AND the extra flags: a sanitizer
+    # build must not be served the plain cached .so (or vice versa).
+    hasher = hashlib.sha256(source)
+    hasher.update(b"\x00")
+    hasher.update(" ".join(_extra_cflags()).encode("utf-8"))
+    digest = hasher.hexdigest()[:16]
     so_path = _compile(_SOURCE, digest)
     if so_path is None:
         return None

@@ -18,7 +18,6 @@ from typing import (
     AbstractSet,
     Dict,
     FrozenSet,
-    Iterable,
     List,
     Optional,
     Sequence,
@@ -390,7 +389,9 @@ class BraidRouter:
                 return detour
         return None
 
-    def _mask_plan(self, source: LatticeCell, target: LatticeCell) -> Tuple[Tuple[int, ...], int]:
+    def _mask_plan(
+        self, source: LatticeCell, target: LatticeCell
+    ) -> Tuple[Tuple[int, ...], int]:
         """The cached candidate *masks* for an endpoint pair.
 
         The bitmask twin of :meth:`_pair_plan`, built without ever

@@ -38,7 +38,6 @@ the next.  Two engines implement these semantics:
 from __future__ import annotations
 
 import dataclasses
-import hashlib
 import heapq
 import json
 import os
@@ -688,21 +687,29 @@ def simulate_latency(
 _circuit_fingerprints: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
 
 
+#: Schema tag salted into every circuit fingerprint.  Content hashes that
+#: feed cache keys must be tag-salted (:func:`~repro.persistutil
+#: .tagged_fingerprint`) so an encoding change re-addresses old digests
+#: instead of colliding with them.
+_CIRCUIT_FINGERPRINT_TAG = "repro-msfu-circuit/v1"
+
+
 def _gates_fingerprint(gates: Sequence[Gate]) -> str:
     """Stable content hash of a gate sequence.
 
     Hashes exactly the gate properties the simulator depends on (kind and
-    qubit operands, in order) with :func:`hashlib.blake2b`, so the digest is
+    qubit operands, in order) via the tag-salted blake2b scheme of
+    :func:`~repro.persistutil.tagged_fingerprint`, so the digest is
     identical across processes and interpreter runs — unlike built-in
     ``hash()``, which is randomized per process for strings.
     """
-    h = hashlib.blake2b(digest_size=16)
+    parts: List[bytes] = []
     for gate in gates:
-        h.update(gate.kind.value.encode())
-        h.update(b"(")
-        h.update(",".join(map(str, gate.qubits)).encode())
-        h.update(b")")
-    return h.hexdigest()
+        parts.append(gate.kind.value.encode())
+        parts.append(b"(")
+        parts.append(",".join(map(str, gate.qubits)).encode())
+        parts.append(b")")
+    return tagged_fingerprint(_CIRCUIT_FINGERPRINT_TAG, b"".join(parts), digest_size=16)
 
 
 def circuit_fingerprint(circuit_or_gates) -> str:
@@ -772,8 +779,10 @@ def simulation_cache_key(
 
 #: Version tag folded into :func:`simulation_fingerprint`.  Bump whenever
 #: simulator semantics or the cache-key encoding change, so persisted cache
-#: files from older code become unreachable instead of wrong.
-SIM_CACHE_SCHEMA_VERSION = 1
+#: files from older code become unreachable instead of wrong.  v2: circuit
+#: fingerprints moved to the tag-salted blake2b scheme, changing every
+#: cache key's digest component.
+SIM_CACHE_SCHEMA_VERSION = 2
 
 _SIM_FINGERPRINT_TAG = "repro-msfu-sim-cache/v{version}"
 

@@ -12,9 +12,8 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
-from ..circuits.circuit import Circuit
 from ..circuits.dag import critical_path_length
-from ..distillation.block_code import Factory, FactorySpec, ReusePolicy, build_factory
+from ..distillation.block_code import FactorySpec, ReusePolicy, build_factory
 
 
 def circuit_lower_bound(circuit_or_gates, durations: Optional[dict] = None) -> int:

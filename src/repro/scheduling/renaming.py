@@ -25,7 +25,6 @@ from __future__ import annotations
 from typing import Dict, List, Set, Tuple
 
 from ..circuits.circuit import Circuit
-from ..circuits.gates import Gate, GateKind
 
 
 def sharing_after_measurement_pairs(circuit: Circuit) -> List[Tuple[int, int]]:

@@ -17,7 +17,7 @@ circuits.  The main findings reproduced here:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from ..circuits.circuit import Circuit
 from ..circuits.dag import asap_levels, build_dependency_dag

@@ -30,9 +30,7 @@ def pytest_addoption(parser):
     )
 
 from repro.distillation import (
-    FactorySpec,
     ReusePolicy,
-    build_factory,
     build_single_level_factory,
     build_two_level_factory,
 )

@@ -14,7 +14,7 @@ from repro.analysis import (
     mapping_area,
     occupied_bounding_box,
 )
-from repro.mapping import Placement, linear_factory_placement
+from repro.mapping import Placement
 from repro.routing import SimulatorConfig
 
 

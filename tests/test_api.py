@@ -221,7 +221,9 @@ class TestResultsSerialization:
             sim_config=SimulatorConfig(max_candidates=1),
             options={"note": "round-trip"},
         )
-        restored = EvaluationRequest.from_dict(json.loads(json.dumps(request.to_dict())))
+        restored = EvaluationRequest.from_dict(
+            json.loads(json.dumps(request.to_dict()))
+        )
         assert restored.method == request.method
         assert restored.fd_config == request.fd_config
         assert restored.sim_config == request.sim_config

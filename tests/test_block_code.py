@@ -2,12 +2,9 @@
 
 import pytest
 
-from repro.circuits import GateKind
 from repro.distillation import (
     FactorySpec,
-    ReusePolicy,
     build_factory,
-    build_single_level_factory,
     build_two_level_factory,
     default_port_map,
     validate_port_map,

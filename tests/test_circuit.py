@@ -2,7 +2,16 @@
 
 import pytest
 
-from repro.circuits import Circuit, GateKind, cnot, concatenate, cxx, h, inject_t, meas_x
+from repro.circuits import (
+    Circuit,
+    GateKind,
+    cnot,
+    concatenate,
+    cxx,
+    h,
+    inject_t,
+    meas_x,
+)
 
 
 def small_circuit():

@@ -139,7 +139,8 @@ class TestTable1:
             table1_volumes.run(levels=3)
 
     def test_paper_reference(self):
-        assert table1_volumes.paper_reference(2)["hierarchical_stitching"][100] == pytest.approx(5.93e6)
+        reference = table1_volumes.paper_reference(2)
+        assert reference["hierarchical_stitching"][100] == pytest.approx(5.93e6)
 
     def test_format(self):
         result = table1_volumes.run(levels=1, capacities=[2])

@@ -23,8 +23,6 @@ class TestSingleLevelClaims:
             assert evaluation.latency >= evaluation.critical_latency
 
     def test_linear_close_to_lower_bound(self, sweep):
-        volumes = sweep.series("volume")
-        latencies = sweep.series("latency")
         for evaluation in sweep.evaluations:
             if evaluation.method == "linear":
                 assert evaluation.latency <= 1.6 * evaluation.critical_latency

@@ -92,7 +92,9 @@ class TestInteractionGraph:
 
 
 class TestFactoryGraphs:
-    def test_single_level_graph_connected_core(self, single_level_k4, k4_interaction_graph):
+    def test_single_level_graph_connected_core(
+        self, single_level_k4, k4_interaction_graph
+    ):
         # Every raw state is consumed, so no qubit is isolated.
         assert all(deg > 0 for _q, deg in k4_interaction_graph.degree())
 

@@ -1,0 +1,547 @@
+"""Tests for the project-invariant checker (``repro-msfu lint``).
+
+Each rule gets a planted-violation twin pair: a *bad* module the rule must
+flag and a *good* module it must leave alone.  On top of that: suppression
+markers, the baseline round-trip, exit codes, and a meta-test asserting the
+real ``src/repro`` tree is clean under the committed baseline — which is
+what keeps the CI gate green.
+"""
+
+import json
+from pathlib import Path
+
+from repro.cli import main as cli_main
+from repro.lint import (
+    ALL_RULES,
+    Finding,
+    load_baseline,
+    rules_by_id,
+    run_rules,
+    write_baseline,
+)
+from repro.lint.baseline import apply_baseline
+from repro.lint.cli import main as lint_main
+from repro.lint.engine import ModuleSource, check_module, iter_sources
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC_ROOT = REPO_ROOT / "src" / "repro"
+COMMITTED_BASELINE = REPO_ROOT / "lint-baseline.json"
+
+
+def write_tree(root: Path, files: dict) -> Path:
+    """Materialize ``{relative/path.py: source}`` under ``root``."""
+    for rel, source in files.items():
+        target = root / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source)
+    return root
+
+
+def findings_for(root: Path, rule_ids=None):
+    rules = rules_by_id(rule_ids) if rule_ids else ALL_RULES
+    return run_rules(str(root), rules)
+
+
+class TestDeterminismRule:
+    def test_flags_wall_clock_and_global_random_in_scope(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "routing/bad.py": (
+                    "import random\n"
+                    "import time\n"
+                    "import datetime\n"
+                    "def jitter():\n"
+                    "    a = time.time()\n"
+                    "    b = random.random()\n"
+                    "    c = datetime.datetime.now()\n"
+                    "    return a, b, c\n"
+                ),
+            },
+        )
+        found = findings_for(tmp_path, ["determinism"])
+        assert [f.line for f in found] == [5, 6, 7]
+        assert all(f.rule == "determinism" for f in found)
+
+    def test_good_twin_and_out_of_scope_are_clean(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                # Seeded RNG and perf_counter are the sanctioned patterns.
+                "routing/good.py": (
+                    "import random\n"
+                    "import time\n"
+                    "def run(seed):\n"
+                    "    rng = random.Random(seed)\n"
+                    "    started = time.perf_counter()\n"
+                    "    return rng.random(), started\n"
+                ),
+                # Provenance timestamps outside the deterministic subtree
+                # are allowed by design.
+                "api/provenance.py": (
+                    "import time\n"
+                    "def stamp():\n"
+                    "    return time.time()\n"
+                ),
+            },
+        )
+        assert findings_for(tmp_path, ["determinism"]) == []
+
+
+class TestAtomicPersistenceRule:
+    def test_flags_raw_json_writes(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "api/bad_store.py": (
+                    "import json\n"
+                    "def save(path, payload):\n"
+                    "    with open(path, 'w') as handle:\n"
+                    "        json.dump(payload, handle)\n"
+                    "def save_text(path, payload):\n"
+                    "    path.write_text(json.dumps(payload))\n"
+                ),
+            },
+        )
+        found = findings_for(tmp_path, ["atomic-persistence"])
+        assert [f.line for f in found] == [4, 6]
+
+    def test_good_twin_and_primitive_module_are_clean(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "api/good_store.py": (
+                    "from ..persistutil import atomic_write_json\n"
+                    "def save(path, payload):\n"
+                    "    atomic_write_json(path, payload, indent=2)\n"
+                ),
+                # persistutil.py owns the raw primitives and is exempt.
+                "persistutil.py": (
+                    "import json\n"
+                    "def _write(handle, payload):\n"
+                    "    json.dump(payload, handle)\n"
+                ),
+            },
+        )
+        assert findings_for(tmp_path, ["atomic-persistence"]) == []
+
+
+class TestFingerprintSaltingRule:
+    def test_flags_bare_blake2b(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "routing/bad_hash.py": (
+                    "import hashlib\n"
+                    "from hashlib import blake2b\n"
+                    "def digest(payload):\n"
+                    "    return (hashlib.blake2b(payload).hexdigest(),\n"
+                    "            blake2b(payload).hexdigest())\n"
+                ),
+            },
+        )
+        found = findings_for(tmp_path, ["fingerprint-salting"])
+        assert [f.line for f in found] == [4, 5]
+
+    def test_tagged_fingerprint_and_primitive_module_are_clean(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "routing/good_hash.py": (
+                    "from ..persistutil import tagged_fingerprint\n"
+                    "def digest(payload):\n"
+                    "    return tagged_fingerprint('tag/v1', payload)\n"
+                ),
+                "persistutil.py": (
+                    "import hashlib\n"
+                    "def tagged_fingerprint(tag, payload):\n"
+                    "    return hashlib.blake2b(payload).hexdigest()\n"
+                ),
+            },
+        )
+        assert findings_for(tmp_path, ["fingerprint-salting"]) == []
+
+
+class TestLockDisciplineRule:
+    BAD_CLASS = (
+        "import threading\n"
+        "class Worker:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "        self._jobs = {}\n"
+        "    def submit(self, key, value):\n"
+        "        with self._lock:\n"
+        "            self._jobs[key] = value\n"
+        "    def reset(self):\n"
+        "        self._jobs = {}\n"
+    )
+
+    def test_flags_unguarded_write_to_lock_owned_attribute(self, tmp_path):
+        write_tree(tmp_path, {"service/worker.py": self.BAD_CLASS})
+        found = findings_for(tmp_path, ["lock-discipline"])
+        assert len(found) == 1
+        assert found[0].line == 10
+        assert "_jobs" in found[0].message and "reset()" in found[0].message
+
+    def test_good_twin_is_clean(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "service/worker.py": (
+                    "import threading\n"
+                    "class Worker:\n"
+                    "    def __init__(self):\n"
+                    "        self._lock = threading.Lock()\n"
+                    "        self._jobs = {}\n"  # constructors are exempt
+                    "    def submit(self, key, value):\n"
+                    "        with self._lock:\n"
+                    "            self._jobs[key] = value\n"
+                    "    def reset(self):\n"
+                    "        with self._lock:\n"
+                    "            self._jobs = {}\n"
+                ),
+            },
+        )
+        assert findings_for(tmp_path, ["lock-discipline"]) == []
+
+    def test_out_of_scope_path_is_ignored(self, tmp_path):
+        write_tree(tmp_path, {"api/worker.py": self.BAD_CLASS})
+        assert findings_for(tmp_path, ["lock-discipline"]) == []
+
+    def test_module_global_variant(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "routing/kernel.py": (
+                    "import threading\n"
+                    "_lock = threading.Lock()\n"
+                    "_cached = None\n"
+                    "def load():\n"
+                    "    global _cached\n"
+                    "    with _lock:\n"
+                    "        _cached = object()\n"
+                    "def evict():\n"
+                    "    global _cached\n"
+                    "    _cached = None\n"
+                ),
+            },
+        )
+        found = findings_for(tmp_path, ["lock-discipline"])
+        assert len(found) == 1
+        assert found[0].line == 10
+        assert "_cached" in found[0].message
+
+
+class TestSerializationParityRule:
+    def test_flags_one_sided_dataclasses(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "api/records.py": (
+                    "from dataclasses import dataclass\n"
+                    "@dataclass\n"
+                    "class OnlyTo:\n"
+                    "    value: int\n"
+                    "    def to_dict(self):\n"
+                    "        return {'value': self.value}\n"
+                    "@dataclass(frozen=True)\n"
+                    "class OnlyFrom:\n"
+                    "    value: int\n"
+                    "    @classmethod\n"
+                    "    def from_dict(cls, data):\n"
+                    "        return cls(data['value'])\n"
+                ),
+            },
+        )
+        found = findings_for(tmp_path, ["serialization-parity"])
+        assert [f.line for f in found] == [3, 8]
+        assert "OnlyTo" in found[0].message and "from_dict" in found[0].message
+        assert "OnlyFrom" in found[1].message and "to_dict" in found[1].message
+
+    def test_balanced_and_non_dataclass_are_clean(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "api/records.py": (
+                    "from dataclasses import dataclass\n"
+                    "@dataclass\n"
+                    "class Both:\n"
+                    "    value: int\n"
+                    "    def to_dict(self):\n"
+                    "        return {'value': self.value}\n"
+                    "    @classmethod\n"
+                    "    def from_dict(cls, data):\n"
+                    "        return cls(data['value'])\n"
+                    "class PlainView:\n"  # not a dataclass: out of scope
+                    "    def to_dict(self):\n"
+                    "        return {}\n"
+                ),
+            },
+        )
+        assert findings_for(tmp_path, ["serialization-parity"]) == []
+
+
+class TestSuppressions:
+    def test_inline_disable_silences_one_line(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "routing/hash.py": (
+                    "import hashlib\n"
+                    "def a(p):\n"
+                    "    return hashlib.blake2b(p)"
+                    "  # repro-lint: disable=fingerprint-salting\n"
+                    "def b(p):\n"
+                    "    return hashlib.blake2b(p)\n"
+                ),
+            },
+        )
+        found = findings_for(tmp_path, ["fingerprint-salting"])
+        assert [f.line for f in found] == [5]
+
+    def test_file_wide_disable_silences_the_module(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "routing/hash.py": (
+                    "# repro-lint: disable-file=fingerprint-salting\n"
+                    "import hashlib\n"
+                    "def a(p):\n"
+                    "    return hashlib.blake2b(p)\n"
+                ),
+            },
+        )
+        assert findings_for(tmp_path, ["fingerprint-salting"]) == []
+
+    def test_disable_list_covers_multiple_rules(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "routing/mixed.py": (
+                    "import hashlib, time\n"
+                    "def a(p):\n"
+                    "    return hashlib.blake2b(str(time.time()).encode())"
+                    "  # repro-lint: disable=fingerprint-salting, determinism\n"
+                ),
+            },
+        )
+        assert findings_for(tmp_path) == []
+
+    def test_disable_of_other_rule_does_not_suppress(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "routing/hash.py": (
+                    "import hashlib\n"
+                    "def a(p):\n"
+                    "    return hashlib.blake2b(p)"
+                    "  # repro-lint: disable=determinism\n"
+                ),
+            },
+        )
+        found = findings_for(tmp_path, ["fingerprint-salting"])
+        assert len(found) == 1
+
+
+class TestEngine:
+    def test_iter_sources_sorted_skips_caches_and_syntax_errors(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "b.py": "x = 1\n",
+                "a/nested.py": "y = 2\n",
+                "__pycache__/junk.py": "z = 3\n",
+                ".hidden/secret.py": "w = 4\n",
+                "broken.py": "def broken(:\n",
+            },
+        )
+        paths = [module.path for module in iter_sources(str(tmp_path))]
+        assert paths == ["b.py", "a/nested.py"] or paths == ["a/nested.py", "b.py"]
+        # Deterministic: a second walk yields the identical order.
+        assert paths == [module.path for module in iter_sources(str(tmp_path))]
+
+    def test_check_module_runs_all_rules_once_per_parse(self):
+        module = ModuleSource(
+            path="routing/bad.py",
+            source="import hashlib\nh = hashlib.blake2b(b'x')\n",
+            tree=__import__("ast").parse(
+                "import hashlib\nh = hashlib.blake2b(b'x')\n"
+            ),
+        )
+        found = check_module(module, ALL_RULES)
+        assert [f.rule for f in found] == ["fingerprint-salting"]
+
+    def test_rules_by_id_rejects_unknown(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            rules_by_id(["no-such-rule"])
+
+    def test_findings_sort_by_location(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "routing/z.py": "import time\nt = time.time()\n",
+                "routing/a.py": "import time\nt = time.time()\n",
+            },
+        )
+        found = findings_for(tmp_path, ["determinism"])
+        assert [f.file for f in found] == ["routing/a.py", "routing/z.py"]
+
+
+class TestFindingRecord:
+    def test_round_trips_through_dict(self):
+        finding = Finding(file="a.py", line=3, rule="determinism", message="m")
+        assert Finding.from_dict(finding.to_dict()) == finding
+
+    def test_baseline_key_excludes_line(self):
+        one = Finding(file="a.py", line=3, rule="determinism", message="m")
+        two = Finding(file="a.py", line=9, rule="determinism", message="m")
+        assert one.baseline_key == two.baseline_key
+
+
+class TestBaseline:
+    def test_round_trip_grandfathers_existing_findings(self, tmp_path):
+        findings = [
+            Finding(file="a.py", line=1, rule="determinism", message="m"),
+            Finding(file="a.py", line=5, rule="determinism", message="m"),
+        ]
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(str(baseline_path), findings)
+        baseline = load_baseline(str(baseline_path))
+        assert baseline == {"a.py::determinism::m": 2}
+        fresh, grandfathered = apply_baseline(findings, baseline)
+        assert fresh == [] and grandfathered == 2
+
+    def test_extra_occurrence_beyond_count_gates(self, tmp_path):
+        old = [Finding(file="a.py", line=1, rule="determinism", message="m")]
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(str(baseline_path), old)
+        grown = old + [Finding(file="a.py", line=9, rule="determinism", message="m")]
+        fresh, grandfathered = apply_baseline(
+            sorted(grown), load_baseline(str(baseline_path))
+        )
+        assert grandfathered == 1
+        assert [f.line for f in fresh] == [9]
+
+    def test_missing_file_is_empty_and_bad_version_raises(self, tmp_path):
+        import pytest
+
+        assert load_baseline(str(tmp_path / "absent.json")) == {}
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"version": 99, "entries": {}}))
+        with pytest.raises(ValueError):
+            load_baseline(str(bad))
+
+
+class TestLintCli:
+    def _bad_tree(self, tmp_path):
+        return write_tree(
+            tmp_path / "pkg",
+            {"routing/bad.py": "import time\nt = time.time()\n"},
+        )
+
+    def test_exit_one_on_planted_violation(self, tmp_path, capsys):
+        root = self._bad_tree(tmp_path)
+        code = lint_main(["--root", str(root), "--no-baseline"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "routing/bad.py:2: determinism:" in out
+
+    def test_json_format(self, tmp_path, capsys):
+        root = self._bad_tree(tmp_path)
+        code = lint_main(
+            ["--root", str(root), "--no-baseline", "--format", "json"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert payload["grandfathered"] == 0
+        assert [f["rule"] for f in payload["new"]] == ["determinism"]
+        assert set(payload["rules"]) == {rule.id for rule in ALL_RULES}
+
+    def test_rule_filter_and_unknown_rule(self, tmp_path, capsys):
+        root = self._bad_tree(tmp_path)
+        assert (
+            lint_main(
+                [
+                    "--root",
+                    str(root),
+                    "--no-baseline",
+                    "--rule",
+                    "atomic-persistence",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert lint_main(["--root", str(root), "--rule", "bogus"]) == 2
+
+    def test_update_baseline_then_clean_run(self, tmp_path, capsys):
+        root = self._bad_tree(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        assert (
+            lint_main(
+                ["--root", str(root), "--baseline", str(baseline), "--update-baseline"]
+            )
+            == 0
+        )
+        assert (
+            lint_main(["--root", str(root), "--baseline", str(baseline)]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "1 grandfathered by baseline" in out
+        # A second violation beyond the grandfathered count gates again.
+        (root / "routing" / "bad.py").write_text(
+            "import time\nt = time.time()\nu = time.time()\n"
+        )
+        assert (
+            lint_main(["--root", str(root), "--baseline", str(baseline)]) == 1
+        )
+
+    def test_exit_two_on_bad_root_or_baseline(self, tmp_path, capsys):
+        assert lint_main(["--root", str(tmp_path / "nope")]) == 2
+        root = self._bad_tree(tmp_path)
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json")
+        assert lint_main(["--root", str(root), "--baseline", str(bad)]) == 2
+
+    def test_wired_into_repro_msfu_cli(self, tmp_path, capsys):
+        root = self._bad_tree(tmp_path)
+        code = cli_main(["lint", "--root", str(root), "--no-baseline"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "determinism" in out
+        capsys.readouterr()
+        assert cli_main(["lint", "--list-rules"]) == 0
+        listed = capsys.readouterr().out
+        for rule in ALL_RULES:
+            assert rule.id in listed
+
+
+class TestRealTreeIsClean:
+    """The meta-tests backing the CI gate: src/repro lints clean."""
+
+    def test_lint_exits_zero_with_committed_baseline(self, capsys):
+        code = lint_main(
+            [
+                "--root",
+                str(SRC_ROOT),
+                "--baseline",
+                str(COMMITTED_BASELINE),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, out
+
+    def test_committed_baseline_is_empty(self):
+        # The tree is clean outright — the baseline grandfather list holds
+        # nothing.  If a rule regresses, either fix the site or add it here
+        # via --update-baseline and justify the diff in review.
+        assert load_baseline(str(COMMITTED_BASELINE)) == {}
+
+    def test_service_and_kernel_lock_discipline_is_clean(self):
+        # Satellite regression pin: the threaded sweep service and the
+        # kernel loader currently satisfy lock-discipline with zero
+        # suppressions; new unguarded writes to lock-owned state must fail.
+        found = run_rules(str(SRC_ROOT), rules_by_id(["lock-discipline"]))
+        assert found == [], [f.to_dict() for f in found]

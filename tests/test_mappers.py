@@ -3,7 +3,7 @@
 import pytest
 
 from repro.circuits import critical_path_length
-from repro.distillation import BravyiHaahSpec, build_single_level_factory
+from repro.distillation import BravyiHaahSpec
 from repro.graphs import (
     interaction_graph,
     mapping_cost,
@@ -121,7 +121,9 @@ class TestRandomMapping:
         random_lengths = []
         for seed in range(5):
             placement = random_circuit_placement(single_level_k8.circuit, seed=seed)
-            random_lengths.append(total_edge_length(graph, placement.as_float_positions()))
+            random_lengths.append(
+                total_edge_length(graph, placement.as_float_positions())
+            )
         linear_length = total_edge_length(graph, linear.as_float_positions())
         assert min(random_lengths) > linear_length
 
@@ -267,7 +269,9 @@ class TestExactCostRefinement:
         )
         assert refined_cost <= stats.initial_cost
 
-    def test_refine_stats_counters_are_consistent(self, single_level_k4, k4_random_placement):
+    def test_refine_stats_counters_are_consistent(
+        self, single_level_k4, k4_random_placement
+    ):
         graph = interaction_graph(single_level_k4.circuit)
         config = ForceDirectedConfig(sweeps=6, seed=3)
         take_refine_stats()
@@ -275,10 +279,14 @@ class TestExactCostRefinement:
         stats = take_refine_stats()[-1]
         assert stats.sweeps == 6
         assert len(stats.sweep_costs) == 6
-        assert 0 <= stats.improving_moves <= stats.accepted_moves <= stats.proposed_moves
+        assert (
+            0 <= stats.improving_moves <= stats.accepted_moves <= stats.proposed_moves
+        )
         assert stats.best_cost <= stats.initial_cost
 
-    def test_pending_refine_stats_are_bounded(self, single_level_k4, k4_random_placement):
+    def test_pending_refine_stats_are_bounded(
+        self, single_level_k4, k4_random_placement
+    ):
         # A long-lived process that never drains the channel must not leak.
         from repro.mapping import force_directed as fd_module
 
@@ -307,7 +315,9 @@ class TestStallCounter:
     def test_fruitless_sweep_advances(self):
         assert _next_stall_counter(4, new_best=False, improved_any=False) == 5
 
-    def test_stalled_sweeps_gate_community_moves(self, single_level_k4, k4_random_placement):
+    def test_stalled_sweeps_gate_community_moves(
+        self, single_level_k4, k4_random_placement
+    ):
         # With infinite patience no community move may ever fire, however
         # many sweeps stall.
         graph = interaction_graph(single_level_k4.circuit)

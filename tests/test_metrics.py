@@ -195,7 +195,9 @@ class TestBucketedParity:
         graph, positions = _random_case(2, rng)
         expected = count_edge_crossings_reference(graph, positions)
         for bucket in (0.5, 1.0, 2.0, 5.0, 50.0):
-            assert count_edge_crossings(graph, positions, bucket_size=bucket) == expected
+            assert (
+                count_edge_crossings(graph, positions, bucket_size=bucket) == expected
+            )
 
     def test_non_positive_bucket_size_rejected(self):
         graph = nx.Graph()

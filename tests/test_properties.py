@@ -15,7 +15,6 @@ from repro.circuits import (
     parse_flat_assembly,
 )
 from repro.distillation import (
-    BravyiHaahSpec,
     FactorySpec,
     bravyi_haah_output_error,
     build_bravyi_haah_circuit,
@@ -25,8 +24,8 @@ from repro.distillation import (
     raw_state_usage,
     surface_code_logical_error,
 )
-from repro.graphs import count_edge_crossings, interaction_graph, pearson_correlation
-from repro.mapping import Placement, random_placement, row_major_placement
+from repro.graphs import count_edge_crossings, pearson_correlation
+from repro.mapping import random_placement, row_major_placement
 from repro.routing import Mesh, rectilinear_candidates, simulate
 
 # Shared strategy: small Bravyi-Haah capacities keep the tests fast while
@@ -53,7 +52,10 @@ def test_bravyi_haah_consumes_every_raw_state_once(k):
     assert set(raw_state_usage(circuit)) == {1}
 
 
-@given(k=st.integers(min_value=1, max_value=4), levels=st.integers(min_value=1, max_value=2))
+@given(
+    k=st.integers(min_value=1, max_value=4),
+    levels=st.integers(min_value=1, max_value=2),
+)
 @settings(max_examples=12, deadline=None)
 def test_factory_output_count_is_capacity(k, levels):
     factory = build_factory(FactorySpec(k=k, levels=levels))
@@ -103,7 +105,9 @@ def test_multi_level_errors_monotonically_decrease(k, error, levels):
 )
 @settings(max_examples=40, deadline=None)
 def test_surface_code_error_decreases_with_distance(distance, error):
-    assert surface_code_logical_error(distance + 2, error) <= surface_code_logical_error(
+    assert surface_code_logical_error(
+        distance + 2, error
+    ) <= surface_code_logical_error(
         distance, error
     )
 

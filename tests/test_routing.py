@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.mapping import Placement
 from repro.routing import (
     BraidPath,
     BraidRouter,
@@ -104,18 +103,24 @@ class TestRectilinearCandidates:
         # must not pass through its tile cell.
         mesh = make_mesh({0: (2, 0), 1: (2, 2), 2: (2, 4)})
         blocker = mesh.qubit_cell(1)
-        for path in rectilinear_candidates(mesh, mesh.qubit_cell(0), mesh.qubit_cell(2)):
+        for path in rectilinear_candidates(
+            mesh, mesh.qubit_cell(0), mesh.qubit_cell(2)
+        ):
             assert blocker not in path
 
     def test_candidates_stay_in_bounds(self):
         mesh = make_mesh({0: (0, 0), 1: (5, 5)})
-        for path in rectilinear_candidates(mesh, mesh.qubit_cell(0), mesh.qubit_cell(1)):
+        for path in rectilinear_candidates(
+            mesh, mesh.qubit_cell(0), mesh.qubit_cell(1)
+        ):
             for cell in path:
                 assert mesh.in_bounds(cell)
 
     def test_adjacent_qubits(self):
         mesh = make_mesh({0: (1, 1), 1: (1, 2)})
-        candidates = rectilinear_candidates(mesh, mesh.qubit_cell(0), mesh.qubit_cell(1))
+        candidates = rectilinear_candidates(
+            mesh, mesh.qubit_cell(0), mesh.qubit_cell(1)
+        )
         assert candidates
 
 
@@ -133,7 +138,9 @@ class TestRouter:
         router = BraidRouter(mesh, max_candidates=2)
         direct = router.route_pair(0, 1, frozenset())
         # Lock everything the direct candidates would use.
-        blocked = router.route_pair(0, 1, frozenset(direct.cells - set(direct.endpoints)))
+        blocked = router.route_pair(
+            0, 1, frozenset(direct.cells - set(direct.endpoints))
+        )
         assert blocked is None
 
     def test_detour_router_finds_alternative(self):
@@ -148,7 +155,6 @@ class TestRouter:
     def test_route_with_hop_passes_through_hop(self):
         mesh = make_mesh({0: (0, 0), 1: (5, 5)})
         router = BraidRouter(mesh)
-        hop = (5, 1)  # lattice cell of tile (2, 0)
         path = router.route_pair(0, 1, frozenset(), hop=tile_to_lattice((2, 0)))
         assert path is not None
         assert tile_to_lattice((2, 0)) in path.cells
@@ -171,7 +177,10 @@ class TestRouter:
     def test_unconstrained_pair_deterministic(self):
         mesh = make_mesh({0: (0, 0), 1: (3, 3)})
         router = BraidRouter(mesh)
-        assert router.unconstrained_pair(0, 1).cells == router.unconstrained_pair(0, 1).cells
+        assert (
+            router.unconstrained_pair(0, 1).cells
+            == router.unconstrained_pair(0, 1).cells
+        )
 
 
 class TestBfsDetour:

@@ -4,7 +4,6 @@ import pytest
 
 from repro.circuits import (
     Circuit,
-    GateKind,
     barrier,
     cnot,
     cxx,

@@ -1,16 +1,12 @@
 """Unit tests for scheduling utilities (barriers, renaming, critical-path bounds)."""
 
-import pytest
-
 from repro.circuits import (
     Circuit,
     GateKind,
     cnot,
     critical_path_length,
     h,
-    inject_t,
     meas_x,
-    prep,
 )
 from repro.distillation import FactorySpec
 from repro.scheduling import (
@@ -148,7 +144,9 @@ class TestRenaming:
         assert log == {}
         assert renamed.num_qubits == single_level_k4.circuit.num_qubits
 
-    def test_reuse_factory_has_false_dependencies(self, two_level_cap4_reuse, two_level_cap4):
+    def test_reuse_factory_has_false_dependencies(
+        self, two_level_cap4_reuse, two_level_cap4
+    ):
         assert count_false_dependencies(two_level_cap4_reuse.circuit) > 0
         assert count_false_dependencies(two_level_cap4.circuit) == 0
 

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.circuits import (
-    Circuit,
     barrier,
     cnot,
     critical_path_length,
@@ -105,7 +104,10 @@ class TestCongestion:
     def test_stall_cycles_accounting(self):
         gates, placement = self.crossing_gates_and_placement()
         result = simulate(gates, placement, SimulatorConfig(max_candidates=1))
-        assert result.stall_cycles >= result.latency - 2 * DEFAULT_DURATIONS[GateKind.CNOT]
+        assert (
+            result.stall_cycles
+            >= result.latency - 2 * DEFAULT_DURATIONS[GateKind.CNOT]
+        )
 
     def test_random_mapping_never_faster_than_linear(self, single_level_k8):
         linear = linear_factory_placement(single_level_k8)
@@ -142,7 +144,9 @@ class TestGateKinds:
     def test_measurement_and_injection(self):
         gates = [inject_t(0, 1), meas_x(1)]
         latency = simulate_latency(gates, line_placement(2))
-        expected = DEFAULT_DURATIONS[GateKind.INJECT_T] + DEFAULT_DURATIONS[GateKind.MEAS_X]
+        expected = (
+            DEFAULT_DURATIONS[GateKind.INJECT_T] + DEFAULT_DURATIONS[GateKind.MEAS_X]
+        )
         assert latency == expected
 
     def test_hop_lengthens_braid_footprint(self):
@@ -299,7 +303,9 @@ class TestResultFields:
         result = simulate(single_level_k4.circuit, k4_linear_placement)
         assert len(result.gate_start) == len(single_level_k4.circuit)
         assert all(start >= 0 for start in result.gate_start)
-        assert all(end > start for start, end in zip(result.gate_start, result.gate_end))
+        assert all(
+            end > start for start, end in zip(result.gate_start, result.gate_end)
+        )
         assert result.latency == max(result.gate_end)
 
     def test_volume_is_area_times_latency(self, single_level_k4, k4_linear_placement):
@@ -316,7 +322,9 @@ class TestResultFields:
         assert first.latency == second.latency
         assert first.gate_start == second.gate_start
 
-    def test_gate_start_respects_dependencies(self, single_level_k4, k4_linear_placement):
+    def test_gate_start_respects_dependencies(
+        self, single_level_k4, k4_linear_placement
+    ):
         from repro.circuits import build_dependency_dag
 
         result = simulate(single_level_k4.circuit, k4_linear_placement)

@@ -45,7 +45,9 @@ class TestStitchedMapping:
 
     def test_simulation_runs_with_hops(self, stitched_cap4):
         config = SimulatorConfig(hops=stitched_cap4.hops)
-        result = simulate(stitched_cap4.factory.circuit, stitched_cap4.placement, config)
+        result = simulate(
+            stitched_cap4.factory.circuit, stitched_cap4.placement, config
+        )
         assert result.latency > 0
 
     def test_later_round_modules_are_central(self, stitched_cap4):
@@ -119,7 +121,9 @@ class TestStitchingVariants:
     def test_graph_partition_module_mapper(self):
         stitched = hierarchical_stitching(
             FactorySpec.from_capacity(4, 2),
-            config=StitchingConfig(module_mapper="graph_partition", hop_sweeps=1, seed=0),
+            config=StitchingConfig(
+                module_mapper="graph_partition", hop_sweeps=1, seed=0
+            ),
         )
         circuit = stitched.factory.circuit
         for qubit in range(circuit.num_qubits):

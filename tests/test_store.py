@@ -699,7 +699,10 @@ class TestSimulationCachePersistence:
         assert len(loaded._persisted) == 1
 
     def test_non_dict_entries_table_loads_empty_with_warning(self, tmp_path):
-        from repro.routing.simulator import _SIM_FINGERPRINT_TAG, SIM_CACHE_SCHEMA_VERSION
+        from repro.routing.simulator import (
+            _SIM_FINGERPRINT_TAG,
+            SIM_CACHE_SCHEMA_VERSION,
+        )
 
         path = tmp_path / "simcache.json"
         schema = _SIM_FINGERPRINT_TAG.format(version=SIM_CACHE_SCHEMA_VERSION)

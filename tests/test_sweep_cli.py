@@ -8,8 +8,6 @@ from __future__ import annotations
 
 import json
 
-import pytest
-
 from repro.api import ResultStore, SweepExecutor, SweepPlan
 from repro.cli import main
 
@@ -132,7 +130,9 @@ class TestSweepRun:
     def test_grid_and_plan_are_mutually_exclusive(self, tmp_path, capsys):
         plan_path = tmp_path / "plan.json"
         plan_path.write_text(
-            json.dumps(SweepPlan.from_grid(methods=("linear",), capacities=(2,)).to_dict())
+            json.dumps(
+                SweepPlan.from_grid(methods=("linear",), capacities=(2,)).to_dict()
+            )
         )
         code = run_cli(
             [
@@ -340,7 +340,10 @@ class TestSweepGc:
             == 0
         )
         report = json.loads(capsys.readouterr().out)
-        assert report == {"removed": 1, "kept": 0, "dry_run": True}
+        assert report["removed"] == 1
+        assert len(report["removed_paths"]) == 1
+        assert report["kept"] == 0
+        assert report["dry_run"] is True
         assert len(store) == 1  # dry run deleted nothing
 
         assert (
