@@ -214,6 +214,9 @@ class ExecutorStats:
     sim_stall_events: int = 0
     sim_distinct_stalls: int = 0
     sim_wakeups: int = 0
+    build_seconds: float = 0.0
+    map_seconds: float = 0.0
+    sim_seconds: float = 0.0
     workers: int = 1
     wall_seconds: float = 0.0
 
@@ -229,6 +232,9 @@ class ExecutorStats:
         self.sim_stall_events += delta.sim_stall_events
         self.sim_distinct_stalls += delta.sim_distinct_stalls
         self.sim_wakeups += delta.sim_wakeups
+        self.build_seconds += delta.build_seconds
+        self.map_seconds += delta.map_seconds
+        self.sim_seconds += delta.sim_seconds
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-safe dict of every counter."""
@@ -245,6 +251,9 @@ class ExecutorStats:
             "sim_stall_events": self.sim_stall_events,
             "sim_distinct_stalls": self.sim_distinct_stalls,
             "sim_wakeups": self.sim_wakeups,
+            "build_seconds": self.build_seconds,
+            "map_seconds": self.map_seconds,
+            "sim_seconds": self.sim_seconds,
             "workers": self.workers,
             "wall_seconds": self.wall_seconds,
         }

@@ -200,6 +200,12 @@ class PipelineStats:
     simulation entirely, so they increment *only* this counter (not
     ``evaluations`` and not the per-workload sim counters above):
     ``store_hits + evaluations`` is the number of ``evaluate`` calls.
+
+    ``build_seconds`` / ``map_seconds`` / ``sim_seconds`` split the wall
+    time of the three pipeline phases — factory-circuit construction
+    (cache misses only), mapper placement, and simulation (including
+    batched runs; cache hits cost ~0) — so a bench regression is
+    attributable to the right layer instead of only to total wall time.
     """
 
     factory_builds: int = 0
@@ -212,6 +218,9 @@ class PipelineStats:
     sim_stall_events: int = 0
     sim_distinct_stalls: int = 0
     sim_wakeups: int = 0
+    build_seconds: float = 0.0
+    map_seconds: float = 0.0
+    sim_seconds: float = 0.0
 
     def snapshot(self) -> "PipelineStats":
         """An independent copy (used for before/after deltas)."""
@@ -289,9 +298,11 @@ class Pipeline:
             self._factories.move_to_end(key)
             self.stats.cache_hits += 1
             return cached
+        build_started = time.perf_counter()
         built = build_factory(
             spec, reuse_policy=key[2], barriers_between_rounds=True
         )
+        self.stats.build_seconds += time.perf_counter() - build_started
         self.stats.factory_builds += 1
         self._factories[key] = built
         while len(self._factories) > self.cache_size:
@@ -321,7 +332,9 @@ class Pipeline:
         # pipeline's counters.  The monotonic run counter makes the slice
         # exact even if the bounded pending list truncated meanwhile.
         runs_before = refine_run_count()
+        map_started = time.perf_counter()
         outcome = mapper.place(factory, seed=request.seed, context=request.context())
+        self.stats.map_seconds += time.perf_counter() - map_started
         new_runs = refine_run_count() - runs_before
         taken = take_refine_stats()
         for refine in taken[max(0, len(taken) - new_runs) :] if new_runs else []:
@@ -384,7 +397,9 @@ class Pipeline:
             mapper, request, sim_config
         )
         hits_before = self.sim_cache.hits
+        sim_started = time.perf_counter()
         sim_result = self.sim_cache.simulate(circuit, placement, point_config)
+        self.stats.sim_seconds += time.perf_counter() - sim_started
         self.stats.sim_cache_hits += self.sim_cache.hits - hits_before
         result = self._result_point(request, sim_config, placement, sim_result)
         if self.store is not None:
@@ -478,7 +493,9 @@ class Pipeline:
 
         batch_started = time.perf_counter()
         batch_results = simulate_batch(points, engine=engine)
-        batch_share = (time.perf_counter() - batch_started) / len(points)
+        batch_seconds = time.perf_counter() - batch_started
+        self.stats.sim_seconds += batch_seconds
+        batch_share = batch_seconds / len(points)
 
         for (
             position,

@@ -56,7 +56,7 @@ import platform
 import sys
 import time
 from datetime import datetime, timezone
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from .api.benchcompare import (
     BenchRecordError,
@@ -438,6 +438,7 @@ DEFAULT_BENCH_EXPERIMENTS = (
     "fig7b",
     "table1-level1",
     "fd-mapper",
+    "fd-kernel",
     "sim-congestion",
     "sim-batch",
 )
@@ -446,6 +447,11 @@ DEFAULT_BENCH_EXPERIMENTS = (
 #: (not a registered experiment: it times mapping-layer internals, not a
 #: paper artifact).
 FD_MAPPER_BENCH = "fd-mapper"
+
+#: Name of the special bench-only case handled by :func:`_bench_fd_kernel`
+#: (times the compiled/vector/scalar tracker engines head to head on one
+#: deterministic move sequence, asserting byte-identical state).
+FD_KERNEL_BENCH = "fd-kernel"
 
 #: Name of the special bench-only case handled by
 #: :func:`_bench_sim_congestion` (times routing-layer internals: the default
@@ -608,6 +614,128 @@ def _bench_fd_mapper(args: argparse.Namespace) -> Dict[str, Any]:
             "estimated_per_sweep_brute_force_seconds": round(
                 per_sweep_brute_seconds, 1
             ),
+        },
+    }
+
+
+def _bench_fd_kernel(args: argparse.Namespace) -> Dict[str, Any]:
+    """Benchmark the tracker engines head to head on one move sequence.
+
+    Builds one :class:`~repro.graphs.metrics.MappingCostTracker` per
+    available engine (``scalar`` reference, ``vector``, ``compiled``) on
+    the L2 K=16 factory graph (L1 K=4 under ``--smoke``) and drives each
+    through the *same* deterministic sequence of annealer-shaped
+    operations — single-move applies, apply+revert pairs, and chunked
+    ``evaluate_many`` batches.  Full tracker state (crossings, lengths,
+    spacing sum, combined cost, positions) is asserted byte-identical
+    across engines at the end; the record carries per-engine wall time
+    and the speedup of each engine over the scalar reference.
+    """
+    import random as _random
+
+    from .graphs import interaction_graph
+    from .graphs.metrics import MappingCostTracker, tracker_engines
+    from .mapping import linear_factory_placement
+
+    capacity, levels = (4, 1) if args.smoke else (16, 2)
+    # The scalar reference costs ~10ms per evaluation at L2 K=16; the
+    # sequence length is chosen so the slowest engine stays under ~10s
+    # while every engine still accumulates a timing well above jitter.
+    moves = 300 if args.smoke else 400
+    seed = args.seed if args.seed is not None else 0
+    started = time.perf_counter()
+    factory = default_pipeline().factory(capacity, levels)
+    graph = interaction_graph(factory.circuit)
+    positions = linear_factory_placement(factory).as_float_positions()
+
+    # Pre-generate the operation sequence once so every engine replays the
+    # identical workload (roughly annealer-shaped: mostly kept moves, some
+    # rejected ones, occasional batched proposal evaluation).
+    rng = _random.Random(seed)
+    vertices = sorted(graph.nodes(), key=str)
+    max_row = max(row for row, _ in positions.values()) + 1.0
+    max_col = max(col for _, col in positions.values()) + 1.0
+
+    def _updates() -> Dict[Any, Tuple[float, float]]:
+        chosen = rng.sample(vertices, rng.randint(1, 2))
+        return {
+            vertex: (
+                float(rng.randrange(int(max_row))),
+                float(rng.randrange(int(max_col))),
+            )
+            for vertex in chosen
+        }
+
+    ops = []
+    for _ in range(moves):
+        roll = rng.random()
+        if roll < 0.7:
+            ops.append(("apply", _updates()))
+        elif roll < 0.9:
+            ops.append(("revert", _updates()))
+        else:
+            ops.append(("batch", [_updates() for _ in range(8)]))
+
+    timings: Dict[str, float] = {}
+    states: Dict[str, Any] = {}
+    for engine in tracker_engines():
+        tick = time.perf_counter()
+        tracker = MappingCostTracker(graph, dict(positions), engine=engine)
+        for op, payload in ops:
+            if op == "apply":
+                tracker.apply(payload)
+            elif op == "revert":
+                tracker.apply(payload)
+                tracker.revert_last()
+            else:
+                tracker.evaluate_many(payload)
+        timings[engine] = time.perf_counter() - tick
+        states[engine] = (
+            tracker.crossings,
+            tracker.total_edge_length,
+            tracker.total_weighted_length,
+            tracker.spacing_sum,
+            tracker.cost(),
+            dict(tracker._positions),
+        )
+
+    expected = states["scalar"]
+    for engine, state in states.items():
+        if state != expected:
+            raise AssertionError(
+                f"tracker engine {engine!r} diverged from the scalar "
+                f"reference on the fd-kernel bench sequence"
+            )
+
+    scalar_seconds = timings["scalar"]
+    engines = {
+        engine: {
+            "seconds": round(seconds, 4),
+            "speedup_vs_scalar": round(scalar_seconds / seconds, 2)
+            if seconds > 0
+            else None,
+        }
+        for engine, seconds in timings.items()
+    }
+    return {
+        "experiment": FD_KERNEL_BENCH,
+        "params": {
+            "capacity": capacity,
+            "levels": levels,
+            "seed": seed,
+            "moves": moves,
+        },
+        "workers": 1,
+        "wall_seconds": round(time.perf_counter() - started, 4),
+        "sim_cycles": None,
+        "stall_cycles": None,
+        "evaluations": None,
+        "fd": {
+            "nodes": graph.number_of_nodes(),
+            "edges": graph.number_of_edges(),
+            "operations": len(ops),
+            "engines": engines,
+            "state_identical": True,  # asserted above; recorded for compare
         },
     }
 
@@ -886,6 +1014,9 @@ def _bench_one(name: str, args: argparse.Namespace) -> Dict[str, Any]:
             "sim_stall_events": delta.sim_stall_events,
             "sim_distinct_stalls": delta.sim_distinct_stalls,
             "sim_wakeups": delta.sim_wakeups,
+            "build_seconds": round(delta.build_seconds, 4),
+            "map_seconds": round(delta.map_seconds, 4),
+            "sim_seconds": round(delta.sim_seconds, 4),
             "workers": 1,
         }
     return record
@@ -965,6 +1096,7 @@ def run_bench(args: argparse.Namespace) -> int:
         return 2
     known = set(available_experiments()) | {
         FD_MAPPER_BENCH,
+        FD_KERNEL_BENCH,
         SIM_CONGESTION_BENCH,
         SIM_BATCH_BENCH,
     }
@@ -981,6 +1113,8 @@ def run_bench(args: argparse.Namespace) -> int:
         print(f"[bench] {name} ...", file=sys.stderr)
         if name == FD_MAPPER_BENCH:
             record = _bench_fd_mapper(args)
+        elif name == FD_KERNEL_BENCH:
+            record = _bench_fd_kernel(args)
         elif name == SIM_CONGESTION_BENCH:
             record = _bench_sim_congestion(args)
         elif name == SIM_BATCH_BENCH:

@@ -30,17 +30,30 @@ Two implementations of the quadratic metrics exist side by side:
 under single-vertex moves (only edges incident to the moved vertices are
 re-tested against their bucket neighbourhoods), which is what lets the
 force-directed annealer of Section VI-B.1 accept or reject every move
-against the exact combined cost at any graph size.
+against the exact combined cost at any graph size.  The tracker ships
+three interchangeable engines — ``compiled`` (the runtime-built C kernel
+of :mod:`repro.kernels.metrics`), ``vector`` (numpy) and ``scalar``
+(pure Python, the retained oracle) — that are **bit-identical** on every
+value they produce: distances use only correctly-rounded IEEE operations
+(``sqrt(dr*dr + dc*dc)``, never ``hypot``), every row reduction is a
+binary tree fold over the row zero-padded to a power-of-two length, and
+the C build disables FMA contraction.  ``REPRO_METRICS_ENGINE`` forces
+an engine; the differential fuzz harness (tests/test_metrics_fuzz.py)
+pins the parity.
 """
 
 from __future__ import annotations
 
 import itertools
 import math
+import os
+import weakref
 from collections import defaultdict
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 import networkx as nx
+
+from ..kernels import metrics as _metrics_kernel
 
 try:  # Optional: vectorises the O(m^2) spacing sums when present.
     import numpy as _np
@@ -425,23 +438,712 @@ def mapping_cost(
 # ----------------------------------------------------------------------
 # Incremental cost tracking
 # ----------------------------------------------------------------------
+#
+# The tracker below is split into a shared Python core (positions, edge
+# bookkeeping, the scalar metric sums, move snapshots) and three
+# interchangeable *engines* that own the geometry state — segment
+# endpoints, midpoints, the bucket grid and the per-edge spacing row-sum
+# cache R[i] = treefold_j dist(mid_i, mid_j):
+#
+# ============  =========================  ==============================
+# engine        geometry state             crossing / spacing evaluation
+# ============  =========================  ==============================
+# ``compiled``  flat numpy arrays          C kernel (repro.kernels.metrics)
+# ``vector``    flat numpy arrays          numpy + dict bucket grid
+# ``scalar``    Python lists               pure Python (retained oracle)
+# ============  =========================  ==============================
+#
+# The engines are **bit-identical** on every float they produce.  Three
+# rules make that possible:
+#
+# * midpoint distances are ``sqrt(dr*dr + dc*dc)`` — one multiply per
+#   axis, one add, one correctly-rounded sqrt; never ``hypot`` (libm
+#   hypots differ across platforms and numpy);
+# * every reduction over a distance row is a binary **tree fold** of the
+#   row zero-padded to a power-of-two length — the same tree shape in C,
+#   numpy (stride-halving adds) and Python (pairwise list halving);
+# * the tiny k-term sums of a move delta (old-row totals, intra-changed
+#   midpoint terms, the length updates, the final cost assembly) run in
+#   shared Python code, so each engine contributes only the big
+#   tree-folded terms it computed under the rules above.
+#
+# The C kernel is compiled with ``-ffp-contract=off`` so no FMA ever
+# fuses the multiply-adds the Python engines evaluate separately.
+
+_GRID_MARGIN = 4  # dense-grid slack (cells) around the initial extent
+
+
+def tracker_engines() -> List[str]:
+    """Tracker engine names usable in this environment.
+
+    Always includes ``scalar``; ``vector`` needs numpy and ``compiled``
+    additionally needs the runtime-built metrics kernel.
+    """
+    engines = ["scalar"]
+    if _np is not None:
+        engines.append("vector")
+        if _metrics_kernel.available():
+            engines.append("compiled")
+    return engines
+
+
+def _pow2_pad(count: int) -> int:
+    """Smallest power of two >= count (1 for an empty row)."""
+    pad = 1
+    while pad < count:
+        pad <<= 1
+    return pad
+
+
+def _dist(ar: float, ac: float, br: float, bc: float) -> float:
+    """Canonical midpoint distance: sqrt(dr*dr + dc*dc), never hypot."""
+    dr = ar - br
+    dc = ac - bc
+    return math.sqrt(dr * dr + dc * dc)
+
+
+def _treefold_list(values: Sequence[float], pad: int) -> float:
+    """Binary tree fold of ``values`` zero-padded to ``pad`` entries."""
+    buf = list(values)
+    buf.extend([0.0] * (pad - len(buf)))
+    while len(buf) > 1:
+        buf = [buf[2 * i] + buf[2 * i + 1] for i in range(len(buf) // 2)]
+    return buf[0]
+
+
+def _intra_crossings(
+    changed: Sequence[int],
+    segs: Sequence[Tuple[Position, Position]],
+    end_u: Sequence[int],
+    end_v: Sequence[int],
+) -> int:
+    """Changed-vs-changed crossing block on explicit segments.
+
+    ``segs`` is aligned with ``changed`` (old or proposed geometry); the
+    block is tiny (k^2/2 pairs) so it runs without bucket pruning, in
+    every engine, with the exact :func:`_segments_cross` arithmetic.
+    """
+    count = 0
+    for t in range(len(changed)):
+        i = changed[t]
+        a, b = end_u[i], end_v[i]
+        p, q = segs[t]
+        for u in range(t + 1, len(changed)):
+            j = changed[u]
+            if a == end_u[j] or a == end_v[j] or b == end_u[j] or b == end_v[j]:
+                continue
+            pc, pd = segs[u]
+            if _segments_cross(p, q, pc, pd):
+                count += 1
+    return count
+
+
+# --- auto bucket-size memo -------------------------------------------------
+#
+# Repeated tracker builds over the same graph at the same layout extent
+# (the bench oracles re-evaluate one placement many times; refinement
+# pipelines rebuild trackers per stage) used to re-run the O(m) sizing
+# scan every time.  The memo keys on the graph object (weakly — dropping
+# the graph drops its entry) plus the layout extent, because the sizing
+# only depends on segment spans, which the extent bounds.
+
+_BUCKET_SIZE_MEMO: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+_BUCKET_AUTO_SIZINGS = 0
+
+
+def bucket_auto_sizing_count() -> int:
+    """How many times the auto bucket sizing scan actually ran (tests)."""
+    return _BUCKET_AUTO_SIZINGS
+
+
+def _auto_bucket_size_cached(
+    graph: nx.Graph, ends: Sequence[Tuple[int, int, Position, Position]]
+) -> float:
+    global _BUCKET_AUTO_SIZINGS
+    if not ends:
+        return 1.0
+    min_r = min_c = math.inf
+    max_r = max_c = -math.inf
+    for _, _, p, q in ends:
+        for row, col in (p, q):
+            if row < min_r:
+                min_r = row
+            if row > max_r:
+                max_r = row
+            if col < min_c:
+                min_c = col
+            if col > max_c:
+                max_c = col
+    key = (len(ends), min_r, max_r, min_c, max_c)
+    try:
+        per_graph = _BUCKET_SIZE_MEMO.get(graph)
+    except TypeError:  # graph not weak-referenceable: skip the cache
+        per_graph = None
+        cacheable = False
+    else:
+        cacheable = True
+    if per_graph is not None and key in per_graph:
+        return per_graph[key]
+    _BUCKET_AUTO_SIZINGS += 1
+    size = _auto_bucket_size(ends)
+    if cacheable:
+        if per_graph is None:
+            try:
+                per_graph = _BUCKET_SIZE_MEMO.setdefault(graph, {})
+            except TypeError:
+                return size
+        per_graph[key] = size
+    return size
+
+
+# --- scalar engine ---------------------------------------------------------
+class _ScalarTrackerEngine:
+    """Pure-Python engine: list geometry, dict bucket grid (the oracle)."""
+
+    name = "scalar"
+
+    def __init__(self, edges, ends, mids, bucket_size):
+        self._eu = [a for a, _, _ in edges]
+        self._ev = [b for _, b, _ in edges]
+        self._seg: List[Tuple[Position, Position]] = list(ends)
+        self._mid: List[Position] = list(mids)
+        m = len(ends)
+        self._m = m
+        self._pad = _pow2_pad(m)
+        self._grid = _SegmentGrid(bucket_size)
+        self._cells: List[List[Tuple[int, int]]] = []
+        self.crossings = 0
+        for index, (p, q) in enumerate(self._seg):
+            cells = self._grid.cells(p, q)
+            # Insert after querying: each unordered pair counted once.
+            self.crossings += self._count_against(
+                p, q, self._eu[index], self._ev[index],
+                self._grid.candidates(cells), frozenset(),
+            )
+            self._grid.insert(index, cells)
+            self._cells.append(cells)
+        self._R: List[float] = []
+        for i in range(m):
+            row, col = self._mid[i]
+            dists = [_dist(row, col, mr, mc) for mr, mc in self._mid]
+            self._R.append(_treefold_list(dists, self._pad))
+        self.spacing_sum = _treefold_list(self._R, self._pad) * 0.5
+
+    def _count_against(self, p, q, a, b, candidates, skip):
+        """Crossings of segment ``p-q`` (vertices a,b) vs candidate edges."""
+        row_lo, row_hi = min(p[0], q[0]) - 1e-12, max(p[0], q[0]) + 1e-12
+        col_lo, col_hi = min(p[1], q[1]) - 1e-12, max(p[1], q[1]) + 1e-12
+        eu, ev, seg = self._eu, self._ev, self._seg
+        count = 0
+        for other in candidates:
+            if other in skip:
+                continue
+            c, d = eu[other], ev[other]
+            if a == c or a == d or b == c or b == d:
+                continue
+            pc, pd = seg[other]
+            if (
+                max(pc[0], pd[0]) < row_lo
+                or min(pc[0], pd[0]) > row_hi
+                or max(pc[1], pd[1]) < col_lo
+                or min(pc[1], pd[1]) > col_hi
+            ):
+                continue
+            if _segments_cross(p, q, pc, pd):
+                count += 1
+        return count
+
+    def row_sum(self, index: int) -> float:
+        return self._R[index]
+
+    def eval(self, changed, new_ends, new_mids):
+        """(newrows, old_crossings, new_crossings) for a proposed move.
+
+        Pure: evaluates against the committed geometry.  The grid still
+        holds the changed edges, so candidate sets are filtered through
+        ``changed`` and the changed-vs-changed blocks run separately.
+        """
+        changed_set = set(changed)
+        old_cross = 0
+        new_cross = 0
+        grid = self._grid
+        for t, i in enumerate(changed):
+            p, q = self._seg[i]
+            old_cross += self._count_against(
+                p, q, self._eu[i], self._ev[i],
+                grid.candidates(self._cells[i]), changed_set,
+            )
+            np_, nq = new_ends[t]
+            new_cross += self._count_against(
+                np_, nq, self._eu[i], self._ev[i],
+                grid.candidates(grid.cells(np_, nq)), changed_set,
+            )
+        old_segs = [self._seg[i] for i in changed]
+        old_cross += _intra_crossings(changed, old_segs, self._eu, self._ev)
+        new_cross += _intra_crossings(changed, new_ends, self._eu, self._ev)
+        newrows = []
+        for t in range(len(changed)):
+            row, col = new_mids[t]
+            dists = [_dist(row, col, mr, mc) for mr, mc in self._mid]
+            for i in changed:
+                dists[i] = 0.0
+            newrows.append(_treefold_list(dists, self._pad))
+        return newrows, old_cross, new_cross
+
+    def eval_many(self, moves):
+        return [self.eval(*move) for move in moves]
+
+    def flush(self, changed, new_ends, new_mids):
+        """Fold a committed move into the geometry, grid and R cache."""
+        mid = self._mid
+        R = self._R
+        m = self._m
+        # Phase A: elementwise row-sum adjustment against the old midpoints,
+        # in ascending changed order (the canonical order all engines use).
+        for t, i in enumerate(changed):
+            new_row, new_col = new_mids[t]
+            old_row, old_col = mid[i]
+            for j in range(m):
+                mr, mc = mid[j]
+                R[j] += _dist(new_row, new_col, mr, mc) - _dist(
+                    old_row, old_col, mr, mc
+                )
+        # Phase B: write the new geometry.
+        for t, i in enumerate(changed):
+            self._seg[i] = new_ends[t]
+            mid[i] = new_mids[t]
+        # Phase C: fresh tree-folded rows for the changed edges themselves.
+        for i in changed:
+            row, col = mid[i]
+            dists = [_dist(row, col, mr, mc) for mr, mc in mid]
+            R[i] = _treefold_list(dists, self._pad)
+        for t, i in enumerate(changed):
+            self._grid.remove(i, self._cells[i])
+            p, q = self._seg[i]
+            cells = self._grid.cells(p, q)
+            self._grid.insert(i, cells)
+            self._cells[i] = cells
+
+
+# --- vector engine ---------------------------------------------------------
+def _np_pairs_crossing_count(seg, end_u, end_v, idx, query, query_u, query_v):
+    """Crossing count over explicit (query segment, candidate index) pairs.
+
+    Replays exactly the arithmetic of :func:`_segments_cross` (same
+    products, same 1e-12 tolerances) over the pair arrays, so the count
+    agrees with the scalar path on every input.  ``query`` rows are
+    ``(p_row, p_col, q_row, q_col)`` segments; vertex-identity exclusion
+    uses ``query_u``/``query_v`` against the candidate endpoint arrays.
+    """
+    cand_u = end_u[idx]
+    cand_v = end_v[idx]
+    keep = (
+        (cand_u != query_u)
+        & (cand_u != query_v)
+        & (cand_v != query_u)
+        & (cand_v != query_v)
+    )
+    if not keep.any():
+        return 0
+    cand = seg[idx[keep]]
+    query = query[keep]
+    b1r, b1c, b2r, b2c = cand[:, 0], cand[:, 1], cand[:, 2], cand[:, 3]
+    pr, pc, qr, qc = query[:, 0], query[:, 1], query[:, 2], query[:, 3]
+    tol = 1e-12
+
+    def orient(v1r, v1c, v2r, v2c, wr, wc):
+        value = (v2c - v1c) * (wr - v2r) - (v2r - v1r) * (wc - v2c)
+        return _np.where(_np.abs(value) < tol, 0, _np.where(value > 0, 1, 2))
+
+    o1 = orient(pr, pc, qr, qc, b1r, b1c)
+    o2 = orient(pr, pc, qr, qc, b2r, b2c)
+    o3 = orient(b1r, b1c, b2r, b2c, pr, pc)
+    o4 = orient(b1r, b1c, b2r, b2c, qr, qc)
+    crossing = (o1 != o2) & (o3 != o4)
+
+    def on_segment(ar, ac, br_, bc_, cr, cc):
+        return (
+            (_np.minimum(ar, cr) - tol <= br_)
+            & (br_ <= _np.maximum(ar, cr) + tol)
+            & (_np.minimum(ac, cc) - tol <= bc_)
+            & (bc_ <= _np.maximum(ac, cc) + tol)
+        )
+
+    crossing |= (o1 == 0) & on_segment(pr, pc, b1r, b1c, qr, qc)
+    crossing |= (o2 == 0) & on_segment(pr, pc, b2r, b2c, qr, qc)
+    crossing |= (o3 == 0) & on_segment(b1r, b1c, pr, pc, b2r, b2c)
+    crossing |= (o4 == 0) & on_segment(b1r, b1c, qr, qc, b2r, b2c)
+    return int(crossing.sum())
+
+
+class _VectorTrackerEngine:
+    """numpy engine: flat arrays, dict bucket grid, vectorized predicates."""
+
+    name = "vector"
+
+    def __init__(self, edges, ends, mids, bucket_size):
+        self._eu = [a for a, _, _ in edges]
+        self._ev = [b for _, b, _ in edges]
+        m = len(ends)
+        self._m = m
+        self._pad = _pow2_pad(m)
+        self._end_u = _np.asarray(self._eu)
+        self._end_v = _np.asarray(self._ev)
+        self._seg = _np.asarray(
+            [(p[0], p[1], q[0], q[1]) for p, q in ends], dtype=float
+        ).reshape(m, 4)
+        self._mid = _np.asarray(mids, dtype=float).reshape(m, 2)
+        self._grid = _SegmentGrid(bucket_size)
+        self._cells: List[List[Tuple[int, int]]] = []
+        self.crossings = 0
+        for index, (p, q) in enumerate(ends):
+            cells = self._grid.cells(p, q)
+            cand = self._grid.candidates(cells)
+            if cand:
+                self.crossings += self._count_pairs(index, p, q, cand)
+            self._grid.insert(index, cells)
+            self._cells.append(cells)
+        if m:
+            dr = self._mid[:, 0][:, None] - self._mid[:, 0][None, :]
+            dc = self._mid[:, 1][:, None] - self._mid[:, 1][None, :]
+            self._R = self._fold_rows(_np.sqrt(dr * dr + dc * dc))
+        else:
+            self._R = _np.zeros(0, dtype=float)
+        self.spacing_sum = self._fold(self._R) * 0.5
+
+    def _fold(self, values):
+        buf = _np.zeros(self._pad, dtype=float)
+        buf[: values.shape[0]] = values
+        while buf.shape[0] > 1:
+            buf = buf[0::2] + buf[1::2]
+        return float(buf[0])
+
+    def _fold_rows(self, matrix):
+        buf = _np.zeros((matrix.shape[0], self._pad), dtype=float)
+        buf[:, : matrix.shape[1]] = matrix
+        while buf.shape[1] > 1:
+            buf = buf[:, 0::2] + buf[:, 1::2]
+        return buf[:, 0]
+
+    def _count_pairs(self, index, p, q, candidates):
+        idx = _np.fromiter(candidates, dtype=_np.intp, count=len(candidates))
+        n = idx.size
+        query = _np.empty((n, 4))
+        query[:] = (p[0], p[1], q[0], q[1])
+        a, b = self._eu[index], self._ev[index]
+        return _np_pairs_crossing_count(
+            self._seg, self._end_u, self._end_v,
+            idx, query, _np.full(n, a), _np.full(n, b),
+        )
+
+    def row_sum(self, index: int) -> float:
+        return float(self._R[index])
+
+    def eval(self, changed, new_ends, new_mids):
+        changed_set = set(changed)
+        old_cross = 0
+        new_cross = 0
+        grid = self._grid
+        for t, i in enumerate(changed):
+            old_cand = grid.candidates(self._cells[i]) - changed_set
+            if old_cand:
+                p = (float(self._seg[i, 0]), float(self._seg[i, 1]))
+                q = (float(self._seg[i, 2]), float(self._seg[i, 3]))
+                old_cross += self._count_pairs(i, p, q, old_cand)
+            np_, nq = new_ends[t]
+            new_cand = grid.candidates(grid.cells(np_, nq)) - changed_set
+            if new_cand:
+                new_cross += self._count_pairs(i, np_, nq, new_cand)
+        old_segs = [
+            (
+                (float(self._seg[i, 0]), float(self._seg[i, 1])),
+                (float(self._seg[i, 2]), float(self._seg[i, 3])),
+            )
+            for i in changed
+        ]
+        old_cross += _intra_crossings(changed, old_segs, self._eu, self._ev)
+        new_cross += _intra_crossings(changed, new_ends, self._eu, self._ev)
+        nm = _np.asarray(new_mids, dtype=float).reshape(len(changed), 2)
+        dr = nm[:, 0:1] - self._mid[:, 0][None, :]
+        dc = nm[:, 1:2] - self._mid[:, 1][None, :]
+        dists = _np.sqrt(dr * dr + dc * dc)
+        dists[:, list(changed)] = 0.0
+        newrows = [float(value) for value in self._fold_rows(dists)]
+        return newrows, old_cross, new_cross
+
+    def eval_many(self, moves):
+        return [self.eval(*move) for move in moves]
+
+    def flush(self, changed, new_ends, new_mids):
+        mid = self._mid
+        R = self._R
+        for t, i in enumerate(changed):
+            new_row, new_col = new_mids[t]
+            old_row, old_col = float(mid[i, 0]), float(mid[i, 1])
+            dr = mid[:, 0] - new_row
+            dc = mid[:, 1] - new_col
+            d_new = _np.sqrt(dr * dr + dc * dc)
+            dr = mid[:, 0] - old_row
+            dc = mid[:, 1] - old_col
+            d_old = _np.sqrt(dr * dr + dc * dc)
+            R += d_new - d_old
+        for t, i in enumerate(changed):
+            p, q = new_ends[t]
+            self._seg[i, 0] = p[0]
+            self._seg[i, 1] = p[1]
+            self._seg[i, 2] = q[0]
+            self._seg[i, 3] = q[1]
+            mid[i, 0] = new_mids[t][0]
+            mid[i, 1] = new_mids[t][1]
+        for i in changed:
+            dr = mid[i, 0] - mid[:, 0]
+            dc = mid[i, 1] - mid[:, 1]
+            R[i] = self._fold(_np.sqrt(dr * dr + dc * dc))
+        for t, i in enumerate(changed):
+            self._grid.remove(i, self._cells[i])
+            p, q = new_ends[t]
+            cells = self._grid.cells(p, q)
+            self._grid.insert(i, cells)
+            self._cells[i] = cells
+
+
+# --- compiled engine -------------------------------------------------------
+class _CompiledTrackerEngine:
+    """C-kernel engine: flat numpy state driven through raw ctypes calls.
+
+    The dense cell grid covers the initial layout extent plus a small
+    margin; segments drifting outside are *clamped* to the border cells,
+    which is a sound (if coarser) pruning — the exact bbox + orientation
+    tests behind it keep the counts identical to the dict grid.  Buffer
+    addresses are cached once per (re)allocation so the per-proposal path
+    costs one ctypes call, not an argument-marshalling pass.
+    """
+
+    name = "compiled"
+
+    def __init__(self, edges, ends, mids, bucket_size, kern, end_u, end_v):
+        self._kern = kern
+        self._bucket = float(bucket_size)
+        m = len(ends)
+        self._m = m
+        pad = _pow2_pad(m)
+        self._eu_arr = _np.ascontiguousarray(end_u)
+        self._ev_arr = _np.ascontiguousarray(end_v)
+        self._seg = _np.ascontiguousarray(
+            _np.asarray(
+                [(p[0], p[1], q[0], q[1]) for p, q in ends], dtype=float
+            ).reshape(m, 4)
+        )
+        self._mid = _np.ascontiguousarray(
+            _np.asarray(mids, dtype=float).reshape(m, 2)
+        )
+        self._R = _np.zeros(m, dtype=float)
+        self._scratch = _np.zeros(max(pad, 4 * m, 1), dtype=float)
+        self._stamp = _np.zeros(max(m, 1), dtype=_np.int64)
+        self._gen = _np.zeros(1, dtype=_np.int64)
+        # Per-edge crossing-count cache (kept exact by mc_commit) and the
+        # changed-edge flag array the kernel scans use for O(1) skips.
+        self._crossC = _np.zeros(max(m, 1), dtype=_np.int64)
+        self._cflag = _np.zeros(max(m, 1), dtype=_np.int64)
+        if m:
+            bucket = self._bucket
+            row_cells = _np.floor(self._seg[:, (0, 2)] / bucket).astype(_np.int64)
+            col_cells = _np.floor(self._seg[:, (1, 3)] / bucket).astype(_np.int64)
+            origin_row = int(row_cells.min()) - _GRID_MARGIN
+            origin_col = int(col_cells.min()) - _GRID_MARGIN
+            n_rows = int(row_cells.max()) + _GRID_MARGIN - origin_row + 1
+            n_cols = int(col_cells.max()) + _GRID_MARGIN - origin_col + 1
+        else:
+            origin_row = origin_col = 0
+            n_rows = n_cols = 1
+        self._n_cells = n_rows * n_cols
+        cap = 8
+        self._ip = _np.array(
+            [m, pad, origin_row, origin_col, n_rows, n_cols, cap],
+            dtype=_np.int64,
+        )
+        self._cell_count = _np.zeros(self._n_cells, dtype=_np.int64)
+        self._edge_range = _np.zeros(max(4 * m, 1), dtype=_np.int64)
+        self._cell_items = _np.zeros(self._n_cells * cap, dtype=_np.int64)
+        # Per-move staging buffers (k <= m always).
+        self._changed_buf = _np.zeros(max(m, 1), dtype=_np.int64)
+        self._newseg_buf = _np.zeros((max(m, 1), 4), dtype=float)
+        self._newmid_buf = _np.zeros((max(m, 1), 2), dtype=float)
+        self._newrow_buf = _np.zeros(max(m, 1), dtype=float)
+        self._cross_buf = _np.zeros(2, dtype=_np.int64)
+        self._cache_pointers()
+        while self._kern.grid_build(
+            self._ip_p, self._seg_p, self._bucket,
+            self._cc_p, self._ci_p, self._er_p,
+        ) != 0:
+            self._grow_cell_items()
+        self.spacing_sum = float(
+            self._kern.spacing_init(
+                self._ip_p, self._mid_p, self._R_p, self._scratch_p
+            )
+        )
+        self.crossings = int(
+            self._kern.count_crossings(
+                self._ip_p, self._seg_p, self._eu_p, self._ev_p, self._er_p,
+                self._cc_p, self._ci_p, self._stamp_p, self._gen_p,
+                self._crossC_p,
+            )
+        )
+
+    def _cache_pointers(self):
+        self._ip_p = self._ip.ctypes.data
+        self._seg_p = self._seg.ctypes.data
+        self._mid_p = self._mid.ctypes.data
+        self._eu_p = self._eu_arr.ctypes.data
+        self._ev_p = self._ev_arr.ctypes.data
+        self._R_p = self._R.ctypes.data
+        self._scratch_p = self._scratch.ctypes.data
+        self._stamp_p = self._stamp.ctypes.data
+        self._gen_p = self._gen.ctypes.data
+        self._cc_p = self._cell_count.ctypes.data
+        self._ci_p = self._cell_items.ctypes.data
+        self._er_p = self._edge_range.ctypes.data
+        self._crossC_p = self._crossC.ctypes.data
+        self._cflag_p = self._cflag.ctypes.data
+        self._changed_p = self._changed_buf.ctypes.data
+        self._newseg_p = self._newseg_buf.ctypes.data
+        self._newmid_p = self._newmid_buf.ctypes.data
+        self._newrow_p = self._newrow_buf.ctypes.data
+        self._cross_p = self._cross_buf.ctypes.data
+
+    def _grow_cell_items(self):
+        cap = int(self._ip[6]) * 2
+        self._ip[6] = cap
+        self._cell_items = _np.zeros(self._n_cells * cap, dtype=_np.int64)
+        self._ci_p = self._cell_items.ctypes.data
+
+    def _rebuild_grid(self):
+        while True:
+            self._grow_cell_items()
+            if self._kern.grid_build(
+                self._ip_p, self._seg_p, self._bucket,
+                self._cc_p, self._ci_p, self._er_p,
+            ) == 0:
+                return
+
+    def _stage(self, changed, new_ends, new_mids):
+        k = len(changed)
+        self._changed_buf[:k] = changed
+        self._newseg_buf[:k] = [
+            (p[0], p[1], q[0], q[1]) for p, q in new_ends
+        ]
+        self._newmid_buf[:k] = new_mids
+        return k
+
+    def row_sum(self, index: int) -> float:
+        return float(self._R[index])
+
+    def eval(self, changed, new_ends, new_mids):
+        k = self._stage(changed, new_ends, new_mids)
+        self._kern.eval(
+            self._ip_p, self._bucket, k,
+            self._changed_p, self._newseg_p, self._newmid_p,
+            self._seg_p, self._mid_p, self._eu_p, self._ev_p,
+            self._crossC_p, self._cflag_p,
+            self._cc_p, self._ci_p, self._stamp_p, self._gen_p,
+            self._scratch_p, self._newrow_p, self._cross_p,
+        )
+        return (
+            self._newrow_buf[:k].tolist(),
+            int(self._cross_buf[0]),
+            int(self._cross_buf[1]),
+        )
+
+    def eval_many(self, moves):
+        if not moves:
+            return []
+        n = len(moves)
+        offsets = [0]
+        changed_flat: List[int] = []
+        seg_rows: List[Tuple[float, float, float, float]] = []
+        mid_rows: List[Position] = []
+        for changed, new_ends, new_mids in moves:
+            changed_flat.extend(changed)
+            seg_rows.extend((p[0], p[1], q[0], q[1]) for p, q in new_ends)
+            mid_rows.extend(new_mids)
+            offsets.append(len(changed_flat))
+        total = len(changed_flat)
+        koff = _np.asarray(offsets, dtype=_np.int64)
+        changed_arr = _np.asarray(changed_flat, dtype=_np.int64)
+        seg_arr = _np.asarray(seg_rows, dtype=float).reshape(total, 4)
+        mid_arr = _np.asarray(mid_rows, dtype=float).reshape(total, 2)
+        newrow = _np.zeros(max(total, 1), dtype=float)
+        cross = _np.zeros(2 * n, dtype=_np.int64)
+        self._kern.eval_moves(
+            self._ip_p, self._bucket, n,
+            koff.ctypes.data, changed_arr.ctypes.data,
+            seg_arr.ctypes.data, mid_arr.ctypes.data,
+            self._seg_p, self._mid_p, self._eu_p, self._ev_p,
+            self._crossC_p, self._cflag_p,
+            self._cc_p, self._ci_p, self._stamp_p, self._gen_p,
+            self._scratch_p, newrow.ctypes.data, cross.ctypes.data,
+        )
+        results = []
+        for v in range(n):
+            lo, hi = offsets[v], offsets[v + 1]
+            results.append(
+                (newrow[lo:hi].tolist(), int(cross[2 * v]), int(cross[2 * v + 1]))
+            )
+        return results
+
+    def flush(self, changed, new_ends, new_mids):
+        k = self._stage(changed, new_ends, new_mids)
+        status = self._kern.commit(
+            self._ip_p, self._bucket, k,
+            self._changed_p, self._newseg_p, self._newmid_p,
+            self._seg_p, self._mid_p, self._R_p,
+            self._cc_p, self._ci_p, self._er_p, self._scratch_p,
+            self._eu_p, self._ev_p, self._stamp_p, self._gen_p,
+            self._crossC_p, self._cflag_p,
+        )
+        if status != 0:
+            # A cell overflowed its capacity: seg/mid/R are already
+            # updated, so rebuilding the whole grid from seg is enough.
+            self._rebuild_grid()
+
+
+def _int64_vertex_arrays(edges):
+    """(end_u, end_v) as int64 arrays, or None when ids are not integers."""
+    try:
+        end_u = _np.asarray([a for a, _, _ in edges], dtype=_np.int64)
+        end_v = _np.asarray([b for _, b, _ in edges], dtype=_np.int64)
+    except (TypeError, ValueError, OverflowError):
+        return None
+    return end_u, end_v
+
+
 class MappingCostTracker:
     """Exact Fig. 6 metrics maintained incrementally under vertex moves.
 
     Holds the crossing count, the total (and weighted) Manhattan edge
     length, and the pairwise midpoint-distance sum behind the spacing
-    metric for one placed interaction graph.  :meth:`apply` moves a batch of
-    vertices and updates every metric by *delta*: only the edges incident to
-    the moved vertices are re-tested, against their bucket neighbourhoods
-    for crossings and against the midpoint set for spacing — O(deg * local
-    density) per move instead of O(m^2) per recompute.
+    metric for one placed interaction graph.  :meth:`apply` moves a batch
+    of vertices and updates every metric by *delta*: only the edges
+    incident to the moved vertices are re-tested, against their bucket
+    neighbourhoods for crossings and against the cached per-edge midpoint
+    row sums for spacing — O(deg * local density) per move instead of
+    O(m^2) per recompute.
 
-    Applying the inverse update dict restores the previous state (crossing
-    counts exactly; the floating-point sums up to summation round-off), so
-    an annealer can propose, inspect the returned cost delta, and revert.
+    An annealer's dominant path is *propose, inspect, reject*: use
+    :meth:`evaluate` (pure) plus :meth:`commit_evaluated`, or the batched
+    :meth:`evaluate_many` for a whole sweep of independent proposals.
+    :meth:`apply` keeps the historical move-then-revert protocol:
+    :meth:`revert_last` restores the pre-move state exactly and in O(1),
+    because the heavy geometry updates are deferred until the *next*
+    evaluation needs them (a reverted move never touches the engine).
 
-    Vertices present in ``positions`` but not in the graph (or isolated in
-    it) may be moved freely; they contribute nothing to any metric.
+    ``engine`` selects the evaluation backend (``compiled`` / ``vector``
+    / ``scalar``, see the section comment above; ``None`` honours
+    ``REPRO_METRICS_ENGINE`` and then auto-selects the fastest available).
+    All engines are bit-identical on every reported value.
+
+    Vertices present in ``positions`` but not in the graph (or isolated
+    in it) may be moved freely; they contribute nothing to any metric.
     """
 
     def __init__(
@@ -452,6 +1154,7 @@ class MappingCostTracker:
         spacing_weight: float = 1.0,
         crossing_weight: float = 4.0,
         bucket_size: Optional[float] = None,
+        engine: Optional[str] = None,
     ) -> None:
         self.graph = graph
         self.length_weight = length_weight
@@ -477,21 +1180,20 @@ class MappingCostTracker:
         self._ends: List[Tuple[Position, Position]] = [
             (self._positions[a], self._positions[b]) for a, b, _ in self._edges
         ]
-        self._use_numpy = _np is not None and len(self._edges) >= 64
-        if self._use_numpy:
-            self._mid = _np.asarray(
-                [edge_midpoint(p, q) for p, q in self._ends], dtype=float
-            ).reshape(len(self._ends), 2)
-            # Flat endpoint/vertex arrays for the vectorised crossing test.
-            self._seg = _np.asarray(
-                [(p[0], p[1], q[0], q[1]) for p, q in self._ends], dtype=float
-            ).reshape(len(self._ends), 4)
-            self._end_u = _np.asarray([a for a, _, _ in self._edges])
-            self._end_v = _np.asarray([b for _, b, _ in self._edges])
-        else:
-            self._mid_list: List[Position] = [
-                edge_midpoint(p, q) for p, q in self._ends
-            ]
+        self._mids: List[Position] = [
+            edge_midpoint(p, q) for p, q in self._ends
+        ]
+
+        if bucket_size is None:
+            bucket_size = _auto_bucket_size_cached(
+                graph,
+                [(a, b, p, q) for (a, b, _), (p, q) in zip(self._edges, self._ends)],
+            )
+        if bucket_size <= 0:
+            raise ValueError(f"bucket_size must be positive, got {bucket_size}")
+
+        self._engine = self._build_engine(engine, float(bucket_size))
+        self.engine: str = self._engine.name
 
         self.total_edge_length = 0.0
         self.total_weighted_length = 0.0
@@ -499,26 +1201,67 @@ class MappingCostTracker:
             length = manhattan_distance(p, q)
             self.total_edge_length += length
             self.total_weighted_length += weight * length
+        self.crossings: int = self._engine.crossings
+        self.spacing_sum: float = self._engine.spacing_sum
+        #: Cached combined cost of the committed state (pure function of
+        #: the three sums above; refreshed on commit and revert).
+        self._cost_value: float = self._cost_from(
+            self.crossings, self.total_edge_length, self.spacing_sum
+        )
 
-        self.spacing_sum = _pairwise_distance_sum(self._midpoints_seq())
-
-        if bucket_size is None:
-            bucket_size = _auto_bucket_size(
-                [(a, b, p, q) for (a, b, _), (p, q) in zip(self._edges, self._ends)]
-            )
-        self._grid = _SegmentGrid(bucket_size)
-        self._cells: List[List[Tuple[int, int]]] = []
-        self.crossings = 0
-        for index, (p, q) in enumerate(self._ends):
-            cells = self._grid.cells(p, q)
-            self.crossings += self._crossings_with_candidates(
-                index, p, q, self._grid.candidates(cells)
-            )
-            self._grid.insert(index, cells)
-            self._cells.append(cells)
-
+        #: Committed move whose geometry the engine has not absorbed yet.
+        self._pending: Optional[tuple] = None
+        #: Result of the last :meth:`evaluate`, awaiting commit.
+        self._pending_eval: Optional[tuple] = None
         #: Snapshot for :meth:`revert_last`; ``None`` when nothing to revert.
         self._last_move: Optional[tuple] = None
+
+    def _build_engine(self, requested: Optional[str], bucket_size: float):
+        name = requested if requested is not None else (
+            os.environ.get("REPRO_METRICS_ENGINE") or "auto"
+        )
+        if name not in ("auto", "compiled", "vector", "scalar"):
+            raise ValueError(
+                f"unknown tracker engine {name!r}; "
+                "expected 'compiled', 'vector', 'scalar' or 'auto'"
+            )
+        explicit = name != "auto"
+        if name == "auto":
+            if _np is not None and _metrics_kernel.available():
+                name = "compiled"
+            elif _np is not None and len(self._edges) >= 64:
+                name = "vector"
+            else:
+                name = "scalar"
+        if name == "compiled":
+            kern = _metrics_kernel.load() if _np is not None else None
+            ids = _int64_vertex_arrays(self._edges) if kern is not None else None
+            if kern is None or ids is None:
+                if explicit:
+                    reason = (
+                        "the metrics kernel (or numpy) is unavailable"
+                        if kern is None
+                        else "vertex ids are not int64-representable"
+                    )
+                    raise ValueError(f"engine 'compiled' unusable: {reason}")
+                name = "vector" if _np is not None else "scalar"
+            else:
+                return _CompiledTrackerEngine(
+                    self._edges, self._ends, self._mids, bucket_size,
+                    kern, ids[0], ids[1],
+                )
+        if name == "vector":
+            if _np is None:
+                if explicit:
+                    raise ValueError("engine 'vector' requires numpy")
+                name = "scalar"
+            else:
+                return _VectorTrackerEngine(
+                    self._edges, self._ends, self._mids, bucket_size
+                )
+        return _ScalarTrackerEngine(
+            self._edges, self._ends, self._mids, bucket_size
+        )
 
     # ------------------------------------------------------------------
     # Introspection
@@ -544,19 +1287,198 @@ class MappingCostTracker:
 
     def cost(self) -> float:
         """The combined scalar cost, identical to :func:`mapping_cost`."""
-        metrics = self.metrics()
+        return self._cost_value
+
+    def _cost_from(
+        self, crossings: int, total_length: float, spacing_sum: float
+    ) -> float:
+        m = len(self._edges)
+        pairs = m * (m - 1) // 2
         return combine_metric_cost(
-            metrics["edge_crossings"],
-            metrics["average_edge_length"],
-            metrics["average_edge_spacing"],
+            float(crossings),
+            total_length / m if m else 0.0,
+            spacing_sum / pairs if pairs else 0.0,
             length_weight=self.length_weight,
             spacing_weight=self.spacing_weight,
             crossing_weight=self.crossing_weight,
         )
 
     # ------------------------------------------------------------------
-    # Delta updates
+    # Move evaluation
     # ------------------------------------------------------------------
+    def _flush_pending(self) -> None:
+        if self._pending is not None:
+            changed, new_ends, new_mids = self._pending
+            self._pending = None
+            self._engine.flush(changed, new_ends, new_mids)
+
+    def _prepare(self, updates: Mapping[int, Position]):
+        moves: Dict[int, Position] = {}
+        for vertex, pos in updates.items():
+            if vertex in self._positions:
+                moves[vertex] = (float(pos[0]), float(pos[1]))
+        moved_from = {vertex: self._positions[vertex] for vertex in moves}
+        changed: List[int] = sorted(
+            {index for vertex in moves for index in self._incident.get(vertex, ())}
+        )
+        return moves, moved_from, changed
+
+    def _geometry_for(self, moves: Mapping[int, Position], changed: Sequence[int]):
+        positions = self._positions
+        new_ends: List[Tuple[Position, Position]] = []
+        new_mids: List[Position] = []
+        for index in changed:
+            a, b, _ = self._edges[index]
+            p = moves[a] if a in moves else positions[a]
+            q = moves[b] if b in moves else positions[b]
+            new_ends.append((p, q))
+            new_mids.append(edge_midpoint(p, q))
+        return new_ends, new_mids
+
+    def _assemble_delta(self, changed, new_ends, new_mids, newrows, old_cross, new_cross):
+        """Cost delta + post-move sums from an engine evaluation (pure).
+
+        Runs the tiny k-term arithmetic in shared Python code so every
+        engine produces bit-identical deltas: the engines contribute only
+        the tree-folded rows and the crossing counts.
+        """
+        engine = self._engine
+        ends = self._ends
+        edges = self._edges
+        mids = self._mids
+        sqrt = math.sqrt
+        total_length = self.total_edge_length
+        weighted_length = self.total_weighted_length
+        for t, index in enumerate(changed):
+            p_old, q_old = ends[index]
+            p, q = new_ends[t]
+            old_len = abs(p_old[0] - q_old[0]) + abs(p_old[1] - q_old[1])
+            new_len = abs(p[0] - q[0]) + abs(p[1] - q[1])
+            total_length += new_len - old_len
+            weighted_length += edges[index][2] * (new_len - old_len)
+        old_spacing = 0.0
+        for index in changed:
+            old_spacing += engine.row_sum(index)
+        old_mids = [mids[index] for index in changed]
+        k = len(changed)
+        for t in range(k):
+            row, col = old_mids[t]
+            for u in range(t + 1, k):
+                other_row, other_col = old_mids[u]
+                dr = row - other_row
+                dc = col - other_col
+                old_spacing -= sqrt(dr * dr + dc * dc)
+        new_spacing = 0.0
+        for value in newrows:
+            new_spacing += value
+        for t in range(k):
+            row, col = new_mids[t]
+            for u in range(t + 1, k):
+                other_row, other_col = new_mids[u]
+                dr = row - other_row
+                dc = col - other_col
+                new_spacing += sqrt(dr * dr + dc * dc)
+        crossings_after = self.crossings + (new_cross - old_cross)
+        spacing_after = self.spacing_sum + (new_spacing - old_spacing)
+        cost_after = self._cost_from(crossings_after, total_length, spacing_after)
+        delta = cost_after - self._cost_value
+        return delta, (total_length, weighted_length, crossings_after, spacing_after), cost_after
+
+    def evaluate(self, updates: Mapping[int, Position]) -> float:
+        """Cost delta of moving vertices to new positions, without moving.
+
+        Pure with respect to the tracked state: nothing changes until
+        :meth:`commit_evaluated` (which reuses this evaluation — no
+        geometry test runs twice).  Unknown vertices are ignored; moves
+        that touch no edge cost 0.0.
+        """
+        moves, moved_from, changed = self._prepare(updates)
+        if not moves or not changed:
+            self._pending_eval = (moves, moved_from, changed, None)
+            return 0.0
+        self._flush_pending()
+        new_ends, new_mids = self._geometry_for(moves, changed)
+        newrows, old_cross, new_cross = self._engine.eval(
+            changed, new_ends, new_mids
+        )
+        delta, sums_after, cost_after = self._assemble_delta(
+            changed, new_ends, new_mids, newrows, old_cross, new_cross
+        )
+        self._pending_eval = (
+            moves, moved_from, changed, (new_ends, new_mids, sums_after, cost_after)
+        )
+        return delta
+
+    def evaluate_many(
+        self, updates_list: Sequence[Mapping[int, Position]]
+    ) -> List[float]:
+        """Cost deltas of independent proposals against the current state.
+
+        Every proposal is evaluated as if applied alone (none is
+        committed); the compiled engine folds the whole batch into one
+        kernel call.  Bit-identical to calling :meth:`evaluate` per item.
+        """
+        self._flush_pending()
+        deltas = [0.0] * len(updates_list)
+        engine_moves = []
+        slots = []
+        for slot, updates in enumerate(updates_list):
+            moves, _, changed = self._prepare(updates)
+            if moves and changed:
+                new_ends, new_mids = self._geometry_for(moves, changed)
+                engine_moves.append((changed, new_ends, new_mids))
+                slots.append(slot)
+        if engine_moves:
+            results = self._engine.eval_many(engine_moves)
+            for slot, move, result in zip(slots, engine_moves, results):
+                changed, new_ends, new_mids = move
+                newrows, old_cross, new_cross = result
+                delta, _, _ = self._assemble_delta(
+                    changed, new_ends, new_mids, newrows, old_cross, new_cross
+                )
+                deltas[slot] = delta
+        return deltas
+
+    def commit_evaluated(self) -> None:
+        """Make the last :meth:`evaluate` move the committed state.
+
+        Cheap: positions, endpoints, midpoints and the metric sums come
+        from the stored evaluation; the engine's heavy geometry update is
+        deferred until the next evaluation needs it, so a subsequent
+        :meth:`revert_last` stays O(1).
+        """
+        if self._pending_eval is None:
+            raise RuntimeError("no evaluate() to commit")
+        moves, moved_from, changed, record = self._pending_eval
+        self._pending_eval = None
+        if record is None:
+            self._positions.update(moves)
+            self._last_move = (moved_from, [], [], [], None)
+            return
+        new_ends, new_mids, sums_after, cost_after = record
+        ends_before = [self._ends[index] for index in changed]
+        mids_before = [self._mids[index] for index in changed]
+        sums_before = (
+            self.total_edge_length,
+            self.total_weighted_length,
+            self.crossings,
+            self.spacing_sum,
+            self._cost_value,
+        )
+        self._positions.update(moves)
+        for t, index in enumerate(changed):
+            self._ends[index] = new_ends[t]
+            self._mids[index] = new_mids[t]
+        (
+            self.total_edge_length,
+            self.total_weighted_length,
+            self.crossings,
+            self.spacing_sum,
+        ) = sums_after
+        self._cost_value = cost_after
+        self._pending = (changed, new_ends, new_mids)
+        self._last_move = (moved_from, changed, ends_before, mids_before, sums_before)
+
     def apply(self, updates: Mapping[int, Position]) -> float:
         """Move vertices to new positions; returns the combined-cost delta.
 
@@ -565,322 +1487,44 @@ class MappingCostTracker:
         (cheap, restores the pre-move state exactly) or by applying the
         inverse mapping.
         """
-        moves: Dict[int, Position] = {}
-        for vertex, pos in updates.items():
-            if vertex in self._positions:
-                moves[vertex] = (float(pos[0]), float(pos[1]))
-        moved_from = {vertex: self._positions[vertex] for vertex in moves}
-        if not moves:
-            self._last_move = (moved_from, [], [], [], [], (0.0, 0.0, 0, 0.0))
-            return 0.0
-        cost_before = self.cost()
-
-        changed: List[int] = sorted(
-            {index for vertex in moves for index in self._incident.get(vertex, ())}
-        )
-        if not changed:
-            # Isolated vertices: position bookkeeping only.
-            self._positions.update(moves)
-            self._last_move = (moved_from, [], [], [], [], (0.0, 0.0, 0, 0.0))
-            return 0.0
-
-        # Snapshot everything revert_last() needs to restore the pre-move
-        # state without re-running any geometry test.
-        ends_before = [self._ends[index] for index in changed]
-        cells_before = [self._cells[index] for index in changed]
-        mid_before = [self._midpoint_of(index) for index in changed]
-        sums_before = (
-            self.total_edge_length,
-            self.total_weighted_length,
-            self.crossings,
-            self.spacing_sum,
-        )
-
-        changed_set = set(changed)
-        for index in changed:
-            self._grid.remove(index, self._cells[index])
-
-        old_crossings = self._crossings_of_changed(changed, changed_set)
-        old_spacing = self._spacing_contribution(changed)
-
-        self._positions.update(moves)
-        for index in changed:
-            a, b, weight = self._edges[index]
-            p_old, q_old = self._ends[index]
-            old_length = manhattan_distance(p_old, q_old)
-            p, q = self._positions[a], self._positions[b]
-            self._ends[index] = (p, q)
-            new_length = manhattan_distance(p, q)
-            self.total_edge_length += new_length - old_length
-            self.total_weighted_length += weight * (new_length - old_length)
-            midpoint = edge_midpoint(p, q)
-            if self._use_numpy:
-                self._mid[index, 0] = midpoint[0]
-                self._mid[index, 1] = midpoint[1]
-                self._seg[index, 0] = p[0]
-                self._seg[index, 1] = p[1]
-                self._seg[index, 2] = q[0]
-                self._seg[index, 3] = q[1]
-            else:
-                self._mid_list[index] = midpoint
-
-        new_crossings = self._crossings_of_changed(changed, changed_set)
-        new_spacing = self._spacing_contribution(changed)
-
-        for index in changed:
-            p, q = self._ends[index]
-            cells = self._grid.cells(p, q)
-            self._grid.insert(index, cells)
-            self._cells[index] = cells
-
-        self.crossings += new_crossings - old_crossings
-        self.spacing_sum += new_spacing - old_spacing
-        self._last_move = (
-            moved_from,
-            changed,
-            ends_before,
-            cells_before,
-            mid_before,
-            sums_before,
-        )
-        return self.cost() - cost_before
+        delta = self.evaluate(updates)
+        self.commit_evaluated()
+        return delta
 
     def revert_last(self) -> None:
         """Undo the most recent :meth:`apply`, restoring its pre-move state.
 
-        Exact and cheap: positions, endpoints, midpoints, bucket cells and
-        the metric sums are restored from the snapshot taken by
-        :meth:`apply` — no crossing tests or spacing sums are re-run (an
-        annealer's rejected proposals are its dominant path).  One-shot:
-        raises :class:`RuntimeError` if there is no un-reverted apply.
+        Exact and cheap: positions, endpoints, midpoints and the metric
+        sums are restored from the commit-time snapshot, and the engine
+        update is simply cancelled when still pending (the common case —
+        no crossing test or spacing fold runs at all).  One-shot: raises
+        :class:`RuntimeError` if there is no un-reverted apply.
         """
         if self._last_move is None:
             raise RuntimeError("no apply() to revert")
-        moved_from, changed, ends_before, cells_before, mid_before, sums = (
-            self._last_move
-        )
+        moved_from, changed, ends_before, mids_before, sums_before = self._last_move
         self._last_move = None
+        self._pending_eval = None
         self._positions.update(moved_from)
-        for position, index in enumerate(changed):
-            self._grid.remove(index, self._cells[index])
-            self._grid.insert(index, cells_before[position])
-            self._cells[index] = cells_before[position]
-            p, q = ends_before[position]
-            self._ends[index] = (p, q)
-            midpoint = mid_before[position]
-            if self._use_numpy:
-                self._mid[index, 0] = midpoint[0]
-                self._mid[index, 1] = midpoint[1]
-                self._seg[index, 0] = p[0]
-                self._seg[index, 1] = p[1]
-                self._seg[index, 2] = q[0]
-                self._seg[index, 3] = q[1]
-            else:
-                self._mid_list[index] = midpoint
-        if changed:
-            (
-                self.total_edge_length,
-                self.total_weighted_length,
-                self.crossings,
-                self.spacing_sum,
-            ) = sums
-
-    # ------------------------------------------------------------------
-    # Internals
-    # ------------------------------------------------------------------
-    def _midpoints_seq(self) -> Sequence[Position]:
-        if self._use_numpy:
-            return [tuple(row) for row in self._mid]
-        return self._mid_list
-
-    def _crossings_with_candidates(
-        self, index: int, p: Position, q: Position, candidates: Set[int]
-    ) -> int:
-        """Crossings of edge ``index`` (at ``p-q``) against ``candidates``."""
-        if self._use_numpy and len(candidates) >= 16:
-            return self._crossings_vectorised(index, p, q, candidates)
-        a, b, _ = self._edges[index]
-        ends = self._ends
-        edges = self._edges
-        row_lo, row_hi = min(p[0], q[0]) - 1e-12, max(p[0], q[0]) + 1e-12
-        col_lo, col_hi = min(p[1], q[1]) - 1e-12, max(p[1], q[1]) + 1e-12
-        count = 0
-        for other in candidates:
-            if other == index:
-                continue
-            c, d, _ = edges[other]
-            if a == c or a == d or b == c or b == d:
-                continue
-            pc, pd = ends[other]
-            if (
-                max(pc[0], pd[0]) < row_lo
-                or min(pc[0], pd[0]) > row_hi
-                or max(pc[1], pd[1]) < col_lo
-                or min(pc[1], pd[1]) > col_hi
-            ):
-                continue
-            if _segments_cross(p, q, pc, pd):
-                count += 1
-        return count
-
-    def _crossings_vectorised(
-        self, index: int, p: Position, q: Position, candidates: Set[int]
-    ) -> int:
-        """Numpy form of the candidate crossing test for one query edge."""
-        idx = _np.fromiter(candidates, dtype=_np.intp, count=len(candidates))
-        a, b, _ = self._edges[index]
-        n = idx.size
-        query = _np.empty((n, 4))
-        query[:] = (p[0], p[1], q[0], q[1])
-        keep = idx != index
-        return self._pairs_crossing_count(
-            idx[keep], query[keep], _np.full(n, a)[keep], _np.full(n, b)[keep]
-        )
-
-    def _pairs_crossing_count(
-        self,
-        idx: "_np.ndarray",
-        query: "_np.ndarray",
-        query_u: "_np.ndarray",
-        query_v: "_np.ndarray",
-    ) -> int:
-        """Crossing count over explicit (query segment, candidate index) pairs.
-
-        Replays exactly the arithmetic of :func:`_segments_cross` (same
-        products, same 1e-12 tolerances) over the pair arrays, so the count
-        agrees with the scalar path on every input.  ``query`` rows are
-        ``(p_row, p_col, q_row, q_col)`` segments; vertex-identity exclusion
-        uses ``query_u``/``query_v`` against the candidate endpoint arrays.
-        """
-        end_u = self._end_u[idx]
-        end_v = self._end_v[idx]
-        keep = (
-            (end_u != query_u)
-            & (end_u != query_v)
-            & (end_v != query_u)
-            & (end_v != query_v)
-        )
-        if not keep.any():
-            return 0
-        seg = self._seg[idx[keep]]
-        query = query[keep]
-        b1r, b1c, b2r, b2c = seg[:, 0], seg[:, 1], seg[:, 2], seg[:, 3]
-        pr, pc, qr, qc = query[:, 0], query[:, 1], query[:, 2], query[:, 3]
-        tol = 1e-12
-
-        def orient(v1r, v1c, v2r, v2c, wr, wc):
-            value = (v2c - v1c) * (wr - v2r) - (v2r - v1r) * (wc - v2c)
-            return _np.where(_np.abs(value) < tol, 0, _np.where(value > 0, 1, 2))
-
-        o1 = orient(pr, pc, qr, qc, b1r, b1c)
-        o2 = orient(pr, pc, qr, qc, b2r, b2c)
-        o3 = orient(b1r, b1c, b2r, b2c, pr, pc)
-        o4 = orient(b1r, b1c, b2r, b2c, qr, qc)
-        crossing = (o1 != o2) & (o3 != o4)
-
-        def on_segment(ar, ac, br_, bc_, cr, cc):
-            return (
-                (_np.minimum(ar, cr) - tol <= br_)
-                & (br_ <= _np.maximum(ar, cr) + tol)
-                & (_np.minimum(ac, cc) - tol <= bc_)
-                & (bc_ <= _np.maximum(ac, cc) + tol)
-            )
-
-        crossing |= (o1 == 0) & on_segment(pr, pc, b1r, b1c, qr, qc)
-        crossing |= (o2 == 0) & on_segment(pr, pc, b2r, b2c, qr, qc)
-        crossing |= (o3 == 0) & on_segment(b1r, b1c, pr, pc, b2r, b2c)
-        crossing |= (o4 == 0) & on_segment(b1r, b1c, qr, qc, b2r, b2c)
-        return int(crossing.sum())
-
-    def _crossings_of_changed(
-        self, changed: Sequence[int], changed_set: Set[int]
-    ) -> int:
-        """Crossings involving at least one changed edge, each pair once.
-
-        Must be called while the changed edges are removed from the grid:
-        grid candidates then cover exactly the changed-vs-unchanged pairs,
-        and the (small) changed-vs-changed block is enumerated directly.
-        """
-        count = 0
-        if self._use_numpy:
-            # One vectorised pass over every (changed edge, candidate) pair.
-            idx_parts: List["_np.ndarray"] = []
-            query_parts: List["_np.ndarray"] = []
-            u_parts: List["_np.ndarray"] = []
-            v_parts: List["_np.ndarray"] = []
-            for index in changed:
-                p, q = self._ends[index]
-                cand = self._grid.candidates(self._grid.cells(p, q))
-                if not cand:
-                    continue
-                arr = _np.fromiter(cand, dtype=_np.intp, count=len(cand))
-                n = arr.size
-                query = _np.empty((n, 4))
-                query[:] = (p[0], p[1], q[0], q[1])
-                a, b, _ = self._edges[index]
-                idx_parts.append(arr)
-                query_parts.append(query)
-                u_parts.append(_np.full(n, a))
-                v_parts.append(_np.full(n, b))
-            if idx_parts:
-                count += self._pairs_crossing_count(
-                    _np.concatenate(idx_parts),
-                    _np.vstack(query_parts),
-                    _np.concatenate(u_parts),
-                    _np.concatenate(v_parts),
-                )
+        if not changed:
+            return
+        if self._pending is not None:
+            # The engine never saw this move: dropping it is the undo.
+            self._pending = None
         else:
-            for index in changed:
-                p, q = self._ends[index]
-                cells = self._grid.cells(p, q)
-                count += self._crossings_with_candidates(
-                    index, p, q, self._grid.candidates(cells)
-                )
-        for position, index in enumerate(changed):
-            a, b, _ = self._edges[index]
-            p, q = self._ends[index]
-            for other in changed[position + 1 :]:
-                c, d, _ = self._edges[other]
-                if a == c or a == d or b == c or b == d:
-                    continue
-                pc, pd = self._ends[other]
-                if _segments_cross(p, q, pc, pd):
-                    count += 1
-        return count
-
-    def _spacing_contribution(self, changed: Sequence[int]) -> float:
-        """Sum of midpoint distances over pairs touching a changed edge.
-
-        Cross pairs (changed, unchanged) appear once in the per-edge sums;
-        intra-changed pairs appear twice, so one copy is subtracted.
-        """
-        if len(self._edges) < 2:
-            return 0.0
-        total = 0.0
-        if self._use_numpy:
-            mid = self._mid
-            for index in changed:
-                row, col = mid[index, 0], mid[index, 1]
-                total += float(
-                    _np.hypot(mid[:, 0] - row, mid[:, 1] - col).sum()
-                )
-        else:
-            mid_list = self._mid_list
-            for index in changed:
-                row, col = mid_list[index]
-                for other_row, other_col in mid_list:
-                    total += math.hypot(other_row - row, other_col - col)
-        for position, index in enumerate(changed):
-            row, col = self._midpoint_of(index)
-            for other in changed[position + 1 :]:
-                other_row, other_col = self._midpoint_of(other)
-                total -= math.hypot(other_row - row, other_col - col)
-        return total
-
-    def _midpoint_of(self, index: int) -> Position:
-        if self._use_numpy:
-            return (float(self._mid[index, 0]), float(self._mid[index, 1]))
-        return self._mid_list[index]
+            # An evaluation in between already flushed the move; push the
+            # old geometry back through the engine.
+            self._engine.flush(changed, ends_before, mids_before)
+        for t, index in enumerate(changed):
+            self._ends[index] = ends_before[t]
+            self._mids[index] = mids_before[t]
+        (
+            self.total_edge_length,
+            self.total_weighted_length,
+            self.crossings,
+            self.spacing_sum,
+            self._cost_value,
+        ) = sums_before
 
 
 def pearson_correlation(xs: Sequence[float], ys: Sequence[float]) -> float:

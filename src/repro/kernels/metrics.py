@@ -1,0 +1,85 @@
+"""Loader and ctypes façade for the compiled mapping-metrics kernel.
+
+The C source (``metrics_kernel.c`` beside this module) implements the
+hot path of :class:`repro.graphs.metrics.MappingCostTracker`: crossing
+and orientation tests against a dense bucket grid, tree-folded
+midpoint-distance rows for the spacing metric, and the commit-time
+maintenance of the per-edge row-sum cache.  It is built through the
+shared :class:`repro.kernels.runtime.KernelLoader` with
+``-ffp-contract=off`` (no FMA contraction — the compiled engine must be
+bit-identical to the numpy and scalar engines) and ``-fno-math-errno``
+(lets the compiler inline ``sqrt`` without an errno branch; results are
+still IEEE correctly rounded).
+
+The façade exposes the raw ``ctypes`` entry points; the tracker passes
+cached ``ndarray.ctypes.data`` addresses, keeping per-call overhead off
+the annealer's per-proposal path.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import os
+from typing import Optional
+
+from .runtime import KernelLoader
+
+_SOURCE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                       "metrics_kernel.c")
+
+#: Compile flags required for bitwise parity with the Python engines (see
+#: module docstring); folded into the cache digest by the loader.
+BASE_CFLAGS = ("-ffp-contract=off", "-fno-math-errno")
+
+_i64 = ctypes.c_int64
+_dbl = ctypes.c_double
+_ptr = ctypes.c_void_p
+
+
+class MetricsKernel:
+    """ctypes façade over the compiled library.
+
+    Every method takes raw buffer addresses (``ndarray.ctypes.data``
+    integers); the owning tracker caches them once per build.
+    """
+
+    def __init__(self, lib: ctypes.CDLL, path: str) -> None:
+        self.path = path
+        self.grid_build = lib.mc_grid_build
+        self.grid_build.restype = _i64
+        self.grid_build.argtypes = [_ptr, _ptr, _dbl, _ptr, _ptr, _ptr]
+        self.spacing_init = lib.mc_spacing_init
+        self.spacing_init.restype = _dbl
+        self.spacing_init.argtypes = [_ptr] * 4
+        self.count_crossings = lib.mc_count_crossings
+        self.count_crossings.restype = _i64
+        self.count_crossings.argtypes = [_ptr] * 10
+        self.eval = lib.mc_eval
+        self.eval.restype = None
+        self.eval.argtypes = [_ptr, _dbl, _i64] + [_ptr] * 16
+        self.eval_moves = lib.mc_eval_moves
+        self.eval_moves.restype = None
+        self.eval_moves.argtypes = [_ptr, _dbl, _i64] + [_ptr] * 17
+        self.commit = lib.mc_commit
+        self.commit.restype = _i64
+        self.commit.argtypes = [_ptr, _dbl, _i64] + [_ptr] * 16
+
+
+_LOADER = KernelLoader(
+    _SOURCE, stem="metrics", facade=MetricsKernel, base_cflags=BASE_CFLAGS
+)
+
+
+def load() -> Optional[MetricsKernel]:
+    """The loaded kernel, compiling on first call; None when unavailable."""
+    return _LOADER.load()
+
+
+def available() -> bool:
+    """Whether the compiled fast path can run in this environment."""
+    return _LOADER.available()
+
+
+def reset() -> None:
+    """Forget the cached load attempt (tests toggle REPRO_NO_KERNEL)."""
+    _LOADER.reset()

@@ -39,6 +39,7 @@ DETERMINISTIC_PATHS = (
     "circuits/",
     "scheduling/",
     "distillation/",
+    "kernels/",
     "persistutil.py",
     "service/wire.py",
 )

@@ -1,8 +1,8 @@
 """Rule: shared mutable state must stay under its lock.
 
-The sweep service (:mod:`repro.service`) and the kernel loader
-(:mod:`repro.routing.kernel`) are the two places where threads share
-mutable state.  Their convention: any attribute that is ever written under
+The sweep service (:mod:`repro.service`) and the kernel loaders
+(:mod:`repro.routing.kernel`, the shared :mod:`repro.kernels` runtime)
+are the places where threads share mutable state.  Their convention: any attribute that is ever written under
 ``with self._lock`` (or any ``self._*lock*``) is lock-owned, and every
 *other* write to it must also hold the lock.  ``__init__`` /
 ``__post_init__`` are exempt — construction happens before the object is
@@ -29,7 +29,7 @@ from ..engine import ModuleSource
 from ..findings import Finding
 
 #: Package-relative paths where the lock convention is enforced.
-LOCKED_PATHS = ("service/", "routing/kernel.py")
+LOCKED_PATHS = ("service/", "routing/kernel.py", "kernels/")
 
 _CONSTRUCTORS = ("__init__", "__post_init__")
 

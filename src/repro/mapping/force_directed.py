@@ -37,6 +37,11 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import networkx as nx
 
+try:  # Optional: vectorises the per-sweep force evaluation.
+    import numpy as _np
+except ImportError:  # pragma: no cover - the container bakes numpy in
+    _np = None
+
 from ..circuits.circuit import Circuit
 from ..graphs.community import (
     community_centroid,
@@ -126,8 +131,61 @@ def _nearby_buckets(key: Tuple[int, int]) -> List[Tuple[int, int]]:
     return [(row + dr, col + dc) for dr in (-1, 0, 1) for dc in (-1, 0, 1)]
 
 
+def _np_bucket_pairs(keys, count: int):
+    """Ordered (i, j) index pairs whose keys fall in a 3x3 neighbourhood.
+
+    numpy twin of the ``_bucket_key`` / ``_nearby_buckets`` scan: for every
+    bucket, pairs its members against the members of the nine surrounding
+    buckets (both orders, self-pairs dropped), as flat index arrays ready
+    for vectorized force kernels.  Returns ``None`` when no pair exists.
+    """
+    if count == 0:
+        return None
+    kr = keys[:, 0]
+    kc = keys[:, 1]
+    # Pack each 2-D bucket key into one integer; one unit of headroom on
+    # every side keeps the nine neighbour offsets collision-free.
+    width = int(kc.max()) - int(kc.min()) + 3
+    code = (kr - int(kr.min()) + 1) * width + (kc - int(kc.min()) + 1)
+    order = _np.argsort(code, kind="stable")
+    sorted_code = code[order]
+    # For every member and every one of the nine neighbour offsets, the
+    # members of the target bucket form a contiguous run of the sorted
+    # codes; expand all runs at once without a per-bucket Python loop.
+    offsets = _np.asarray(
+        [dr * width + dc for dr in (-1, 0, 1) for dc in (-1, 0, 1)],
+        dtype=code.dtype,
+    )
+    targets = (code[_np.newaxis, :] + offsets[:, _np.newaxis]).ravel()
+    start = _np.searchsorted(sorted_code, targets, side="left")
+    end = _np.searchsorted(sorted_code, targets, side="right")
+    counts = end - start
+    total = int(counts.sum())
+    if total == 0:
+        return None
+    members = _np.tile(_np.arange(count, dtype=_np.intp), 9)
+    left = _np.repeat(members, counts)
+    base = _np.cumsum(counts) - counts
+    span = _np.arange(total, dtype=_np.intp) - _np.repeat(base, counts)
+    right = order[_np.repeat(start, counts) + span]
+    keep = left != right
+    if not keep.any():
+        return None
+    return left[keep], right[keep]
+
+
 class _ForceField:
-    """Computes the per-vertex net force for the current placement."""
+    """Computes the per-vertex net force for the current placement.
+
+    With numpy present the three force kernels run vectorized over flat
+    index arrays prepared once at construction (adjacency pairs, edge
+    endpoints, poles); the bucket pruning of the pairwise kernels matches
+    the scalar fallback's 3x3 neighbourhood scan.  The scalar fallback
+    keeps the original per-vertex loops; its force values can differ from
+    the vectorized path in the last ulp (summation order), which is fine —
+    reproducibility is pinned per environment, and the cost tracker (whose
+    engines *are* bit-identical) is what accepts or rejects moves.
+    """
 
     def __init__(
         self,
@@ -138,12 +196,51 @@ class _ForceField:
         self.graph = graph
         self.config = config
         self.poles = poles
+        self._vectorized = _np is not None
+        if not self._vectorized:
+            return
+        nodes = list(graph.nodes())
+        self._nodes = nodes
+        index = {vertex: i for i, vertex in enumerate(nodes)}
+        n = len(nodes)
+        owner: List[int] = []
+        neighbor: List[int] = []
+        for vertex in nodes:
+            for other in graph.neighbors(vertex):
+                owner.append(index[vertex])
+                neighbor.append(index[other])
+        self._nbr_owner = _np.asarray(owner, dtype=_np.intp)
+        self._nbr_index = _np.asarray(neighbor, dtype=_np.intp)
+        self._degree = _np.bincount(self._nbr_owner, minlength=n).astype(float)
+        edges = list(graph.edges())
+        self._edge_u = _np.asarray([index[a] for a, _ in edges], dtype=_np.intp)
+        self._edge_v = _np.asarray([index[b] for _, b in edges], dtype=_np.intp)
+        self._pole_arr = _np.asarray(
+            [poles.get(vertex, 1) for vertex in nodes], dtype=_np.int64
+        )
 
     def forces(self, positions: Mapping[int, Cell]) -> Dict[int, Vector]:
         """Net force on every vertex under the current positions."""
         config = self.config
+        if self._vectorized:
+            nodes = self._nodes
+            if not nodes:
+                return {}
+            pos = _np.asarray(
+                [positions[vertex] for vertex in nodes], dtype=float
+            ).reshape(len(nodes), 2)
+            out = _np.zeros((len(nodes), 2), dtype=float)
+            if config.use_attraction:
+                self._np_attraction(pos, out)
+            if config.use_edge_repulsion:
+                self._np_edge_repulsion(pos, out)
+            if config.use_dipole:
+                self._np_dipole(pos, out)
+            return {
+                vertex: (float(out[i, 0]), float(out[i, 1]))
+                for i, vertex in enumerate(nodes)
+            }
         forces: Dict[int, List[float]] = {v: [0.0, 0.0] for v in self.graph.nodes()}
-
         if config.use_attraction:
             self._add_attraction(positions, forces)
         if config.use_edge_repulsion:
@@ -152,6 +249,89 @@ class _ForceField:
             self._add_dipole(positions, forces)
         return {v: (f[0], f[1]) for v, f in forces.items()}
 
+    # ------------------------------------------------------------------
+    # Vectorized kernels
+    # ------------------------------------------------------------------
+    def _np_attraction(self, pos, out) -> None:
+        """Pull every vertex toward the centroid of its neighbourhood."""
+        if self._nbr_owner.size == 0:
+            return
+        weight = self.config.attraction_weight
+        n = pos.shape[0]
+        sum_r = _np.bincount(
+            self._nbr_owner, weights=pos[self._nbr_index, 0], minlength=n
+        )
+        sum_c = _np.bincount(
+            self._nbr_owner, weights=pos[self._nbr_index, 1], minlength=n
+        )
+        degree = self._degree
+        has = degree > 0
+        safe = _np.where(has, degree, 1.0)
+        out[:, 0] += _np.where(has, weight * (sum_r / safe - pos[:, 0]), 0.0)
+        out[:, 1] += _np.where(has, weight * (sum_c / safe - pos[:, 1]), 0.0)
+
+    def _np_edge_repulsion(self, pos, out) -> None:
+        """Repel edges from each other through their midpoints."""
+        m = self._edge_u.size
+        if m == 0:
+            return
+        weight = self.config.repulsion_weight
+        bucket = float(max(2, self.config.neighborhood_radius))
+        mids = (pos[self._edge_u] + pos[self._edge_v]) / 2.0
+        pairs = _np_bucket_pairs(
+            _np.floor_divide(mids, bucket).astype(_np.int64), m
+        )
+        if pairs is None:
+            return
+        left, right = pairs
+        d_row = mids[left, 0] - mids[right, 0]
+        d_col = mids[left, 1] - mids[right, 1]
+        dist_sq = d_row * d_row + d_col * d_col
+        tiny = dist_sq < 1e-9
+        d_row = _np.where(tiny, 0.5, d_row)
+        d_col = _np.where(tiny, 0.5, d_col)
+        dist_sq = _np.where(tiny, 0.5, dist_sq)
+        magnitude = weight / dist_sq
+        # The repulsion acts on the edge; split it between the endpoints.
+        push_r = _np.bincount(left, weights=magnitude * d_row, minlength=m) / 2.0
+        push_c = _np.bincount(left, weights=magnitude * d_col, minlength=m) / 2.0
+        n = pos.shape[0]
+        out[:, 0] += _np.bincount(self._edge_u, weights=push_r, minlength=n)
+        out[:, 0] += _np.bincount(self._edge_v, weights=push_r, minlength=n)
+        out[:, 1] += _np.bincount(self._edge_u, weights=push_c, minlength=n)
+        out[:, 1] += _np.bincount(self._edge_v, weights=push_c, minlength=n)
+
+    def _np_dipole(self, pos, out) -> None:
+        """Pole-based dipole forces: opposite poles attract, identical repel."""
+        n = pos.shape[0]
+        weight = self.config.dipole_weight
+        radius = float(self.config.neighborhood_radius)
+        pairs = _np_bucket_pairs(
+            _np.floor_divide(pos, radius).astype(_np.int64), n
+        )
+        if pairs is None:
+            return
+        left, right = pairs
+        d_row = pos[left, 0] - pos[right, 0]
+        d_col = pos[left, 1] - pos[right, 1]
+        dist_sq = d_row * d_row + d_col * d_col
+        keep = (dist_sq >= 1e-9) & (dist_sq <= radius * radius)
+        if not keep.any():
+            return
+        left = left[keep]
+        magnitude = weight / dist_sq[keep]
+        sign = _np.where(
+            self._pole_arr[left] == self._pole_arr[pairs[1][keep]], 1.0, -1.0
+        )
+        out[:, 0] += _np.bincount(
+            left, weights=sign * magnitude * d_row[keep], minlength=n
+        )
+        out[:, 1] += _np.bincount(
+            left, weights=sign * magnitude * d_col[keep], minlength=n
+        )
+
+    # ------------------------------------------------------------------
+    # Scalar fallback kernels
     # ------------------------------------------------------------------
     def _add_attraction(
         self, positions: Mapping[int, Cell], forces: Dict[int, List[float]]
@@ -335,6 +515,12 @@ def _step_toward(force: Vector, max_step: int = 1) -> Tuple[int, int]:
     return component(force[0]), component(force[1])
 
 
+#: Proposals per batched tracker evaluation inside a sweep.  Chunking keeps
+#: the waste bounded when an accepted move invalidates the rest of the batch
+#: (at most one chunk of evaluations is discarded per sweep).
+_PROPOSAL_CHUNK = 64
+
+
 def force_directed_refine(
     graph: nx.Graph,
     initial: Placement,
@@ -356,7 +542,10 @@ def force_directed_refine(
     field_model = _ForceField(graph, config, poles)
 
     vertices = [v for v in graph.nodes() if v in placement.positions]
-    communities = detect_communities(graph) if config.use_communities else []
+    # Community detection is deferred until the first stall actually asks
+    # for a community move (most refinements never stall); ``None`` means
+    # "not computed yet", an empty list means "computed, none found".
+    communities: Optional[List[List[int]]] = None
 
     tracker = MappingCostTracker(
         graph,
@@ -379,11 +568,74 @@ def force_directed_refine(
         improved_any = False
         stats.sweeps += 1
 
+        # Generate the sweep's candidate moves up front from the sweep-start
+        # placement.  Forces are per-sweep anyway; targets, bounds checks and
+        # occupant swaps stay exact until the first *accepted* move, which
+        # invalidates every later candidate (the spacing metric couples all
+        # midpoints, so any accept changes every subsequent delta).
+        proposals = []
         for vertex in order:
             force = forces.get(vertex, (0.0, 0.0))
             d_row, d_col = _step_toward(force, config.max_step)
             if d_row == 0 and d_col == 0:
                 continue
+            row, col = placement.positions[vertex]
+            target = (row + d_row, col + d_col)
+            if placement.in_bounds(target):
+                occupant = placement.occupant(target)
+                updates = {vertex: (float(target[0]), float(target[1]))}
+                if occupant is not None:
+                    updates[occupant] = (float(row), float(col))
+            else:
+                # Kept (not evaluated): an accepted move may bring the
+                # vertex back in bounds, so the fallback path re-checks.
+                updates = None
+            proposals.append((vertex, d_row, d_col, target, updates))
+
+        batch_valid = True
+        deltas: Dict[int, float] = {}
+        for index, (vertex, d_row, d_col, target, updates) in enumerate(proposals):
+            if batch_valid:
+                if updates is None:
+                    continue  # no accept yet: the target is still out of bounds
+                if index not in deltas:
+                    # Evaluate the next chunk of candidates in one batched
+                    # call (a single kernel invocation on the compiled
+                    # engine); rejected proposals never touch the tracker.
+                    chunk = [
+                        (j, proposals[j][4])
+                        for j in range(
+                            index, min(index + _PROPOSAL_CHUNK, len(proposals))
+                        )
+                        if proposals[j][4] is not None
+                    ]
+                    for (j, _), value in zip(
+                        chunk,
+                        tracker.evaluate_many([u for _, u in chunk]),
+                    ):
+                        deltas[j] = value
+                delta = deltas[index]
+                stats.proposed_moves += 1
+                accept = delta <= 0 or (
+                    temperature > 1e-9
+                    and rng.random() < math.exp(-delta / temperature)
+                )
+                if accept:
+                    # Replay the accepted candidate for real.  The tracker
+                    # state is identical to evaluation time, so this apply
+                    # returns the same delta bit for bit.
+                    tracker.apply(updates)
+                    placement.move(vertex, target)
+                    stats.accepted_moves += 1
+                    if delta < 0:
+                        improved_any = True
+                        stats.improving_moves += 1
+                    batch_valid = False
+                continue
+            # Sequential fallback after the first accepted move: regenerate
+            # target and occupant from the current placement (the force, and
+            # hence the step, stays fixed for the sweep), exactly like the
+            # one-move-at-a-time annealer.
             row, col = placement.positions[vertex]
             target = (row + d_row, col + d_col)
             if not placement.in_bounds(target):
@@ -392,20 +644,20 @@ def force_directed_refine(
             updates = {vertex: (float(target[0]), float(target[1]))}
             if occupant is not None:
                 updates[occupant] = (float(row), float(col))
-            delta = tracker.apply(updates)
+            delta = tracker.evaluate(updates)
             stats.proposed_moves += 1
             accept = delta <= 0 or (
                 temperature > 1e-9 and rng.random() < math.exp(-delta / temperature)
             )
             if accept:
+                # Commit the evaluation just made; a rejected proposal needs
+                # no cleanup (the next evaluate() simply supersedes it).
+                tracker.commit_evaluated()
                 placement.move(vertex, target)
                 stats.accepted_moves += 1
                 if delta < 0:
                     improved_any = True
                     stats.improving_moves += 1
-            else:
-                # Revert the tracker (the placement was never touched).
-                tracker.revert_last()
 
         temperature *= config.cooling
         current_cost = tracker.cost()
@@ -420,10 +672,13 @@ def force_directed_refine(
 
         if (
             config.use_communities
-            and communities
             and stall_counter >= config.community_patience
             and community_moves_used < config.max_community_moves
         ):
+            if communities is None:
+                communities = detect_communities(graph)
+            if not communities:
+                continue  # computed once; nothing to move, keep sweeping
             before_positions = dict(placement.positions)
             _apply_community_move(placement, graph, communities, rng)
             moved = {

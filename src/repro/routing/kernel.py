@@ -1,34 +1,21 @@
 """Runtime-compiled C kernel for the batched simulator (optional).
 
 :mod:`repro.routing.batchsim` vectorizes a group of same-circuit sweep
-points with numpy; this module supplies its compiled fast path.  On
-first use the C source next to this file is built with the host C
-compiler into a shared library and loaded via :mod:`ctypes`.  The
-library is cached keyed by a hash of the source text, so recompilation
-only happens when the kernel changes.
-
-Everything degrades gracefully: no compiler, no writable cache
-directory, or a failed compile simply reports the kernel as unavailable
-and callers stay on the pure-Python engines.  Setting
-``REPRO_NO_KERNEL=1`` disables the kernel outright (used by tests to
-pin the Python paths); ``REPRO_KERNEL_CACHE`` overrides the cache
-directory (default: ``_kernel_cache/`` beside the source, falling back
-to a per-user temp directory when that is not writable);
-``REPRO_KERNEL_CFLAGS`` appends extra compiler flags — CI uses it to
-build the kernel under ``-Wall -Wextra -Werror`` and the ASan/UBSan
-sanitizers.  The extra flags are folded into the cache key, so a
-sanitized build never reuses (or poisons) the plain cached library.
+points with numpy; this module supplies its compiled fast path.  The
+compile/cache/load machinery — host-compiler discovery, source-hash +
+``REPRO_KERNEL_CFLAGS`` cache digest, on-disk ``.so`` cache, the
+``REPRO_NO_KERNEL`` opt-out — lives in the shared
+:class:`repro.kernels.runtime.KernelLoader`; this module keeps the
+batchsim-specific ctypes facade and the historical public API
+(:func:`load` / :func:`available` / :func:`reset`).
 """
 from __future__ import annotations
 
 import ctypes
-import hashlib
 import os
-import shutil
-import subprocess
-import tempfile
-import threading
 from typing import Optional
+
+from ..kernels.runtime import KernelLoader
 
 _SOURCE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                        "batchsim_kernel.c")
@@ -41,10 +28,6 @@ COUNTER_SLOTS = 9
 OK = 0
 MAX_CYCLES_EXCEEDED = 1
 DEADLOCK = 2
-
-_lock = threading.Lock()
-_cached: Optional["Kernel"] = None
-_tried = False
 
 
 class Kernel:
@@ -107,106 +90,19 @@ class Kernel:
         )
 
 
-def _compiler() -> Optional[str]:
-    explicit = os.environ.get("CC")
-    if explicit:
-        return shutil.which(explicit) or explicit
-    return shutil.which("cc") or shutil.which("gcc") or shutil.which("clang")
-
-
-def _extra_cflags() -> list:
-    """Extra compiler flags from ``REPRO_KERNEL_CFLAGS`` (shlex-free split)."""
-    return os.environ.get("REPRO_KERNEL_CFLAGS", "").split()
-
-
-def _cache_dirs():
-    override = os.environ.get("REPRO_KERNEL_CACHE")
-    if override:
-        yield override
-        return
-    yield os.path.join(os.path.dirname(_SOURCE), "_kernel_cache")
-    yield os.path.join(tempfile.gettempdir(),
-                       f"repro-kernel-{os.getuid() if hasattr(os, 'getuid') else 'u'}")
-
-
-def _compile(source_path: str, digest: str) -> Optional[str]:
-    compiler = _compiler()
-    if compiler is None:
-        return None
-    for cache_dir in _cache_dirs():
-        so_path = os.path.join(cache_dir, f"batchsim_{digest}.so")
-        if os.path.exists(so_path):
-            return so_path
-        try:
-            os.makedirs(cache_dir, exist_ok=True)
-            fd, tmp_path = tempfile.mkstemp(suffix=".so", dir=cache_dir)
-            os.close(fd)
-        except OSError:
-            continue
-        try:
-            proc = subprocess.run(
-                [compiler, "-O3", "-fPIC", "-shared"]
-                + _extra_cflags()
-                + ["-o", tmp_path, source_path],
-                capture_output=True,
-                timeout=120,
-            )
-            if proc.returncode != 0:
-                return None
-            os.replace(tmp_path, so_path)  # atomic: racing builds converge
-            return so_path
-        except (OSError, subprocess.SubprocessError):
-            return None
-        finally:
-            if os.path.exists(tmp_path):
-                try:
-                    os.unlink(tmp_path)
-                except OSError:
-                    pass
-    return None
-
-
-def _try_load() -> Optional[Kernel]:
-    if os.environ.get("REPRO_NO_KERNEL"):
-        return None
-    try:
-        with open(_SOURCE, "rb") as handle:
-            source = handle.read()
-    except OSError:
-        return None
-    # The cache key covers the source AND the extra flags: a sanitizer
-    # build must not be served the plain cached .so (or vice versa).
-    hasher = hashlib.sha256(source)
-    hasher.update(b"\x00")
-    hasher.update(" ".join(_extra_cflags()).encode("utf-8"))
-    digest = hasher.hexdigest()[:16]
-    so_path = _compile(_SOURCE, digest)
-    if so_path is None:
-        return None
-    try:
-        return Kernel(ctypes.CDLL(so_path), so_path)
-    except OSError:
-        return None
+_LOADER = KernelLoader(_SOURCE, stem="batchsim", facade=Kernel)
 
 
 def load() -> Optional[Kernel]:
     """The loaded kernel, compiling on first call; None when unavailable."""
-    global _cached, _tried
-    with _lock:
-        if not _tried:
-            _tried = True
-            _cached = _try_load()
-        return _cached
+    return _LOADER.load()
 
 
 def available() -> bool:
     """Whether the compiled fast path can run in this environment."""
-    return load() is not None
+    return _LOADER.available()
 
 
 def reset() -> None:
     """Forget the cached load attempt (tests toggle REPRO_NO_KERNEL)."""
-    global _cached, _tried
-    with _lock:
-        _cached = None
-        _tried = False
+    _LOADER.reset()

@@ -10,7 +10,8 @@ import pytest
 
 
 def pytest_addoption(parser):
-    """Options of the differential fuzz harness (test_simulator_fuzz.py)."""
+    """Options shared by the differential fuzz harnesses
+    (test_simulator_fuzz.py, test_metrics_fuzz.py)."""
     parser.addoption(
         "--fuzz-iterations",
         type=int,

@@ -7,6 +7,7 @@ cache accounting is exact.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 
 import pytest
@@ -22,6 +23,7 @@ from repro.api import (
     recommended_workers,
     run_sweep,
 )
+from repro.api.executor import ExecutorStats
 from repro.api.pipeline import PipelineStats
 from repro.circuits.circuit import Circuit
 from repro.circuits.gates import cnot, prep
@@ -42,6 +44,15 @@ CAPACITIES = (2, 3)
 
 def small_plan() -> SweepPlan:
     return SweepPlan.from_grid(methods=METHODS, capacities=CAPACITIES)
+
+
+def counters(stats: PipelineStats) -> dict:
+    """The deterministic counter fields, without the wall-clock timings."""
+    return {
+        field.name: getattr(stats, field.name)
+        for field in dataclasses.fields(stats)
+        if not field.name.endswith("_seconds")
+    }
 
 
 # ----------------------------------------------------------------------
@@ -220,14 +231,16 @@ class TestBatchedExecution:
         assert result.evaluations[len(base)] == result.evaluations[0]
 
     def test_pipeline_evaluate_batch_matches_evaluate(self):
-        """evaluate_batch == [evaluate(r) ...], results and stats alike."""
+        """evaluate_batch == [evaluate(r) ...], results and counters alike
+        (the ``*_seconds`` phase timings are wall clock, hence not compared).
+        """
         requests = list(small_plan())
         serial_pipeline = Pipeline()
         serial = [serial_pipeline.evaluate(r) for r in requests]
         batch_pipeline = Pipeline()
         batched = batch_pipeline.evaluate_batch(requests)
         assert batched == serial
-        assert batch_pipeline.stats == serial_pipeline.stats
+        assert counters(batch_pipeline.stats) == counters(serial_pipeline.stats)
 
     def test_pipeline_evaluate_batch_duplicates_count_as_cache_hits(self):
         """Within-batch duplicate points keep SimulationCache counters
@@ -241,7 +254,7 @@ class TestBatchedExecution:
         batch_pipeline = Pipeline()
         batched = batch_pipeline.evaluate_batch(requests)
         assert batched == serial
-        assert batch_pipeline.stats == serial_pipeline.stats
+        assert counters(batch_pipeline.stats) == counters(serial_pipeline.stats)
         assert batch_pipeline.sim_cache.hits == serial_pipeline.sim_cache.hits
         assert batch_pipeline.sim_cache.misses == serial_pipeline.sim_cache.misses
 
@@ -332,6 +345,35 @@ class TestSimulationCache:
         assert delta == PipelineStats(
             factory_builds=1, cache_hits=0, evaluations=0, sim_cache_hits=4
         )
+
+    def test_phase_seconds_attribute_wall_time_to_the_right_layer(self):
+        """build/map/sim phase timers tick exactly when their phase runs."""
+        pipeline = Pipeline()
+        request = EvaluationRequest(method="linear", capacity=2)
+        pipeline.evaluate(request)
+        first = pipeline.stats.snapshot()
+        assert first.build_seconds > 0.0  # factory built on the cold path
+        assert first.map_seconds > 0.0
+        assert first.sim_seconds > 0.0
+        # A repeat of the same request hits the factory cache (no build
+        # time) but still places and answers from the simulation cache.
+        pipeline.evaluate(request)
+        delta = pipeline.stats.delta(first)
+        assert delta.build_seconds == 0.0
+        assert delta.map_seconds > 0.0
+
+    def test_phase_seconds_flow_through_executor_stats(self):
+        plan = small_plan()
+        result = SweepExecutor().run(plan)
+        stats = result.stats
+        assert stats.build_seconds > 0.0
+        assert stats.map_seconds > 0.0
+        assert stats.sim_seconds > 0.0
+        payload = stats.to_dict()
+        for key in ("build_seconds", "map_seconds", "sim_seconds"):
+            assert payload[key] == getattr(stats, key)
+        restored = ExecutorStats.from_dict(json.loads(json.dumps(payload)))
+        assert restored == stats
 
 
 # ----------------------------------------------------------------------
