@@ -71,11 +71,27 @@ from .pipeline import (
 )
 from .registry import Registry, RegistryError
 from .results import FactoryEvaluation, from_json, to_json
+from .sharding import (
+    SHARD_STRATEGIES,
+    ClaimDir,
+    ShardProgress,
+    ShardRunResult,
+    ShardSpec,
+    load_shard_file,
+    plan_fingerprint,
+    run_shard,
+    shard_specs,
+    write_shard_files,
+)
 from .store import (
     STORE_SCHEMA_VERSION,
     GcReport,
+    MergeConflictError,
+    MergeReport,
+    MergeSourceReport,
     ResultStore,
     ResultStoreWarning,
+    StoreStatus,
     current_git_sha,
     request_fingerprint,
     store_metadata,
@@ -122,10 +138,24 @@ __all__ = [
     "FactoryEvaluation",
     "from_json",
     "to_json",
+    "SHARD_STRATEGIES",
+    "ClaimDir",
+    "ShardProgress",
+    "ShardRunResult",
+    "ShardSpec",
+    "load_shard_file",
+    "plan_fingerprint",
+    "run_shard",
+    "shard_specs",
+    "write_shard_files",
     "STORE_SCHEMA_VERSION",
     "GcReport",
+    "MergeConflictError",
+    "MergeReport",
+    "MergeSourceReport",
     "ResultStore",
     "ResultStoreWarning",
+    "StoreStatus",
     "current_git_sha",
     "request_fingerprint",
     "store_metadata",

@@ -50,6 +50,8 @@ from __future__ import annotations
 import dataclasses
 import json
 import os
+import queue
+import threading
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
@@ -59,6 +61,7 @@ from typing import (
     Callable,
     Dict,
     Iterable,
+    Iterator,
     List,
     Mapping,
     Optional,
@@ -567,6 +570,71 @@ class SweepExecutor:
         global _LAST_RUN_STATS
         _LAST_RUN_STATS = stats
         return result
+
+    def stream(
+        self,
+        plan: Union[SweepPlan, Iterable[EvaluationRequest]],
+        resume: Optional[bool] = None,
+    ) -> Iterator[SweepProgress]:
+        """Execute ``plan``, yielding each :class:`SweepProgress` as it lands.
+
+        The streaming twin of :meth:`run`: instead of reassembling the
+        whole result at the end, events are handed to the consumer in
+        completion order the moment each unique request resolves (store
+        hits first on a resumed run, then evaluations as workers finish).
+        This is the primitive behind the CLI's ``--stream-output`` JSONL
+        sink and the job layer's live progress — a fleet coordinator can
+        watch points land without waiting for (or buffering) the full
+        sweep.
+
+        The run itself executes on a background thread through the normal
+        :meth:`run` machinery, so every mode (serial, ``workers > 1``,
+        ``batch=True``) and every guarantee (dedup, resume, immediate
+        persistence) is identical to the blocking call; the assembled
+        result's stats remain available through :func:`take_last_run_stats`
+        after the iterator is exhausted.  Closing the generator early
+        aborts the run at the next completion event (work already finished
+        stays persisted, exactly like a killed resumable sweep); an
+        evaluation error surfaces by raising from the iterator after the
+        events that preceded it have been delivered.
+        """
+        events: "queue.Queue[Optional[SweepProgress]]" = queue.Queue()
+        abort = threading.Event()
+        failure: List[BaseException] = []
+
+        class _StreamClosed(Exception):
+            """Raised inside the worker when the consumer went away."""
+
+        def relay(event: SweepProgress) -> None:
+            if abort.is_set():
+                raise _StreamClosed()
+            events.put(event)
+
+        def worker() -> None:
+            try:
+                self.run(plan, resume=resume, progress=relay)
+            except _StreamClosed:
+                pass
+            except BaseException as error:  # noqa: BLE001 - re-raised in consumer
+                failure.append(error)
+            finally:
+                events.put(None)
+
+        thread = threading.Thread(
+            target=worker, name="sweep-stream", daemon=True
+        )
+        thread.start()
+        try:
+            while True:
+                event = events.get()
+                if event is None:
+                    break
+                yield event
+        finally:
+            abort.set()
+            thread.join()
+        if failure:
+            raise failure[0]
 
     def _storage_request(self, request: EvaluationRequest) -> EvaluationRequest:
         """The store identity of a request under this executor's defaults."""

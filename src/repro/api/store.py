@@ -71,6 +71,33 @@ class ResultStoreWarning(UserWarning):
     """A store entry was unreadable (truncated, garbage, or mislabelled)."""
 
 
+class MergeConflictError(ValueError):
+    """Two stores disagree about one fingerprint's payload.
+
+    Raised by :meth:`ResultStore.merge` when a source entry carries the
+    same fingerprint as an already-merged entry but a *different*
+    request/result payload.  Evaluation is deterministic in the request,
+    so this should be impossible for honest stores — a conflict means a
+    corrupted entry, a hand-edited payload, or results produced by
+    diverging code, and silently picking one side would poison the merged
+    store.  ``--prefer-newest`` (``prefer_newest=True``) downgrades the
+    error to keep the payload with the newest recorded creation time.
+    """
+
+    def __init__(self, fingerprint: str, source: str, into: str) -> None:
+        self.fingerprint = fingerprint
+        self.source = source
+        self.into = into
+        super().__init__(
+            f"merge conflict on fingerprint {fingerprint}: the entry in "
+            f"{source} differs from the one already in {into} (same "
+            f"address, different request/result payload). Evaluations are "
+            f"deterministic, so one side is corrupt or was produced by "
+            f"diverging code; re-run the shard, or pass --prefer-newest "
+            f"to keep the newest payload."
+        )
+
+
 def request_fingerprint(
     request: EvaluationRequest, schema_version: int = STORE_SCHEMA_VERSION
 ) -> str:
@@ -163,6 +190,149 @@ class GcReport:
             removed=list(data.get("removed_paths", [])),
             kept=int(data.get("kept", 0)),
             dry_run=bool(data.get("dry_run", False)),
+        )
+
+
+@dataclass
+class StoreStatus:
+    """One :meth:`ResultStore.status` scan as a structured record.
+
+    The machine-readable face of ``repro-msfu sweep status --json``: CI
+    jobs and fleet tooling assert store contents off these fields instead
+    of screen-scraping the human table.
+    """
+
+    root: str
+    schema_version: int
+    entries: int = 0
+    total_bytes: int = 0
+    corrupt: int = 0
+    stale_schema: int = 0
+    oldest_utc: Optional[str] = None
+    newest_utc: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "root": self.root,
+            "schema_version": self.schema_version,
+            "entries": self.entries,
+            "total_bytes": self.total_bytes,
+            "corrupt": self.corrupt,
+            "stale_schema": self.stale_schema,
+            "oldest_utc": self.oldest_utc,
+            "newest_utc": self.newest_utc,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "StoreStatus":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            root=str(data.get("root", "")),
+            schema_version=int(data.get("schema_version", 0)),
+            entries=int(data.get("entries", 0)),
+            total_bytes=int(data.get("total_bytes", 0)),
+            corrupt=int(data.get("corrupt", 0)),
+            stale_schema=int(data.get("stale_schema", 0)),
+            oldest_utc=data.get("oldest_utc"),
+            newest_utc=data.get("newest_utc"),
+        )
+
+
+@dataclass
+class MergeSourceReport:
+    """Per-source provenance accounting of one :meth:`ResultStore.merge`.
+
+    Every source entry lands in exactly one bucket: ``merged`` (copied
+    into the destination), ``identical`` (already present with the same
+    payload — overlapping shards), ``conflicts`` (same fingerprint,
+    different payload; fatal unless ``prefer_newest``), ``stale_schema``
+    (a different schema generation, excluded — its fingerprints are not
+    comparable), or ``corrupt`` (unreadable/mislabelled, skipped with a
+    :class:`ResultStoreWarning`).  ``preferred`` counts the conflicts
+    resolved in this source's favour under ``prefer_newest``.
+    """
+
+    root: str
+    scanned: int = 0
+    merged: int = 0
+    identical: int = 0
+    conflicts: int = 0
+    preferred: int = 0
+    stale_schema: int = 0
+    bad_entries: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "root": self.root,
+            "scanned": self.scanned,
+            "merged": self.merged,
+            "identical": self.identical,
+            "conflicts": self.conflicts,
+            "preferred": self.preferred,
+            "stale_schema": self.stale_schema,
+            "corrupt": self.bad_entries,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "MergeSourceReport":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            root=str(data.get("root", "")),
+            scanned=int(data.get("scanned", 0)),
+            merged=int(data.get("merged", 0)),
+            identical=int(data.get("identical", 0)),
+            conflicts=int(data.get("conflicts", 0)),
+            preferred=int(data.get("preferred", 0)),
+            stale_schema=int(data.get("stale_schema", 0)),
+            bad_entries=int(data.get("corrupt", 0)),
+        )
+
+
+@dataclass
+class MergeReport:
+    """Outcome of one :meth:`ResultStore.merge` pass, per source + totals."""
+
+    into: str
+    prefer_newest: bool = False
+    sources: List[MergeSourceReport] = field(default_factory=list)
+
+    def _total(self, name: str) -> int:
+        return sum(getattr(source, name) for source in self.sources)
+
+    @property
+    def merged(self) -> int:
+        return self._total("merged")
+
+    @property
+    def identical(self) -> int:
+        return self._total("identical")
+
+    @property
+    def conflicts(self) -> int:
+        return self._total("conflicts")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "into": self.into,
+            "prefer_newest": self.prefer_newest,
+            "merged": self.merged,
+            "identical": self.identical,
+            "conflicts": self.conflicts,
+            "stale_schema": self._total("stale_schema"),
+            "corrupt": self._total("bad_entries"),
+            "sources": [source.to_dict() for source in self.sources],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "MergeReport":
+        """Inverse of :meth:`to_dict` (totals are recomputed, not stored)."""
+        return cls(
+            into=str(data.get("into", "")),
+            prefer_newest=bool(data.get("prefer_newest", False)),
+            sources=[
+                MergeSourceReport.from_dict(item)
+                for item in data.get("sources", [])
+            ],
         )
 
 
@@ -413,27 +583,26 @@ class ResultStore:
             "corrupt_skipped": self.corrupt_skipped,
         }
 
-    def status(self) -> Dict[str, Any]:
-        """Aggregate view of the store for ``repro-msfu sweep status``."""
-        entry_count = 0
-        total_bytes = 0
-        corrupt = 0
-        stale_schema = 0
+    def status_record(self) -> StoreStatus:
+        """Aggregate view of the store as a structured :class:`StoreStatus`."""
+        record = StoreStatus(
+            root=str(self.root), schema_version=self.schema_version
+        )
         oldest: Optional[float] = None
         newest: Optional[float] = None
         with warnings.catch_warnings():
             warnings.simplefilter("ignore", ResultStoreWarning)
             for path, payload in self.entries():
-                entry_count += 1
+                record.entries += 1
                 try:
-                    total_bytes += path.stat().st_size
+                    record.total_bytes += path.stat().st_size
                 except OSError:  # pragma: no cover - raced with deletion
                     pass
                 if payload is None:
-                    corrupt += 1
+                    record.corrupt += 1
                     continue
                 if payload.get("schema_version") != self.schema_version:
-                    stale_schema += 1
+                    record.stale_schema += 1
                 created = (payload.get("meta") or {}).get("created_unix")
                 if isinstance(created, (int, float)):
                     created = float(created)
@@ -447,16 +616,17 @@ class ResultStore:
                 "%Y-%m-%dT%H:%M:%SZ"
             )
 
-        return {
-            "root": str(self.root),
-            "schema_version": self.schema_version,
-            "entries": entry_count,
-            "total_bytes": total_bytes,
-            "corrupt": corrupt,
-            "stale_schema": stale_schema,
-            "oldest_utc": _utc(oldest),
-            "newest_utc": _utc(newest),
-        }
+        record.oldest_utc = _utc(oldest)
+        record.newest_utc = _utc(newest)
+        return record
+
+    def status(self) -> Dict[str, Any]:
+        """Aggregate view of the store for ``repro-msfu sweep status``.
+
+        The plain-dict face of :meth:`status_record`, kept for existing
+        callers (the sweep service's ``/v1/status`` among them).
+        """
+        return self.status_record().to_dict()
 
     def gc(
         self,
@@ -488,6 +658,130 @@ class ResultStore:
                 else:
                     report.kept += 1
         return report
+
+    # ------------------------------------------------------------------
+    # Merging (distributed sweeps)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _payload_digest(payload: Mapping[str, Any]) -> str:
+        """Content digest of what a store entry *means*.
+
+        Covers the request and result payloads only — provenance metadata
+        (timestamps, machine, git SHA) legitimately differs between shard
+        machines that computed the same deterministic result, so it must
+        not make honest duplicates look like conflicts.
+        """
+        canonical = json.dumps(
+            {"request": payload.get("request"), "result": payload.get("result")},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return tagged_fingerprint("repro-msfu-merge/v1", canonical)
+
+    def merge(
+        self,
+        sources: Iterable[Union["ResultStore", str, Path]],
+        prefer_newest: bool = False,
+    ) -> MergeReport:
+        """Union every source store's entries into this one.
+
+        The distributed-sweep join: N shard machines run disjoint (or
+        overlapping) pieces of one plan against private stores, and the
+        coordinator merges by **union on fingerprint** — no coordination
+        protocol needed, because the fingerprint is a content address and
+        evaluation is deterministic in the request.  Per source entry:
+
+        * fingerprint absent from this store → the payload file is copied
+          (atomically, byte-equivalent re-serialization);
+        * fingerprint present with an equal request/result digest → an
+          identical duplicate (overlapping shards), left as is;
+        * fingerprint present with a *different* digest → a
+          :class:`MergeConflictError` by default; with ``prefer_newest``
+          the payload with the newest ``meta.created_unix`` wins;
+        * stale-schema entries are excluded (their fingerprints are not
+          comparable across generations) and corrupt/mislabelled entries
+          are skipped with a :class:`ResultStoreWarning` — exactly the
+          read-path discipline of :meth:`get`.
+
+        Sources merge in the order given; a corrupt *destination* entry is
+        healed by the first readable source payload for its fingerprint.
+        Returns a :class:`MergeReport` with per-source accounting.
+        """
+        report = MergeReport(into=str(self.root), prefer_newest=prefer_newest)
+        own_root = self.root.resolve()
+        for source in sources:
+            resolved = as_result_store(source)
+            assert resolved is not None  # sources are never None entries
+            if resolved.root.resolve() == own_root:
+                raise ValueError(
+                    f"cannot merge store {resolved.root} into itself"
+                )
+            source_report = MergeSourceReport(root=str(resolved.root))
+            report.sources.append(source_report)
+            for path, payload in resolved.entries():
+                source_report.scanned += 1
+                if payload is None:
+                    source_report.bad_entries += 1
+                    warnings.warn(
+                        f"merge: skipping unreadable source entry {path}",
+                        ResultStoreWarning,
+                        stacklevel=2,
+                    )
+                    continue
+                fingerprint = payload.get("fingerprint")
+                if fingerprint != path.stem:
+                    source_report.bad_entries += 1
+                    warnings.warn(
+                        f"merge: skipping mislabelled source entry {path} "
+                        f"(fingerprint field {fingerprint!r})",
+                        ResultStoreWarning,
+                        stacklevel=2,
+                    )
+                    continue
+                if payload.get("schema_version") != self.schema_version:
+                    source_report.stale_schema += 1
+                    continue
+                destination = self.path_for(fingerprint)
+                with warnings.catch_warnings():
+                    # A corrupt destination entry is healed by the copy
+                    # below; warning about reading it would be noise.
+                    warnings.simplefilter("ignore", ResultStoreWarning)
+                    existing = self._read_payload(
+                        destination, count_corrupt=False
+                    )
+                if existing is not None and (
+                    existing.get("fingerprint") != fingerprint
+                    or existing.get("schema_version") != self.schema_version
+                ):
+                    existing = None  # mislabelled destination: heal it
+                if existing is None:
+                    atomic_write_json(
+                        destination, payload, indent=2, sort_keys=True
+                    )
+                    source_report.merged += 1
+                    continue
+                if self._payload_digest(existing) == self._payload_digest(
+                    payload
+                ):
+                    source_report.identical += 1
+                    continue
+                source_report.conflicts += 1
+                if not prefer_newest:
+                    raise MergeConflictError(
+                        fingerprint, str(resolved.root), str(self.root)
+                    )
+                if self._created_unix(payload) > self._created_unix(existing):
+                    atomic_write_json(
+                        destination, payload, indent=2, sort_keys=True
+                    )
+                    source_report.preferred += 1
+        return report
+
+    @staticmethod
+    def _created_unix(payload: Mapping[str, Any]) -> float:
+        """Recorded creation time of a payload (0.0 when absent)."""
+        created = (payload.get("meta") or {}).get("created_unix")
+        return float(created) if isinstance(created, (int, float)) else 0.0
 
 
 def as_result_store(

@@ -41,6 +41,19 @@ and expire old entries::
     repro-msfu sweep status --store .repro-store
     repro-msfu sweep gc --store .repro-store --keep-days 30
 
+Split a sweep across a fleet (each shard on its own machine and private
+store, stealing stragglers' work through a shared claim directory), then
+join the stores — the merged store reproduces the unsharded sweep byte
+for byte::
+
+    repro-msfu sweep plan-split --methods linear,force_directed \
+        --capacities 2,4,8 --shards 3 --strategy strided --out-dir shards/
+    repro-msfu sweep shard --spec shards/shard-00-of-3.json \
+        --store store-0 --claim-dir claims/        # ... one per machine
+    repro-msfu sweep merge store-0 store-1 store-2 --into merged
+    repro-msfu sweep run --methods linear,force_directed --capacities 2,4,8 \
+        --store merged --resume --json             # 0 evaluations: all from store
+
 Serve the evaluation API over HTTP (shared store, job queue, request
 coalescing, fingerprint-ETag revalidation)::
 
@@ -63,7 +76,13 @@ from .api.benchcompare import (
     compare_bench_records,
     load_bench_record,
 )
-from .api.executor import SweepExecutor, SweepPlan, take_last_run_stats
+from .api.executor import (
+    ExecutorStats,
+    SweepExecutor,
+    SweepPlan,
+    SweepRunResult,
+    take_last_run_stats,
+)
 from .api.experiments import (
     ExperimentSpec,
     available_experiments,
@@ -71,8 +90,22 @@ from .api.experiments import (
     parse_int_list,
 )
 from .api.pipeline import default_pipeline
-from .api.store import DEFAULT_STORE_ROOT, ResultStore, current_git_sha
-from .persistutil import atomic_write_json
+from .api.sharding import (
+    SHARD_STRATEGIES,
+    ShardSpec,
+    load_shard_file,
+    plan_fingerprint,
+    run_shard,
+    shard_specs,
+    write_shard_files,
+)
+from .api.store import (
+    DEFAULT_STORE_ROOT,
+    MergeConflictError,
+    ResultStore,
+    current_git_sha,
+)
+from .persistutil import atomic_write_json, write_jsonl_line
 
 
 def _parse_capacities(text: str) -> List[int]:
@@ -301,15 +334,60 @@ def _add_serve_parser(subparsers) -> None:
     add_lint_arguments(lint_parser)
 
 
+def _add_plan_source_options(parser: argparse.ArgumentParser) -> None:
+    """The plan-defining options shared by ``sweep run/plan-split/shard``."""
+    parser.add_argument(
+        "--methods",
+        metavar="NAMES",
+        default=None,
+        help="comma-separated mapper names (e.g. linear,force_directed)",
+    )
+    parser.add_argument(
+        "--capacities",
+        type=_parse_capacities,
+        metavar="LIST",
+        default=None,
+        help="comma-separated factory capacities (e.g. 2,4,8)",
+    )
+    parser.add_argument(
+        "--levels",
+        type=_parse_capacities,
+        metavar="LIST",
+        default=None,
+        help="comma-separated factory levels (default: 1)",
+    )
+    parser.add_argument(
+        "--seeds",
+        type=_parse_capacities,
+        metavar="LIST",
+        default=None,
+        help="comma-separated mapper seeds (default: 0)",
+    )
+    parser.add_argument(
+        "--reuse", action="store_true", help="sweep with qubit reuse enabled"
+    )
+    parser.add_argument(
+        "--plan",
+        metavar="FILE",
+        default=None,
+        help="JSON sweep plan (SweepPlan.to_dict form) instead of grid options",
+    )
+
+
 def _add_sweep_parsers(subparsers) -> None:
-    """The ``sweep run / status / gc`` command family (persistent store)."""
+    """The ``sweep`` command family (persistent store): run / status / gc
+    plus the distributed verbs plan-split / shard / merge."""
     sweep_parser = subparsers.add_parser(
         "sweep",
         help="resumable sweeps backed by the persistent result store",
         description=(
             "Run explicit sweep plans against the on-disk result store "
             "(.repro-store by default): a killed or re-run sweep re-executes "
-            "only the requests not already stored, with byte-identical output."
+            "only the requests not already stored, with byte-identical "
+            "output.  'plan-split' / 'shard' / 'merge' distribute one plan "
+            "across machines: each shard runs against a private store, and "
+            "merging the stores reproduces the unsharded sweep byte for "
+            "byte."
         ),
     )
     sweep_sub = sweep_parser.add_subparsers(dest="sweep_command", required=True)
@@ -317,42 +395,7 @@ def _add_sweep_parsers(subparsers) -> None:
     run_parser = sweep_sub.add_parser(
         "run", help="execute a sweep plan (grid options or --plan FILE)"
     )
-    run_parser.add_argument(
-        "--methods",
-        metavar="NAMES",
-        default=None,
-        help="comma-separated mapper names (e.g. linear,force_directed)",
-    )
-    run_parser.add_argument(
-        "--capacities",
-        type=_parse_capacities,
-        metavar="LIST",
-        default=None,
-        help="comma-separated factory capacities (e.g. 2,4,8)",
-    )
-    run_parser.add_argument(
-        "--levels",
-        type=_parse_capacities,
-        metavar="LIST",
-        default=None,
-        help="comma-separated factory levels (default: 1)",
-    )
-    run_parser.add_argument(
-        "--seeds",
-        type=_parse_capacities,
-        metavar="LIST",
-        default=None,
-        help="comma-separated mapper seeds (default: 0)",
-    )
-    run_parser.add_argument(
-        "--reuse", action="store_true", help="sweep with qubit reuse enabled"
-    )
-    run_parser.add_argument(
-        "--plan",
-        metavar="FILE",
-        default=None,
-        help="JSON sweep plan (SweepPlan.to_dict form) instead of grid options",
-    )
+    _add_plan_source_options(run_parser)
     run_parser.add_argument(
         "--workers", type=int, default=1, help="worker processes (1 = serial)"
     )
@@ -384,6 +427,172 @@ def _add_sweep_parsers(subparsers) -> None:
         metavar="FILE",
         default=None,
         help="write the result to FILE instead of stdout",
+    )
+    run_parser.add_argument(
+        "--stream-output",
+        metavar="FILE",
+        default=None,
+        help=(
+            "append one JSON line per resolved point, the moment it lands "
+            "(flushed per line, so the log is complete even if the run is "
+            "killed); the final result is still printed as usual"
+        ),
+    )
+
+    split_parser = sweep_sub.add_parser(
+        "plan-split",
+        help="split a plan into N self-contained shard files",
+        description=(
+            "Write one shard file per piece of the plan into --out-dir; "
+            "distribute the files to a fleet and run each with "
+            "'sweep shard --spec FILE --store PRIVATE_DIR', then join the "
+            "private stores with 'sweep merge'."
+        ),
+    )
+    _add_plan_source_options(split_parser)
+    split_parser.add_argument(
+        "--shards",
+        type=int,
+        required=True,
+        metavar="N",
+        help="number of shards to split the plan into",
+    )
+    split_parser.add_argument(
+        "--strategy",
+        choices=SHARD_STRATEGIES,
+        default="contiguous",
+        help=(
+            "partitioning strategy: contiguous blocks, or strided "
+            "round-robin so every shard samples the whole cost range "
+            "(default: contiguous)"
+        ),
+    )
+    split_parser.add_argument(
+        "--out-dir",
+        metavar="DIR",
+        required=True,
+        help="directory to write the shard files into",
+    )
+    split_parser.add_argument(
+        "--json", action="store_true", help="emit the split summary as JSON"
+    )
+
+    shard_parser = sweep_sub.add_parser(
+        "shard",
+        help="execute one shard of a plan (resumable, optional work stealing)",
+        description=(
+            "Run one deterministic piece of a plan against a (usually "
+            "private) store.  Point to a 'sweep plan-split' file with "
+            "--spec, or give a plan source plus --shard-index/--shard-count. "
+            "With --claim-dir (a directory shared by every shard of the "
+            "plan), shards claim points through atomic claim files and a "
+            "fast shard steals a slow shard's unclaimed tail.  Re-running "
+            "after a kill resumes: stored points are skipped, own claims "
+            "are reclaimed."
+        ),
+    )
+    shard_parser.add_argument(
+        "--spec",
+        metavar="FILE",
+        default=None,
+        help="shard file written by 'sweep plan-split' (plan + shard spec)",
+    )
+    _add_plan_source_options(shard_parser)
+    shard_parser.add_argument(
+        "--shard-index",
+        type=int,
+        default=None,
+        metavar="I",
+        help="this shard's index in [0, --shard-count) (with a plan source)",
+    )
+    shard_parser.add_argument(
+        "--shard-count",
+        type=int,
+        default=None,
+        metavar="N",
+        help="total number of shards (with a plan source)",
+    )
+    shard_parser.add_argument(
+        "--strategy",
+        choices=SHARD_STRATEGIES,
+        default="contiguous",
+        help="partitioning strategy (default: contiguous)",
+    )
+    shard_parser.add_argument(
+        "--store",
+        metavar="DIR",
+        default=DEFAULT_STORE_ROOT,
+        help=f"this shard's result store (default: {DEFAULT_STORE_ROOT})",
+    )
+    shard_parser.add_argument(
+        "--claim-dir",
+        metavar="DIR",
+        default=None,
+        help=(
+            "shared claim directory enabling work stealing between the "
+            "shards of this plan"
+        ),
+    )
+    shard_parser.add_argument(
+        "--no-steal",
+        action="store_true",
+        help="claim own points but do not steal other shards' tails",
+    )
+    shard_parser.add_argument(
+        "--workers", type=int, default=1, help="worker processes (1 = serial)"
+    )
+    shard_parser.add_argument(
+        "--batch",
+        action="store_true",
+        help="evaluate through the batched simulator core (identical results)",
+    )
+    shard_parser.add_argument(
+        "--json", action="store_true", help="emit the shard report as JSON"
+    )
+    shard_parser.add_argument(
+        "--output",
+        metavar="FILE",
+        default=None,
+        help="write the shard report to FILE instead of stdout",
+    )
+    shard_parser.add_argument(
+        "--stream-output",
+        metavar="FILE",
+        default=None,
+        help="append one JSON line per resolved point as it lands",
+    )
+
+    merge_parser = sweep_sub.add_parser(
+        "merge",
+        help="union shard stores into one store (byte-identical to unsharded)",
+        description=(
+            "Merge source stores into --into by union on request "
+            "fingerprint.  Identical duplicate entries are fine "
+            "(overlapping shards); the same fingerprint with a differing "
+            "payload is a conflict: exit 1 by default, or keep the newest "
+            "entry with --prefer-newest.  Corrupt source entries are "
+            "skipped with a warning, stale-schema entries are excluded."
+        ),
+    )
+    merge_parser.add_argument(
+        "sources",
+        nargs="+",
+        metavar="SOURCE_DIR",
+        help="source store roots, merged in order",
+    )
+    merge_parser.add_argument(
+        "--into",
+        metavar="DIR",
+        required=True,
+        help="destination store root (created if missing)",
+    )
+    merge_parser.add_argument(
+        "--prefer-newest",
+        action="store_true",
+        help="resolve payload conflicts by keeping the newest entry",
+    )
+    merge_parser.add_argument(
+        "--json", action="store_true", help="emit the merge report as JSON"
     )
 
     status_parser = sweep_sub.add_parser(
@@ -441,6 +650,7 @@ DEFAULT_BENCH_EXPERIMENTS = (
     "fd-kernel",
     "sim-congestion",
     "sim-batch",
+    "sweep-shard",
 )
 
 #: Name of the special bench-only case handled by :func:`_bench_fd_mapper`
@@ -462,6 +672,11 @@ SIM_CONGESTION_BENCH = "sim-congestion"
 #: (times the batched simulator core against the per-point engine loop on
 #: a sweep-shaped same-circuit point set).
 SIM_BATCH_BENCH = "sim-batch"
+
+#: Name of the special bench-only case handled by
+#: :func:`_bench_sweep_shard` (a k-shard simulated fleet over private
+#: stores, merged and checked byte-identical against one single-store run).
+SWEEP_SHARD_BENCH = "sweep-shard"
 
 #: Reduced ``--smoke`` parameter overrides per experiment, chosen so every
 #: entry completes in seconds.  Unknown experiments with a ``capacities``
@@ -970,6 +1185,108 @@ def _bench_sim_batch(args: argparse.Namespace) -> Dict[str, Any]:
     }
 
 
+def _bench_sweep_shard(args: argparse.Namespace) -> Dict[str, Any]:
+    """Benchmark a k-shard simulated fleet against one single-store sweep.
+
+    The scenario is the distributed layer's target shape — a congested
+    fig7-style capacity sweep partitioned over three strided shards, each
+    running :func:`~repro.api.sharding.run_shard` against a private store,
+    then joined with :meth:`~repro.api.store.ResultStore.merge`.  The
+    fleet is *simulated* (shards run back to back in this process), so
+    the headline ``fleet_wall_seconds`` is the max of the per-shard walls
+    — what a real 3-machine fleet would wait — while ``wall_seconds``
+    keeps the actual serial cost of the whole bench entry.  The merged
+    store must answer a full resumed run with zero evaluations and
+    byte-identical output to the single-store run; the bench fails hard
+    otherwise, so every perf record doubles as an invariant check.
+    """
+    import shutil
+    import tempfile
+
+    shards = 3
+    strategy = "strided"
+    methods = ["linear", "force_directed"]
+    capacities = [2, 4] if args.smoke else [2, 3, 4, 6]
+    seed = args.seed if args.seed is not None else 0
+    plan = SweepPlan.from_grid(
+        methods=methods, capacities=capacities, levels=[1], seeds=[seed]
+    )
+    started = time.perf_counter()
+    root = tempfile.mkdtemp(prefix="repro-bench-shard-")
+    try:
+        single_store = ResultStore(os.path.join(root, "single"))
+        tick = time.perf_counter()
+        single = SweepExecutor(workers=1, store=single_store).run(plan)
+        single_seconds = time.perf_counter() - tick
+
+        shard_stores: List[ResultStore] = []
+        shard_walls: List[float] = []
+        for spec in shard_specs(shards, strategy):
+            shard_store = ResultStore(os.path.join(root, f"shard-{spec.index}"))
+            shard_stores.append(shard_store)
+            tick = time.perf_counter()
+            outcome = run_shard(plan, spec, shard_store)
+            shard_walls.append(time.perf_counter() - tick)
+            if outcome.yielded or outcome.stolen:
+                raise AssertionError(
+                    f"sweep-shard: claimless shard {spec.index} must neither "
+                    f"yield nor steal, got {outcome.to_dict()}"
+                )
+
+        merged = ResultStore(os.path.join(root, "merged"))
+        report = merged.merge([shard_store.root for shard_store in shard_stores])
+        if report.conflicts:
+            raise AssertionError(
+                f"sweep-shard: disjoint shards produced {report.conflicts} "
+                f"merge conflicts"
+            )
+        resumed = SweepExecutor(workers=1, store=merged).run(plan, resume=True)
+        if resumed.stats.evaluations != 0:
+            raise AssertionError(
+                f"sweep-shard: the merged store answered a resumed run with "
+                f"{resumed.stats.evaluations} fresh evaluations, expected 0"
+            )
+        if json.dumps(resumed.to_dict(), sort_keys=True) != json.dumps(
+            single.to_dict(), sort_keys=True
+        ):
+            raise AssertionError(
+                "sweep-shard: merged-store output is not byte-identical to "
+                "the single-store run"
+            )
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+    fleet_wall = max(shard_walls)
+    return {
+        "experiment": SWEEP_SHARD_BENCH,
+        "params": {
+            "shards": shards,
+            "strategy": strategy,
+            "methods": methods,
+            "capacities": capacities,
+            "seed": seed,
+        },
+        "workers": 1,
+        "wall_seconds": round(time.perf_counter() - started, 4),
+        "sim_cycles": sum(e.latency for e in single.evaluations),
+        "stall_cycles": sum(e.stall_cycles for e in single.evaluations),
+        "evaluations": len(single.evaluations),
+        "shard": {
+            "shards": shards,
+            "strategy": strategy,
+            "plan_points": len(plan),
+            "merged_entries": report.merged,
+            "single_seconds": round(single_seconds, 4),
+            "fleet_wall_seconds": round(fleet_wall, 4),
+            "fleet_total_seconds": round(sum(shard_walls), 4),
+            "fleet_speedup": (
+                round(single_seconds / fleet_wall, 2) if fleet_wall > 0 else None
+            ),
+            "identical": True,
+        },
+    }
+
+
 def _bench_one(name: str, args: argparse.Namespace) -> Dict[str, Any]:
     """Benchmark one experiment and return its JSON-safe record."""
     spec = get_experiment(name)
@@ -1099,6 +1416,7 @@ def run_bench(args: argparse.Namespace) -> int:
         FD_KERNEL_BENCH,
         SIM_CONGESTION_BENCH,
         SIM_BATCH_BENCH,
+        SWEEP_SHARD_BENCH,
     }
     unknown = [name for name in names if name not in known]
     if unknown:
@@ -1119,6 +1437,8 @@ def run_bench(args: argparse.Namespace) -> int:
             record = _bench_sim_congestion(args)
         elif name == SIM_BATCH_BENCH:
             record = _bench_sim_batch(args)
+        elif name == SWEEP_SHARD_BENCH:
+            record = _bench_sweep_shard(args)
         else:
             record = _bench_one(name, args)
         print(
@@ -1222,12 +1542,25 @@ def _emit(text: str, output: Optional[str]) -> None:
         print(text)
 
 
+#: Schema tag of ``--stream-output`` JSONL lines (sweep run and shard).
+_STREAM_LINE_SCHEMA = "repro-msfu-stream/v1"
+
+
 def run_sweep_command(args: argparse.Namespace) -> int:
-    """The ``sweep`` command family: run / status / gc on the result store."""
+    """The ``sweep`` command family: run / status / gc on the result store,
+    plan-split / shard / merge for distributed execution."""
+    if args.sweep_command == "plan-split":
+        return _run_sweep_plan_split(args)
+    if args.sweep_command == "shard":
+        return _run_sweep_shard(args)
+    if args.sweep_command == "merge":
+        return _run_sweep_merge(args)
     store = ResultStore(args.store)
 
     if args.sweep_command == "status":
-        status = store.status()
+        # Rendered through the StoreStatus dataclass (to_dict discipline),
+        # so fleet tooling asserting on --json never screen-scrapes text.
+        status = store.status_record().to_dict()
         if args.json:
             print(json.dumps(status, indent=2))
         else:
@@ -1267,7 +1600,35 @@ def run_sweep_command(args: argparse.Namespace) -> int:
         return 2
     executor = SweepExecutor(workers=args.workers, store=store, batch=args.batch)
     started = time.time()
-    result = executor.run(plan, resume=args.resume)
+    if args.stream_output:
+        # Streaming mode: every resolved point is appended to the JSONL
+        # sink the moment it lands (and flushed), so a killed run leaves a
+        # complete record of everything it finished; the final result is
+        # assembled from the same events.
+        evaluations = [None] * len(plan)
+        with open(args.stream_output, "a", encoding="utf-8") as handle:
+            for event in executor.stream(plan, resume=args.resume):
+                write_jsonl_line(
+                    handle,
+                    {
+                        "schema": _STREAM_LINE_SCHEMA,
+                        "kind": "run",
+                        "done": event.done,
+                        "total": event.total,
+                        "source": event.source,
+                        "plan_indices": list(event.plan_indices),
+                        "request": event.request.to_dict(),
+                        "evaluation": event.evaluation.to_dict(),
+                    },
+                )
+                for index in event.plan_indices:
+                    evaluations[index] = event.evaluation
+        result = SweepRunResult(
+            evaluations=evaluations,
+            stats=take_last_run_stats() or ExecutorStats(),
+        )
+    else:
+        result = executor.run(plan, resume=args.resume)
     elapsed = time.time() - started
     stats = result.stats
     print(
@@ -1297,6 +1658,193 @@ def run_sweep_command(args: argparse.Namespace) -> int:
             f"{evaluation.latency:>8} {evaluation.area:>6} {evaluation.volume:>10}"
         )
     _emit("\n".join(lines), args.output)
+    return 0
+
+
+def _run_sweep_plan_split(args: argparse.Namespace) -> int:
+    """``sweep plan-split``: write one self-contained shard file per piece."""
+    if args.shards < 1:
+        print(
+            f"sweep plan-split: --shards must be >= 1, got {args.shards}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        plan = _sweep_plan_from_args(args)
+    except (OSError, ValueError) as error:
+        print(f"sweep plan-split: {error}", file=sys.stderr)
+        return 2
+    if args.shards > len(plan):
+        print(
+            f"sweep plan-split: --shards {args.shards} exceeds the plan's "
+            f"{len(plan)} requests (empty shards would do nothing)",
+            file=sys.stderr,
+        )
+        return 2
+    paths = write_shard_files(
+        plan, args.shards, args.out_dir, strategy=args.strategy
+    )
+    fingerprint = plan_fingerprint(plan)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "schema": "repro-msfu-plan-split/v1",
+                    "plan_fingerprint": fingerprint,
+                    "entries": len(plan),
+                    "shards": args.shards,
+                    "strategy": args.strategy,
+                    "files": [str(path) for path in paths],
+                },
+                indent=2,
+            )
+        )
+    else:
+        print(
+            f"sweep plan-split: {len(plan)} requests -> {args.shards} "
+            f"{args.strategy} shards (plan {fingerprint[:12]})"
+        )
+        for path in paths:
+            print(f"  {path}")
+    return 0
+
+
+def _run_sweep_shard(args: argparse.Namespace) -> int:
+    """``sweep shard``: execute one shard of a plan against its store."""
+    from .service.wire import validate_plan_mappers
+
+    if args.workers < 1:
+        print(
+            f"sweep shard: --workers must be >= 1, got {args.workers}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        if args.spec is not None:
+            if args.shard_index is not None or args.shard_count is not None:
+                raise ValueError(
+                    "--spec and --shard-index/--shard-count are mutually "
+                    "exclusive: the shard file fully determines the shard"
+                )
+            plan, spec = load_shard_file(args.spec)
+            validate_plan_mappers(plan)
+        else:
+            if args.shard_index is None or args.shard_count is None:
+                raise ValueError(
+                    "needs --spec FILE, or a plan source (--plan / grid "
+                    "options) with --shard-index and --shard-count"
+                )
+            plan = _sweep_plan_from_args(args)
+            spec = ShardSpec(
+                index=args.shard_index,
+                count=args.shard_count,
+                strategy=args.strategy,
+            )
+        if not spec.plan_indices(len(plan)):
+            raise ValueError(
+                f"shard {spec.index}/{spec.count} of this "
+                f"{len(plan)}-request plan is empty"
+            )
+    except (OSError, ValueError) as error:
+        print(f"sweep shard: {error}", file=sys.stderr)
+        return 2
+
+    store = ResultStore(args.store)
+    stream_handle = None
+    progress = None
+    started = time.time()
+    try:
+        if args.stream_output:
+            stream_handle = open(args.stream_output, "a", encoding="utf-8")
+
+            def progress(event):
+                write_jsonl_line(
+                    stream_handle,
+                    {
+                        "schema": _STREAM_LINE_SCHEMA,
+                        "kind": "shard",
+                        "done": event.done,
+                        "phase": event.phase,
+                        "source": event.source,
+                        "plan_index": event.plan_index,
+                        "fingerprint": event.fingerprint,
+                        "request": event.request.to_dict(),
+                        "evaluation": event.evaluation.to_dict(),
+                    },
+                )
+
+        result = run_shard(
+            plan,
+            spec,
+            store,
+            claim_dir=args.claim_dir,
+            workers=args.workers,
+            batch=args.batch,
+            steal=not args.no_steal,
+            progress=progress,
+        )
+    finally:
+        if stream_handle is not None:
+            stream_handle.close()
+    elapsed = time.time() - started
+    stats = result.stats
+    print(
+        f"[sweep shard {spec.index}/{spec.count} ({spec.strategy}): "
+        f"{len(result.own)} own, {len(result.yielded)} yielded, "
+        f"{len(result.stolen)} stolen -> {stats.evaluations} evaluated, "
+        f"{stats.store_hits} from store in {elapsed:.1f}s]",
+        file=sys.stderr,
+    )
+    if args.json:
+        payload = {"schema": "repro-msfu-shard-run/v1", **result.to_dict()}
+        _emit(json.dumps(payload, indent=2), args.output)
+        return 0
+    lines = [
+        f"shard {spec.index}/{spec.count} ({spec.strategy}) of plan "
+        f"{result.plan_fingerprint[:12]} -> store {store.root}",
+        f"  shard id:   {result.shard_id}",
+        f"  own points: {len(result.own)}"
+        + (f" (yielded {len(result.yielded)})" if result.yielded else ""),
+        f"  stolen:     {len(result.stolen)}",
+        f"  evaluated:  {stats.evaluations} ({stats.store_hits} from store)",
+    ]
+    _emit("\n".join(lines), args.output)
+    return 0
+
+
+def _run_sweep_merge(args: argparse.Namespace) -> int:
+    """``sweep merge``: union source stores into ``--into``."""
+    store = ResultStore(args.into)
+    try:
+        report = store.merge(args.sources, prefer_newest=args.prefer_newest)
+    except MergeConflictError as error:
+        print(f"sweep merge: {error}", file=sys.stderr)
+        return 1
+    except (OSError, ValueError) as error:
+        print(f"sweep merge: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        payload = {"schema": "repro-msfu-merge-report/v1", **report.to_dict()}
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(
+        f"sweep merge -> {report.into}: {report.merged} merged, "
+        f"{report.identical} identical, {report.conflicts} conflicts"
+        + (" (resolved newest)" if args.prefer_newest else "")
+    )
+    for source in report.sources:
+        extras = []
+        if source.stale_schema:
+            extras.append(f"{source.stale_schema} stale-schema")
+        if source.bad_entries:
+            extras.append(f"{source.bad_entries} corrupt")
+        if source.preferred:
+            extras.append(f"{source.preferred} preferred")
+        suffix = f" [{', '.join(extras)}]" if extras else ""
+        print(
+            f"  {source.root}: {source.scanned} scanned, "
+            f"{source.merged} merged, {source.identical} identical{suffix}"
+        )
     return 0
 
 

@@ -11,7 +11,14 @@ both):
   name identical payloads and a schema bump re-addresses everything;
 * :func:`atomic_write_json` — temporary file + :func:`os.replace`, so a
   killed process never leaves a half-written payload under the final name
-  and concurrent writers of the same content are safe.
+  and concurrent writers of the same content are safe;
+* :func:`exclusive_write_json` — the *claim* primitive of distributed
+  sharding (:mod:`repro.api.sharding`): publish a payload under a name
+  only if nothing is there yet, atomically, so N uncoordinated shard
+  processes racing for one sweep point elect exactly one winner;
+* :func:`write_jsonl_line` — the streaming sink counterpart: one JSON
+  document per line, flushed immediately, for ``--stream-output`` logs
+  that must be readable while (and after) the producer is killed.
 """
 
 from __future__ import annotations
@@ -68,3 +75,54 @@ def atomic_write_json(
     finally:
         if os.path.exists(tmp_path):  # pragma: no cover - failed write only
             os.unlink(tmp_path)
+
+
+def exclusive_write_json(
+    path: Union[str, "os.PathLike[str]"],
+    payload: Any,
+    indent: Optional[int] = None,
+    sort_keys: bool = False,
+) -> bool:
+    """Atomically publish ``payload`` at ``path`` only if nothing is there.
+
+    The exclusive twin of :func:`atomic_write_json`: the payload is fully
+    written to a private temporary file first, then *linked* into place
+    with :func:`os.link`, which fails (instead of replacing) when the name
+    already exists.  Returns ``True`` when this caller published the file,
+    ``False`` when another writer got there first — which is exactly the
+    one-winner election distributed work-stealing claims need: losers never
+    observe a half-written claim, because the link either fully publishes
+    the finished file or does nothing.
+    """
+    path = os.fspath(path)
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    fd, tmp_path = tempfile.mkstemp(
+        prefix=f"{os.path.basename(path)}.", suffix=".tmp", dir=parent or None
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=indent, sort_keys=sort_keys)
+            handle.write("\n")
+        try:
+            os.link(tmp_path, path)
+        except FileExistsError:
+            return False
+        return True
+    finally:
+        if os.path.exists(tmp_path):
+            os.unlink(tmp_path)
+
+
+def write_jsonl_line(handle: Any, payload: Any) -> None:
+    """Append one JSON document as a single line to an open text handle.
+
+    The streaming-sink discipline: compact separators (one event per
+    line, greppable), explicit flush after every line so a consumer —
+    or a post-mortem after a SIGKILL — sees every event that finished,
+    never a torn tail beyond the last newline.
+    """
+    handle.write(json.dumps(payload, sort_keys=True, separators=(",", ":")))
+    handle.write("\n")
+    handle.flush()

@@ -22,6 +22,13 @@ Jobs run on one background worker thread, FIFO; each plan is executed by a
 the parallelism knob), with the executor's progress callback streaming
 completed/total counts and partial results into the job record the service
 reports from ``GET /v1/jobs/<id>``.
+
+A submission may carry a :class:`~repro.api.sharding.ShardSpec`, in which
+case the job executes only that deterministic piece of the plan and is
+identified by the shard fingerprint — the service-side face of the
+distributed sweep layer (:mod:`repro.api.sharding`): a coordinator splits
+one plan across N service instances sharing nothing, then joins their
+stores with ``sweep merge``.
 """
 
 from __future__ import annotations
@@ -37,15 +44,23 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 from ..api.executor import SweepExecutor, SweepPlan, SweepProgress
+from ..api.sharding import ShardSpec, plan_fingerprint
 from ..api.store import (
-    STORE_SCHEMA_VERSION,
     ResultStore,
     ResultStoreWarning,
     as_result_store,
-    request_fingerprint,
 )
-from ..persistutil import atomic_write_json, tagged_fingerprint
+from ..persistutil import atomic_write_json
 from ..routing.simulator import SimulatorConfig
+
+__all__ = [
+    "JOBS_DIRNAME",
+    "JOB_RECORD_SCHEMA",
+    "Job",
+    "JobManager",
+    "JobState",
+    "plan_fingerprint",  # canonical home: repro.api.sharding
+]
 
 #: Directory under the store root holding job records.  The name is not a
 #: two-hex-digit shard, so store maintenance scans never see it.
@@ -53,32 +68,6 @@ JOBS_DIRNAME = "jobs"
 
 #: Schema tag of persisted job records.
 JOB_RECORD_SCHEMA = "repro-msfu-job/v1"
-
-_PLAN_FINGERPRINT_TAG = "repro-msfu-plan/v{version}"
-
-
-def plan_fingerprint(
-    plan: SweepPlan,
-    sim_config: Optional[SimulatorConfig] = None,
-    schema_version: int = STORE_SCHEMA_VERSION,
-) -> str:
-    """Canonical content address of a plan under an executor's defaults.
-
-    blake2b over the *ordered* per-request store fingerprints (order is
-    result order, so two plans differing only in order are different jobs),
-    each resolved with the effective simulator config exactly as the store
-    keys them — identical plans from different clients collapse to one job
-    the same way identical requests collapse to one store entry.
-    """
-    parts = "\n".join(
-        request_fingerprint(
-            request.with_effective_sim_config(sim_config), schema_version
-        )
-        for request in plan
-    )
-    return tagged_fingerprint(
-        _PLAN_FINGERPRINT_TAG.format(version=schema_version), parts
-    )
 
 
 class JobState(str, Enum):
@@ -102,6 +91,10 @@ class Job:
 
     job_id: str
     plan: SweepPlan
+    #: When set, the job executes only this shard of ``plan`` (the job id is
+    #: then the *shard* fingerprint, so distinct shards of one plan are
+    #: distinct jobs while identical shard submissions still coalesce).
+    shard: Optional[ShardSpec] = None
     state: JobState = JobState.QUEUED
     completed: int = 0
     created_unix: float = field(default_factory=time.time)
@@ -117,11 +110,18 @@ class Job:
 
     def __post_init__(self) -> None:
         if not self.results:
-            self.results = [None] * len(self.plan)
+            self.results = [None] * len(self.effective_plan)
+
+    @property
+    def effective_plan(self) -> SweepPlan:
+        """The requests this job actually executes (the shard's, if any)."""
+        if self.shard is not None:
+            return self.shard.subplan(self.plan)
+        return self.plan
 
     @property
     def total(self) -> int:
-        return len(self.plan)
+        return len(self.effective_plan)
 
     @property
     def active(self) -> bool:
@@ -191,8 +191,10 @@ class JobManager:
     # ------------------------------------------------------------------
     # Submission and inspection
     # ------------------------------------------------------------------
-    def submit(self, plan: SweepPlan) -> Tuple[Job, bool]:
-        """Accept a plan; returns ``(job, coalesced)``.
+    def submit(
+        self, plan: SweepPlan, shard: Optional[ShardSpec] = None
+    ) -> Tuple[Job, bool]:
+        """Accept a plan (or one shard of it); returns ``(job, coalesced)``.
 
         An identical plan already queued or running is joined
         (``coalesced=True``) — the second client polls the same job id.  A
@@ -200,16 +202,31 @@ class JobManager:
         run of the same id: with every point already persisted it completes
         entirely from ``store_hits``, which is exactly the repeat-client
         fast path.
+
+        With ``shard`` set the job executes only that piece of the plan and
+        is identified by the *shard* fingerprint, so a fleet can POST the
+        same plan with every shard index to one service (or one service
+        each) and the ids never collide — while two clients POSTing the
+        same shard still coalesce.
         """
         if len(plan) == 0:
             raise ValueError("cannot submit an empty sweep plan")
-        job_id = plan_fingerprint(plan, self.sim_config)
+        fingerprint = plan_fingerprint(plan, self.sim_config)
+        if shard is None:
+            job_id = fingerprint
+        else:
+            if not shard.plan_indices(len(plan)):
+                raise ValueError(
+                    f"shard {shard.index}/{shard.count} of a "
+                    f"{len(plan)}-entry plan is empty"
+                )
+            job_id = shard.fingerprint(fingerprint)
         with self._lock:
             existing = self._jobs.get(job_id)
             if existing is not None and existing.active:
                 existing.submissions += 1
                 return existing, True
-            job = Job(job_id=job_id, plan=plan)
+            job = Job(job_id=job_id, plan=plan, shard=shard)
             self._jobs[job_id] = job
             self._idle.clear()
             self._persist(job)
@@ -238,6 +255,7 @@ class JobManager:
             return {
                 "job_id": job.job_id,
                 "state": job.state.value,
+                "shard": None if job.shard is None else job.shard.to_dict(),
                 "completed": job.completed,
                 "total": job.total,
                 "created_unix": job.created_unix,
@@ -287,6 +305,7 @@ class JobManager:
             "error": job.error,
             "stats": job.stats,
             "plan": job.plan.to_dict(),
+            "shard": None if job.shard is None else job.shard.to_dict(),
         }
         try:
             atomic_write_json(self._record_path(job.job_id), payload, indent=2)
@@ -320,9 +339,15 @@ class JobManager:
                     raise ValueError(f"schema {payload.get('schema')!r}")
                 plan = SweepPlan.from_dict(payload["plan"])
                 state = JobState(payload["state"])
+                shard_payload = payload.get("shard")
                 job = Job(
                     job_id=payload["job_id"],
                     plan=plan,
+                    shard=(
+                        None
+                        if shard_payload is None
+                        else ShardSpec.from_dict(shard_payload)
+                    ),
                     state=state,
                     completed=int(payload.get("completed") or 0),
                     created_unix=float(payload.get("created_unix") or time.time()),
@@ -363,7 +388,7 @@ class JobManager:
         Caller holds the lock.  Counters are deliberately untouched: this
         is reporting, not a lookup on the evaluation path.
         """
-        for index, request in enumerate(job.plan):
+        for index, request in enumerate(job.effective_plan):
             if job.results[index] is not None:
                 continue
             storage = request.with_effective_sim_config(self.sim_config)
@@ -419,7 +444,9 @@ class JobManager:
                     job.results[index] = payload
 
         try:
-            result = executor.run(job.plan, resume=True, progress=on_progress)
+            result = executor.run(
+                job.effective_plan, resume=True, progress=on_progress
+            )
         except Exception as error:  # the job fails; the service survives
             with self._lock:
                 job.state = JobState.FAILED

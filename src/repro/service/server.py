@@ -41,7 +41,7 @@ import time
 from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
-from typing import Any, Dict, Optional, Tuple, Union
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
 
 from ..api.pipeline import Pipeline
 from ..api.store import DEFAULT_STORE_ROOT, ResultStore, as_result_store
@@ -50,6 +50,7 @@ from .jobs import JobManager
 from .wire import (
     WireFormatError,
     decode_evaluation_request,
+    decode_shard_spec,
     decode_sweep_plan,
     validate_mapper_name,
     validate_plan_mappers,
@@ -260,12 +261,25 @@ class SweepService:
     def submit_sweep(self, data: Any) -> Dict[str, Any]:
         plan = decode_sweep_plan(data)
         validate_plan_mappers(plan)
-        job, coalesced = self.jobs.submit(plan)
+        # An optional "shard" object makes this submission one piece of the
+        # plan (distinct job id per shard) — the fleet face of the
+        # distributed sweep layer; stores are joined later by `sweep merge`.
+        shard = None
+        if isinstance(data, Mapping) and data.get("shard") is not None:
+            shard = decode_shard_spec(data["shard"])
+            if not shard.plan_indices(len(plan)):
+                raise WireFormatError(
+                    f"shard {shard.index}/{shard.count} of this "
+                    f"{len(plan)}-request plan is empty",
+                    "shard.index",
+                )
+        job, coalesced = self.jobs.submit(plan, shard=shard)
         if coalesced:
             self.counters.coalesced()
         return {
             "job_id": job.job_id,
             "state": job.state.value,
+            "shard": None if job.shard is None else job.shard.to_dict(),
             "total": job.total,
             "coalesced": coalesced,
             "location": f"/v1/jobs/{job.job_id}",

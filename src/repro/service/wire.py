@@ -28,6 +28,7 @@ from typing import Any, List, Mapping, Optional
 from ..api.executor import SweepPlan
 from ..api.mappers import available_mappers
 from ..api.pipeline import EvaluationRequest
+from ..api.sharding import SHARD_STRATEGIES, ShardSpec
 
 
 class WireFormatError(ValueError):
@@ -178,6 +179,48 @@ def decode_sweep_plan(data: Any, field_prefix: str = "") -> SweepPlan:
         for index, item in enumerate(items)
     ]
     return SweepPlan.from_requests(decoded)
+
+
+def decode_shard_spec(data: Any, field_prefix: str = "shard") -> ShardSpec:
+    """Decode one ``ShardSpec.to_dict`` payload, validating it.
+
+    The shard face of the wire contract: ``POST /v1/sweeps`` (and
+    ``sweep shard --spec``) accept an optional ``"shard"`` object of
+    ``{"index": i, "count": n, "strategy": ...}``; this decoder turns any
+    shape problem into a :class:`WireFormatError` naming the field instead
+    of a traceback out of ``ShardSpec.__post_init__``.
+    """
+    if not isinstance(data, Mapping):
+        raise WireFormatError(
+            f"expected a JSON object with 'index' and 'count', "
+            f"got {type(data).__name__}",
+            field_prefix or None,
+        )
+    unknown = sorted(set(data) - {"index", "count", "strategy"})
+    if unknown:
+        raise WireFormatError(
+            f"unknown key(s) {', '.join(map(repr, unknown))}; "
+            f"valid keys are count, index, strategy",
+            _path(field_prefix, unknown[0]),
+        )
+    for key in ("index", "count"):
+        if key not in data:
+            raise WireFormatError("key is missing", _path(field_prefix, key))
+    count = _require_int(data["count"], _path(field_prefix, "count"), minimum=1)
+    index = _require_int(data["index"], _path(field_prefix, "index"), minimum=0)
+    if index >= count:
+        raise WireFormatError(
+            f"must be < count ({count}), got {index}",
+            _path(field_prefix, "index"),
+        )
+    strategy = data.get("strategy", "contiguous")
+    if not isinstance(strategy, str) or strategy not in SHARD_STRATEGIES:
+        raise WireFormatError(
+            f"expected one of {', '.join(map(repr, SHARD_STRATEGIES))}, "
+            f"got {strategy!r}",
+            _path(field_prefix, "strategy"),
+        )
+    return ShardSpec(index=index, count=count, strategy=strategy)
 
 
 def validate_mapper_name(name: str, field: str = "method") -> None:

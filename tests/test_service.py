@@ -389,6 +389,35 @@ class TestHttpSweeps:
         assert service.pipeline.stats.evaluations == 0  # jobs bypass it
         assert len(service.store) == len(plan)
 
+    def test_sharded_posts_cover_the_plan_under_distinct_job_ids(
+        self, base_url, service
+    ):
+        plan = small_plan()
+        bodies = []
+        for index in range(2):
+            payload = dict(plan.to_dict())
+            payload["shard"] = {"index": index, "count": 2, "strategy": "strided"}
+            status, _, body = http("POST", f"{base_url}/v1/sweeps", payload)
+            assert status == 202
+            assert body["shard"]["index"] == index
+            bodies.append(body)
+        assert bodies[0]["job_id"] != bodies[1]["job_id"]
+        assert sum(body["total"] for body in bodies) == len(plan)
+        for body in bodies:
+            view = wait_for_job(base_url, body["job_id"])
+            assert view["state"] == "completed"
+            assert view["shard"]["count"] == 2
+        # The two shard jobs together covered every plan point.
+        assert len(service.store) == len(plan)
+
+    def test_malformed_shard_is_400_naming_the_field(self, base_url, service):
+        payload = dict(small_plan().to_dict())
+        payload["shard"] = {"index": 5, "count": 2}
+        status, _, body = http("POST", f"{base_url}/v1/sweeps", payload)
+        assert status == 400
+        assert body["error"]["field"] == "shard.index"
+        assert service.jobs.jobs_in_flight() == 0
+
     def test_sweep_with_unknown_mapper_is_400_before_queueing(
         self, base_url, service
     ):
